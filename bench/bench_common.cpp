@@ -1,0 +1,66 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace sch::bench {
+
+std::vector<SweepEntry> run_stencil_sweep(const kernels::StencilParams& params,
+                                          const sim::SimConfig& sim_config,
+                                          const energy::EnergyConfig& energy_config) {
+  std::vector<SweepEntry> out;
+  for (StencilKind kind : kKinds) {
+    for (StencilVariant variant : kVariants) {
+      const kernels::BuiltKernel k = kernels::build_stencil(kind, variant, params);
+      SweepEntry e{kind, variant, kernels::run_on_simulator(k, sim_config, energy_config),
+                   k.regs, k.useful_flops};
+      if (!e.run.ok) {
+        std::fprintf(stderr, "FATAL: %s failed validation: %s\n",
+                     k.name.c_str(), e.run.error.c_str());
+        std::exit(1);
+      }
+      out.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+u32 variant_index(StencilVariant variant) {
+  for (u32 i = 0; i < 5; ++i) {
+    if (kVariants[i] == variant) return i;
+  }
+  return 0;
+}
+
+const SweepEntry& find_entry(const std::vector<SweepEntry>& sweep,
+                             StencilKind kind, StencilVariant variant) {
+  for (const SweepEntry& e : sweep) {
+    if (e.kind == kind && e.variant == variant) return e;
+  }
+  std::fprintf(stderr, "FATAL: sweep entry not found\n");
+  std::exit(1);
+}
+
+void print_header(const std::string& title, const std::vector<std::string>& cols) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  for (const auto& c : cols) std::printf("%-14s", c.c_str());
+  std::printf("\n");
+  for (usize i = 0; i < cols.size(); ++i) std::printf("%-14s", "------------");
+  std::printf("\n");
+}
+
+void print_row(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) std::printf("%-14s", c.c_str());
+  std::printf("\n");
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+} // namespace sch::bench

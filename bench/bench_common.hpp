@@ -1,0 +1,70 @@
+// Shared infrastructure for the paper-reproduction benches: the stencil
+// variant sweep behind Fig. 3, the paper's reference values, and table
+// formatting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "energy/energy_model.hpp"
+#include "kernels/runner.hpp"
+#include "kernels/stencil.hpp"
+#include "sim/sim_config.hpp"
+
+namespace sch::bench {
+
+using kernels::StencilKind;
+using kernels::StencilVariant;
+
+inline constexpr StencilKind kKinds[] = {StencilKind::kBox3d1r,
+                                         StencilKind::kJ3d27pt};
+inline constexpr StencilVariant kVariants[] = {
+    StencilVariant::kBaseMM, StencilVariant::kBaseM, StencilVariant::kBase,
+    StencilVariant::kChaining, StencilVariant::kChainingPlus};
+
+/// Fig. 3 reference values decoded from the paper (see DESIGN.md §3):
+/// per variant (Base--, Base-, Base, Chaining, Chaining+).
+struct PaperRef {
+  double util_box[5] = {0.85, 0.87, 0.90, 0.90, 0.93};
+  double util_j3d[5] = {0.86, 0.88, 0.91, 0.92, 0.95};
+  double power_box[5] = {60.6, 60.5, 63.1, 59.6, 59.7};
+  double power_j3d[5] = {60.6, 60.4, 63.2, 59.5, 59.6};
+
+  [[nodiscard]] double util(StencilKind k, u32 v) const {
+    return k == StencilKind::kBox3d1r ? util_box[v] : util_j3d[v];
+  }
+  [[nodiscard]] double power(StencilKind k, u32 v) const {
+    return k == StencilKind::kBox3d1r ? power_box[v] : power_j3d[v];
+  }
+};
+
+struct SweepEntry {
+  StencilKind kind;
+  StencilVariant variant;
+  kernels::RunResult run;
+  kernels::RegisterReport regs;
+  u64 useful_flops = 0;
+};
+
+/// Run all 2x5 stencil configurations. Aborts (exit 1) with a message when a
+/// kernel fails validation -- benches must never report numbers from a run
+/// whose output did not match the golden reference.
+std::vector<SweepEntry> run_stencil_sweep(
+    const kernels::StencilParams& params = {.nx = 12, .ny = 12, .nz = 12},
+    const sim::SimConfig& sim_config = {},
+    const energy::EnergyConfig& energy_config = {});
+
+/// Index of `variant` within kVariants.
+u32 variant_index(StencilVariant variant);
+
+/// Fetch the sweep entry for (kind, variant).
+const SweepEntry& find_entry(const std::vector<SweepEntry>& sweep,
+                             StencilKind kind, StencilVariant variant);
+
+/// "name  paper  measured  delta%" table row helpers.
+void print_header(const std::string& title, const std::vector<std::string>& cols);
+void print_row(const std::vector<std::string>& cells);
+
+std::string fmt(double v, int precision = 3);
+
+} // namespace sch::bench

@@ -1,0 +1,53 @@
+// Reproduces Fig. 3 (right): power [mW] for box3d1r and j3d27pt in all five
+// code variants, from the calibrated event-based energy model. Shape to
+// reproduce: Base is the most power-hungry (its coefficient SSR re-reads L1
+// for every use); the chaining variants are the least (coefficients move to
+// the register file).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace sch;
+using namespace sch::bench;
+
+int main() {
+  std::printf("Fig. 3 (right): power [mW] @ 1 GHz, 2 stencils x 5 variants\n");
+  std::printf("event-based energy model calibrated to the paper's GF12LP+ "
+              "0.8 V operating point (see src/energy/energy_model.hpp)\n");
+
+  const PaperRef ref;
+  const auto sweep = run_stencil_sweep();
+
+  for (StencilKind kind : kKinds) {
+    print_header(std::string(kernels::stencil_kind_name(kind)) + " power [mW]",
+                 {"variant", "paper", "measured", "delta", "tcdm reads", "energy/cyc pJ"});
+    for (StencilVariant v : kVariants) {
+      const SweepEntry& e = find_entry(sweep, kind, v);
+      const double paper = ref.power(kind, variant_index(v));
+      const double measured = e.run.energy.power_mw;
+      print_row({kernels::stencil_variant_name(v), fmt(paper, 1), fmt(measured, 1),
+                 fmt(measured - paper, 1), std::to_string(e.run.tcdm_reads),
+                 fmt(e.run.energy.energy_per_cycle_pj, 1)});
+    }
+  }
+
+  int failures = 0;
+  for (StencilKind kind : kKinds) {
+    const auto& base = find_entry(sweep, kind, StencilVariant::kBase);
+    const auto& ch = find_entry(sweep, kind, StencilVariant::kChaining);
+    const auto& mm = find_entry(sweep, kind, StencilVariant::kBaseMM);
+    auto check = [&](bool ok, const char* what) {
+      std::printf("  [%s] %s (%s)\n", ok ? "ok" : "FAIL", what,
+                  kernels::stencil_kind_name(kind));
+      if (!ok) ++failures;
+    };
+    check(base.run.energy.power_mw > ch.run.energy.power_mw + 2.0,
+          "Base draws >2 mW more than Chaining (L1 coefficient traffic)");
+    check(base.run.energy.power_mw > mm.run.energy.power_mw,
+          "Base draws more than Base--");
+    check(base.run.tcdm_reads > ch.run.tcdm_reads + 5000,
+          "Base's coefficient stream adds L1 reads");
+  }
+  std::printf("\nshape checks: %s\n", failures == 0 ? "all passed" : "FAILURES");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+// Reproduces the paper's Section III headline numbers:
+//  * "4% geomean speedup ... over the highly-optimized baselines [Base]"
+//  * "10% geomean energy efficiency improvement over [Base]"
+//  * "8% and 9% gains respectively over the direct comparison point Base-"
+//  * "7% geomean improvement in energy efficiency" (Chaining vs Base)
+//  * ">93% FPU utilizations" (Chaining+)
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace sch;
+using namespace sch::bench;
+
+namespace {
+
+double geomean2(double a, double b) { return std::sqrt(a * b); }
+
+struct Claim {
+  const char* name;
+  double paper;
+  double measured;
+  double tolerance; // acceptable absolute deviation in percentage points
+};
+
+} // namespace
+
+int main() {
+  std::printf("Headline geomeans over {box3d1r, j3d27pt} (paper Section III)\n");
+  const auto sweep = run_stencil_sweep();
+
+  auto entry = [&](StencilKind k, StencilVariant v) -> const SweepEntry& {
+    return find_entry(sweep, k, v);
+  };
+  auto speedup = [&](StencilVariant fast, StencilVariant slow) {
+    double r[2];
+    int i = 0;
+    for (StencilKind k : kKinds) {
+      r[i++] = static_cast<double>(entry(k, slow).run.cycles) /
+               static_cast<double>(entry(k, fast).run.cycles);
+    }
+    return 100.0 * (geomean2(r[0], r[1]) - 1.0);
+  };
+  // Energy efficiency = useful work per joule; the workload is identical
+  // across variants, so the efficiency ratio is the total-energy ratio.
+  auto eff_gain = [&](StencilVariant better, StencilVariant worse) {
+    double r[2];
+    int i = 0;
+    for (StencilKind k : kKinds) {
+      r[i++] = entry(k, worse).run.energy.breakdown.total_pj /
+               entry(k, better).run.energy.breakdown.total_pj;
+    }
+    return 100.0 * (geomean2(r[0], r[1]) - 1.0);
+  };
+
+  const Claim claims[] = {
+      {"speedup Chaining+ vs Base [%]", 4.0,
+       speedup(StencilVariant::kChainingPlus, StencilVariant::kBase), 2.0},
+      {"speedup Chaining+ vs Base- [%]", 8.0,
+       speedup(StencilVariant::kChainingPlus, StencilVariant::kBaseM), 3.0},
+      {"energy eff. Chaining+ vs Base [%]", 10.0,
+       eff_gain(StencilVariant::kChainingPlus, StencilVariant::kBase), 4.0},
+      {"energy eff. Chaining+ vs Base- [%]", 9.0,
+       eff_gain(StencilVariant::kChainingPlus, StencilVariant::kBaseM), 4.0},
+      {"energy eff. Chaining vs Base [%]", 7.0,
+       eff_gain(StencilVariant::kChaining, StencilVariant::kBase), 3.0},
+  };
+
+  print_header("headline claims", {"claim", "paper", "measured", "delta", "verdict"});
+  int failures = 0;
+  for (const Claim& c : claims) {
+    const bool ok = std::abs(c.measured - c.paper) <= c.tolerance;
+    if (!ok) ++failures;
+    std::printf("%-36s%-10s%-10s%-10s%s\n", c.name, fmt(c.paper, 1).c_str(),
+                fmt(c.measured, 1).c_str(), fmt(c.measured - c.paper, 1).c_str(),
+                ok ? "ok" : "FAIL");
+  }
+
+  const double chp_box =
+      entry(StencilKind::kBox3d1r, StencilVariant::kChainingPlus).run.fpu_utilization;
+  const double chp_j3d =
+      entry(StencilKind::kJ3d27pt, StencilVariant::kChainingPlus).run.fpu_utilization;
+  const bool util_ok = chp_box > 0.93 && chp_j3d > 0.93;
+  if (!util_ok) ++failures;
+  std::printf("%-36s%-10s%-10s%-10s%s\n", ">93% FPU utilization (Chaining+)",
+              ">0.93", (fmt(chp_box, 3) + "/" + fmt(chp_j3d, 3)).c_str(), "-",
+              util_ok ? "ok" : "FAIL");
+
+  std::printf("\n%d claim(s) out of tolerance\n", failures);
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,96 @@
+// Infrastructure micro-benchmarks (google-benchmark): simulator cycle
+// throughput, decoder throughput, assembler throughput. These quantify the
+// reproduction toolchain itself, not the paper's results.
+#include <benchmark/benchmark.h>
+
+#include "asm/assembler.hpp"
+#include "isa/decode.hpp"
+#include "isa/encode.hpp"
+#include "kernels/runner.hpp"
+#include "kernels/stencil.hpp"
+#include "kernels/vecop.hpp"
+#include "mem/memory.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace sch;
+
+void BM_Decoder(benchmark::State& state) {
+  std::vector<u32> words;
+  for (u32 i = 0; i < 1024; ++i) {
+    words.push_back(isa::make_r(isa::Mnemonic::kFmaddD, i % 32, (i + 1) % 32,
+                                (i + 2) % 32, (i + 3) % 32)
+                        .raw);
+    words.push_back(isa::make_i(isa::Mnemonic::kAddi, i % 32, (i + 1) % 32,
+                                static_cast<i32>(i % 2048))
+                        .raw);
+  }
+  for (auto _ : state) {
+    for (u32 w : words) benchmark::DoNotOptimize(isa::decode(w));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * words.size());
+}
+BENCHMARK(BM_Decoder);
+
+void BM_Assembler(benchmark::State& state) {
+  std::string src;
+  for (int i = 0; i < 64; ++i) {
+    src += "fmadd.d ft3, ft0, ft1, ft3\naddi a0, a0, 1\n";
+  }
+  for (auto _ : state) {
+    auto r = assembler::assemble(src);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * 128);
+}
+BENCHMARK(BM_Assembler);
+
+void BM_SimulatorCycles_Vecop(benchmark::State& state) {
+  const kernels::BuiltKernel k =
+      kernels::build_vecop(kernels::VecopVariant::kChainedFrep, {.n = 1024});
+  u64 cycles = 0;
+  for (auto _ : state) {
+    Memory mem;
+    sim::Simulator s(k.program, mem);
+    s.run();
+    cycles = s.cycles();
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(cycles));
+  state.counters["sim_cycles"] = static_cast<double>(cycles);
+}
+BENCHMARK(BM_SimulatorCycles_Vecop);
+
+void BM_SimulatorCycles_Stencil(benchmark::State& state) {
+  const kernels::BuiltKernel k = kernels::build_stencil(
+      kernels::StencilKind::kBox3d1r, kernels::StencilVariant::kChainingPlus,
+      {.nx = 8, .ny = 8, .nz = 8});
+  u64 cycles = 0;
+  for (auto _ : state) {
+    Memory mem;
+    sim::Simulator s(k.program, mem);
+    s.run();
+    cycles = s.cycles();
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(cycles));
+}
+BENCHMARK(BM_SimulatorCycles_Stencil);
+
+void BM_Iss_Stencil(benchmark::State& state) {
+  const kernels::BuiltKernel k = kernels::build_stencil(
+      kernels::StencilKind::kBox3d1r, kernels::StencilVariant::kChainingPlus,
+      {.nx = 8, .ny = 8, .nz = 8});
+  for (auto _ : state) {
+    auto r = kernels::run_on_iss(k);
+    benchmark::DoNotOptimize(r.ok);
+  }
+}
+BENCHMARK(BM_Iss_Stencil);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// The paper's pitch in one executable: the same vector operation
+// a = b*(c+d) scheduled four ways (Fig. 1), showing that chaining delivers
+// the unrolled schedule's performance at the baseline's register cost.
+//
+//   ./build/examples/chaining_vecop [n]
+#include <cstdio>
+#include <cstdlib>
+
+#include "scalarchain.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sch;
+  using kernels::VecopVariant;
+
+  u32 n = 2048;
+  if (argc > 1) n = static_cast<u32>(std::atoi(argv[1]));
+  if (n == 0 || n % 4 != 0) {
+    std::fprintf(stderr, "n must be a positive multiple of 4\n");
+    return 1;
+  }
+
+  std::printf("a = b*(c+d), %u doubles, 3-stage FPU\n\n", n);
+  std::printf("%-14s %-10s %-10s %-12s %-10s %s\n", "variant", "cycles",
+              "FPU util", "RAW stalls", "FP regs", "note");
+
+  for (VecopVariant v : {VecopVariant::kBaseline, VecopVariant::kUnrolled,
+                         VecopVariant::kChained, VecopVariant::kChainedFrep}) {
+    const kernels::BuiltKernel k = kernels::build_vecop(v, {.n = n, .b = 2.0});
+    const kernels::RunResult r = kernels::run_on_simulator(k);
+    if (!r.ok) {
+      std::fprintf(stderr, "%s failed: %s\n", k.name.c_str(), r.error.c_str());
+      return 1;
+    }
+    const char* note = "";
+    switch (v) {
+      case VecopVariant::kBaseline: note = "RAW stall per element (Fig. 1a)"; break;
+      case VecopVariant::kUnrolled: note = "+3 architectural registers (Fig. 1b)"; break;
+      case VecopVariant::kChained: note = "chain FIFO on ft3, +0 registers (Fig. 1c)"; break;
+      case VecopVariant::kChainedFrep: note = "+ hardware loop"; break;
+    }
+    std::printf("%-14s %-10llu %-10.3f %-12llu %-10u %s\n",
+                kernels::vecop_variant_name(v),
+                static_cast<unsigned long long>(r.cycles), r.fpu_utilization,
+                static_cast<unsigned long long>(r.perf.stall_fp_raw),
+                k.regs.fp_regs_used, note);
+  }
+  return 0;
+}

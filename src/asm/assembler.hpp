@@ -1,0 +1,24 @@
+// Two-pass text assembler for the modeled core's dialect:
+// RV32IMFD + Zicsr + Xfrep/Xssr custom instructions, the usual pseudo-
+// instructions, labels, and a small set of data directives. The paper's
+// listings (Fig. 1) assemble verbatim, including the nonstandard `bneq`
+// spelling used there (alias of `bne`).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "asm/program.hpp"
+#include "common/status.hpp"
+
+namespace sch::assembler {
+
+struct Options {
+  Addr text_base = memmap::kTextBase;
+  Addr data_base = memmap::kTcdmBase;
+};
+
+/// Assemble `source` into a Program. Errors carry "line N: ..." context.
+Result<Program> assemble(std::string_view source, const Options& options = {});
+
+} // namespace sch::assembler

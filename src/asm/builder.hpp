@@ -1,0 +1,159 @@
+// ProgramBuilder: typed C++ API for emitting kernels programmatically.
+// This is the interface the kernel generators use; the text assembler is the
+// human-facing equivalent. Forward label references are backpatched at
+// build() time.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "isa/csr.hpp"
+#include "isa/encode.hpp"
+#include "isa/reg.hpp"
+
+namespace sch {
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(Addr text_base = memmap::kTextBase,
+                          Addr data_base = memmap::kTcdmBase);
+
+  // --- labels -------------------------------------------------------------
+  /// Define `name` at the current text position.
+  void label(const std::string& name);
+  /// Current text address.
+  [[nodiscard]] Addr here() const;
+
+  // --- raw emission -------------------------------------------------------
+  /// Append an already-formed instruction.
+  void emit(isa::Instr instr);
+
+  // --- RV32I --------------------------------------------------------------
+  void lui(u8 rd, i32 imm20);
+  void auipc(u8 rd, i32 imm20);
+  void jal(u8 rd, const std::string& target);
+  void jalr(u8 rd, u8 rs1, i32 imm = 0);
+  void beq(u8 rs1, u8 rs2, const std::string& target);
+  void bne(u8 rs1, u8 rs2, const std::string& target);
+  void blt(u8 rs1, u8 rs2, const std::string& target);
+  void bge(u8 rs1, u8 rs2, const std::string& target);
+  void bltu(u8 rs1, u8 rs2, const std::string& target);
+  void bgeu(u8 rs1, u8 rs2, const std::string& target);
+  void lw(u8 rd, u8 rs1, i32 imm);
+  void sw(u8 rs2, u8 rs1, i32 imm);
+  void addi(u8 rd, u8 rs1, i32 imm);
+  void slti(u8 rd, u8 rs1, i32 imm);
+  void sltiu(u8 rd, u8 rs1, i32 imm);
+  void xori(u8 rd, u8 rs1, i32 imm);
+  void ori(u8 rd, u8 rs1, i32 imm);
+  void andi(u8 rd, u8 rs1, i32 imm);
+  void slli(u8 rd, u8 rs1, i32 shamt);
+  void srli(u8 rd, u8 rs1, i32 shamt);
+  void srai(u8 rd, u8 rs1, i32 shamt);
+  void add(u8 rd, u8 rs1, u8 rs2);
+  void sub(u8 rd, u8 rs1, u8 rs2);
+  void mul(u8 rd, u8 rs1, u8 rs2);
+  void sll(u8 rd, u8 rs1, u8 rs2);
+  void op_and(u8 rd, u8 rs1, u8 rs2);
+  void op_or(u8 rd, u8 rs1, u8 rs2);
+  void op_xor(u8 rd, u8 rs1, u8 rs2);
+
+  // --- pseudo-instructions --------------------------------------------------
+  void nop();
+  void ecall();
+  void ebreak();
+  /// Load a 32-bit constant (1 or 2 instructions).
+  void li(u8 rd, i64 value);
+  /// Load an absolute address (always lui+addi for stable sizing).
+  void la(u8 rd, Addr addr);
+  void mv(u8 rd, u8 rs1);
+  void j(const std::string& target);
+  void ret();
+  void beqz(u8 rs1, const std::string& target);
+  void bnez(u8 rs1, const std::string& target);
+
+  // --- CSR ------------------------------------------------------------------
+  void csrrw(u8 rd, u32 csr, u8 rs1);
+  void csrrs(u8 rd, u32 csr, u8 rs1);
+  void csrrc(u8 rd, u32 csr, u8 rs1);
+  void csrw(u32 csr, u8 rs1) { csrrw(0, csr, rs1); }
+  void csrs(u32 csr, u8 rs1) { csrrs(0, csr, rs1); }
+  void csrc(u32 csr, u8 rs1) { csrrc(0, csr, rs1); }
+  void csrr(u8 rd, u32 csr) { csrrs(rd, csr, 0); }
+  void csrwi(u32 csr, u8 zimm);
+  void csrsi(u32 csr, u8 zimm);
+  void csrci(u32 csr, u8 zimm);
+
+  // --- RV32F/D ---------------------------------------------------------------
+  void flw(u8 frd, u8 rs1, i32 imm);
+  void fsw(u8 frs2, u8 rs1, i32 imm);
+  void fld(u8 frd, u8 rs1, i32 imm);
+  void fsd(u8 frs2, u8 rs1, i32 imm);
+  void fadd_d(u8 frd, u8 frs1, u8 frs2);
+  void fsub_d(u8 frd, u8 frs1, u8 frs2);
+  void fmul_d(u8 frd, u8 frs1, u8 frs2);
+  void fdiv_d(u8 frd, u8 frs1, u8 frs2);
+  void fsqrt_d(u8 frd, u8 frs1);
+  void fmadd_d(u8 frd, u8 frs1, u8 frs2, u8 frs3);
+  void fmsub_d(u8 frd, u8 frs1, u8 frs2, u8 frs3);
+  void fnmadd_d(u8 frd, u8 frs1, u8 frs2, u8 frs3);
+  void fnmsub_d(u8 frd, u8 frs1, u8 frs2, u8 frs3);
+  void fsgnj_d(u8 frd, u8 frs1, u8 frs2);
+  void fmv_d(u8 frd, u8 frs1) { fsgnj_d(frd, frs1, frs1); }
+  void fmin_d(u8 frd, u8 frs1, u8 frs2);
+  void fmax_d(u8 frd, u8 frs1, u8 frs2);
+  void fadd_s(u8 frd, u8 frs1, u8 frs2);
+  void fmul_s(u8 frd, u8 frs1, u8 frs2);
+  void fmadd_s(u8 frd, u8 frs1, u8 frs2, u8 frs3);
+  void fcvt_d_w(u8 frd, u8 rs1);
+  void fcvt_w_d(u8 rd, u8 frs1);
+  void fmv_x_w(u8 rd, u8 frs1);
+  void fmv_w_x(u8 frd, u8 rs1);
+  void feq_d(u8 rd, u8 frs1, u8 frs2);
+  void flt_d(u8 rd, u8 frs1, u8 frs2);
+
+  // --- custom extensions ------------------------------------------------------
+  /// Hardware loop: repeat the next `n_instr` FP instructions (rs1)+1 times.
+  void frep_o(u8 rs1, i32 n_instr);
+  void frep_i(u8 rs1, i32 n_instr);
+  /// SSR config write: config word index <- rs1.
+  void scfgw(u8 rs1, i32 cfg_index);
+  /// SSR config read: rd <- config word index.
+  void scfgr(u8 rd, i32 cfg_index);
+
+  // --- data segment -----------------------------------------------------------
+  /// Align the data cursor to `align` bytes (power of two).
+  Addr data_align(u32 align);
+  /// Append doubles; returns the base address of the block.
+  Addr data_f64(const std::vector<double>& values);
+  /// Append 32-bit words; returns the base address.
+  Addr data_u32(const std::vector<u32>& values);
+  /// Append 16-bit values (index arrays); returns the base address.
+  Addr data_u16(const std::vector<u16>& values);
+  /// Reserve `bytes` zero-initialized bytes; returns the base address.
+  Addr data_zero(u32 bytes);
+  /// Define a data symbol at the current data cursor.
+  void data_label(const std::string& name);
+
+  /// Current data cursor address.
+  [[nodiscard]] Addr data_here() const;
+
+  /// Resolve labels and produce the final program. Throws on undefined or
+  /// out-of-range references.
+  Program build();
+
+ private:
+  struct Fixup {
+    usize word_index;
+    std::string label;
+  };
+
+  void emit_branch(isa::Mnemonic mn, u8 rs1, u8 rs2, const std::string& target);
+
+  Program prog_;
+  std::vector<Fixup> fixups_;
+};
+
+} // namespace sch

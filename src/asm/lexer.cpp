@@ -1,0 +1,128 @@
+#include "asm/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace sch::assembler {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '%';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+         c == '%' || c == '[' || c == ']';
+}
+
+[[noreturn]] void fail(u32 col, const std::string& what) {
+  throw std::invalid_argument("col " + std::to_string(col + 1) + ": " + what);
+}
+
+} // namespace
+
+std::vector<Token> tokenize_line(std::string_view line) {
+  std::vector<Token> out;
+  usize i = 0;
+  const usize n = line.size();
+  while (i < n) {
+    const char c = line[i];
+    const u32 col = static_cast<u32>(i);
+    if (c == '#' || (c == '/' && i + 1 < n && line[i + 1] == '/')) break;
+    if (std::isspace(static_cast<unsigned char>(c))) { ++i; continue; }
+    switch (c) {
+      case ',': out.push_back({TokKind::kComma, ",", 0, 0, col}); ++i; continue;
+      case '(': out.push_back({TokKind::kLParen, "(", 0, 0, col}); ++i; continue;
+      case ')': out.push_back({TokKind::kRParen, ")", 0, 0, col}); ++i; continue;
+      case ':': out.push_back({TokKind::kColon, ":", 0, 0, col}); ++i; continue;
+      case '+': out.push_back({TokKind::kPlus, "+", 0, 0, col}); ++i; continue;
+      case '"': {
+        usize j = i + 1;
+        std::string s;
+        while (j < n && line[j] != '"') s += line[j++];
+        if (j >= n) fail(col, "unterminated string");
+        out.push_back({TokKind::kString, s, 0, 0, col});
+        i = j + 1;
+        continue;
+      }
+      default: break;
+    }
+    if (c == '-') {
+      // Minus may start a numeric literal or act as an operator; the parser
+      // decides. Emit operator token unless a digit follows directly and the
+      // previous token cannot end an expression.
+      const bool digit_follows = i + 1 < n && std::isdigit(static_cast<unsigned char>(line[i + 1]));
+      const bool prev_is_value = !out.empty() && (out.back().kind == TokKind::kInt ||
+                                                  out.back().kind == TokKind::kIdent ||
+                                                  out.back().kind == TokKind::kRParen);
+      if (!digit_follows || prev_is_value) {
+        out.push_back({TokKind::kMinus, "-", 0, 0, col});
+        ++i;
+        continue;
+      }
+      // fall through to numeric literal including the sign
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+      usize j = i;
+      if (line[j] == '-') ++j;
+      bool is_float = false;
+      bool is_hex = false;
+      if (j + 1 < n && line[j] == '0' && (line[j + 1] == 'x' || line[j + 1] == 'X')) {
+        is_hex = true;
+        j += 2;
+        const usize digits_start = j;
+        while (j < n && std::isxdigit(static_cast<unsigned char>(line[j]))) ++j;
+        if (j == digits_start) fail(col, "hex literal without digits");
+      } else {
+        while (j < n && std::isdigit(static_cast<unsigned char>(line[j]))) ++j;
+        if (j < n && line[j] == '.') {
+          is_float = true;
+          ++j;
+          while (j < n && std::isdigit(static_cast<unsigned char>(line[j]))) ++j;
+        }
+        if (j < n && (line[j] == 'e' || line[j] == 'E')) {
+          is_float = true;
+          ++j;
+          if (j < n && (line[j] == '+' || line[j] == '-')) ++j;
+          while (j < n && std::isdigit(static_cast<unsigned char>(line[j]))) ++j;
+        }
+      }
+      const std::string text(line.substr(i, j - i));
+      Token t;
+      t.col = col;
+      t.text = text;
+      if (is_float) {
+        t.kind = TokKind::kFloat;
+        t.fval = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.kind = TokKind::kInt;
+        errno = 0;
+        t.ival = std::strtoll(text.c_str(), nullptr, is_hex ? 16 : 10);
+        if (errno != 0) fail(col, "integer literal out of range: " + text);
+      }
+      out.push_back(t);
+      i = j;
+      continue;
+    }
+    if (c == '.') {
+      usize j = i + 1;
+      while (j < n && is_ident_char(line[j])) ++j;
+      if (j == i + 1) fail(col, "stray '.'");
+      out.push_back({TokKind::kDirective, std::string(line.substr(i + 1, j - i - 1)), 0, 0, col});
+      i = j;
+      continue;
+    }
+    if (is_ident_start(c)) {
+      usize j = i;
+      while (j < n && is_ident_char(line[j])) ++j;
+      out.push_back({TokKind::kIdent, std::string(line.substr(i, j - i)), 0, 0, col});
+      i = j;
+      continue;
+    }
+    fail(col, std::string("unexpected character '") + c + "'");
+  }
+  out.push_back({TokKind::kEnd, "", 0, 0, static_cast<u32>(n)});
+  return out;
+}
+
+} // namespace sch::assembler

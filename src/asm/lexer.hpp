@@ -1,0 +1,40 @@
+// Line-oriented lexer for the RISC-V assembly dialect accepted by the
+// Assembler. Comments: '#' and '//' to end of line.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sch::assembler {
+
+enum class TokKind : u8 {
+  kIdent,     // mnemonic, label, register, directive name (without '.')
+  kDirective, // identifier that started with '.'
+  kInt,       // integer literal (value in `ival`)
+  kFloat,     // floating literal (value in `fval`)
+  kComma,
+  kLParen,
+  kRParen,
+  kColon,
+  kMinus,
+  kPlus,
+  kString,    // quoted string (contents in `text`)
+  kEnd,       // end of line
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  i64 ival = 0;
+  double fval = 0.0;
+  u32 col = 0;
+};
+
+/// Tokenize one source line. Throws std::invalid_argument with a
+/// column-annotated message on malformed literals.
+std::vector<Token> tokenize_line(std::string_view line);
+
+} // namespace sch::assembler

@@ -1,0 +1,61 @@
+// Program image: encoded text segment, initial data image, and symbols.
+// Produced by the text assembler or the ProgramBuilder; consumed by the ISS
+// and the cycle-level simulator.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/instr.hpp"
+
+namespace sch {
+
+/// Default address map of the modeled system (see DESIGN.md §4).
+namespace memmap {
+/// Instruction memory base (ideal fetch; Snitch-style private I-cache).
+inline constexpr Addr kTextBase = 0x8000'0000;
+/// L1 tightly-coupled data memory (banked scratchpad).
+inline constexpr Addr kTcdmBase = 0x1000'0000;
+inline constexpr u32 kTcdmSize = 128 * 1024;
+/// Bulk memory region (higher latency).
+inline constexpr Addr kMainBase = 0x2000'0000;
+inline constexpr u32 kMainSize = 4 * 1024 * 1024;
+} // namespace memmap
+
+class Program {
+ public:
+  Addr text_base = memmap::kTextBase;
+  Addr data_base = memmap::kTcdmBase;
+
+  /// Encoded instruction words, text_base-relative.
+  std::vector<u32> words;
+  /// Decoded mirror of `words` (kept in sync; fast path for simulation).
+  std::vector<isa::Instr> instrs;
+  /// Initial data image, data_base-relative.
+  std::vector<u8> data;
+  /// Label/symbol table (both text and data symbols).
+  std::map<std::string, Addr> symbols;
+  /// 1-based source line per instruction (0 when synthesized by a builder).
+  std::vector<u32> source_lines;
+
+  [[nodiscard]] usize num_instrs() const { return words.size(); }
+  [[nodiscard]] Addr end_of_text() const {
+    return text_base + static_cast<Addr>(words.size() * 4);
+  }
+
+  /// Address of `label`; throws std::out_of_range when undefined.
+  [[nodiscard]] Addr symbol(const std::string& label) const {
+    return symbols.at(label);
+  }
+
+  /// Fetch the decoded instruction at `pc`; returns nullptr outside text.
+  [[nodiscard]] const isa::Instr* fetch(Addr pc) const {
+    if (pc < text_base || (pc - text_base) % 4 != 0) return nullptr;
+    const usize idx = (pc - text_base) / 4;
+    return idx < instrs.size() ? &instrs[idx] : nullptr;
+  }
+};
+
+} // namespace sch

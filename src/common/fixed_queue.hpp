@@ -1,0 +1,57 @@
+// Bounded FIFO used for hardware queues (offload queue, SSR data FIFOs,
+// chain FIFO models). Capacity fixed at construction; overflow is a modeling
+// bug and asserts.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace sch {
+
+template <typename T>
+class FixedQueue {
+ public:
+  explicit FixedQueue(std::size_t capacity) : capacity_(capacity) {
+    assert(capacity_ > 0);
+  }
+
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] bool full() const { return items_.size() >= capacity_; }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t free_slots() const { return capacity_ - items_.size(); }
+
+  void push(T value) {
+    assert(!full() && "FixedQueue overflow");
+    items_.push_back(std::move(value));
+  }
+
+  [[nodiscard]] const T& front() const {
+    assert(!empty());
+    return items_.front();
+  }
+
+  [[nodiscard]] T& front() {
+    assert(!empty());
+    return items_.front();
+  }
+
+  T pop() {
+    assert(!empty());
+    T v = std::move(items_.front());
+    items_.erase(items_.begin());
+    return v;
+  }
+
+  void clear() { items_.clear(); }
+
+  /// Read-only access for trace/debug dumps (index 0 = head).
+  [[nodiscard]] const T& at(std::size_t i) const { return items_.at(i); }
+
+ private:
+  std::size_t capacity_;
+  std::vector<T> items_;
+};
+
+} // namespace sch

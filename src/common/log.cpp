@@ -1,0 +1,22 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace sch {
+
+Logger& Logger::global() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  if (sink_) {
+    sink_(level, message);
+    return;
+  }
+  static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::fprintf(stderr, "[%s] %s\n", kNames[static_cast<int>(level)], message.c_str());
+}
+
+} // namespace sch

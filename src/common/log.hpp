@@ -1,0 +1,34 @@
+// Tiny leveled logger. Simulation components log through this so tests can
+// silence or capture output.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace sch {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  /// Process-wide logger used by default across the library.
+  static Logger& global();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  void log(LogLevel level, const std::string& message);
+  void debug(const std::string& m) { log(LogLevel::kDebug, m); }
+  void info(const std::string& m) { log(LogLevel::kInfo, m); }
+  void warn(const std::string& m) { log(LogLevel::kWarn, m); }
+  void error(const std::string& m) { log(LogLevel::kError, m); }
+
+ private:
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+} // namespace sch

@@ -1,0 +1,38 @@
+#include "common/stats.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace sch {
+
+double geomean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) throw std::invalid_argument("geomean requires positive samples");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+std::vector<double> ratios(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("ratios: size mismatch");
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] / b[i];
+  return out;
+}
+
+double rel_err(double a, double b, double eps) {
+  const double denom = std::max(std::abs(b), eps);
+  return std::abs(a - b) / denom;
+}
+
+} // namespace sch

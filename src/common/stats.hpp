@@ -1,0 +1,22 @@
+// Small statistics helpers used by the benchmark harnesses (geomean speedups,
+// ratios) and by tests.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace sch {
+
+/// Geometric mean of strictly positive samples. Returns 0 for empty input.
+double geomean(std::span<const double> xs);
+
+/// Arithmetic mean. Returns 0 for empty input.
+double mean(std::span<const double> xs);
+
+/// Element-wise ratio a[i]/b[i]; sizes must match.
+std::vector<double> ratios(std::span<const double> a, std::span<const double> b);
+
+/// Relative error |a-b| / max(|b|, eps).
+double rel_err(double a, double b, double eps = 1e-12);
+
+} // namespace sch

@@ -1,0 +1,61 @@
+// Minimal error-reporting vocabulary. The assembler and configuration layers
+// report recoverable user errors through Status/Result; internal invariant
+// violations use assertions.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace sch {
+
+/// A recoverable error with a human-readable message.
+class Status {
+ public:
+  Status() = default; // OK
+  static Status ok() { return {}; }
+  static Status error(std::string message) {
+    Status s;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  [[nodiscard]] bool is_ok() const { return !message_.has_value(); }
+  [[nodiscard]] const std::string& message() const {
+    static const std::string kOk = "OK";
+    return message_ ? *message_ : kOk;
+  }
+
+ private:
+  std::optional<std::string> message_;
+};
+
+/// Value-or-error. Accessing value() on an error throws; callers check ok().
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {} // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) { // NOLINT
+    if (status_.is_ok()) {
+      throw std::logic_error("Result constructed from OK status without value");
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+  [[nodiscard]] const T& value() const& {
+    if (!value_) throw std::runtime_error("Result::value on error: " + status_.message());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    if (!value_) throw std::runtime_error("Result::value on error: " + status_.message());
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+} // namespace sch

@@ -1,0 +1,37 @@
+#include "core/arch_chain.hpp"
+
+#include <vector>
+
+namespace sch::chain {
+
+std::vector<ArchChainFile::DisableEffect> ArchChainFile::set_mask(u32 new_mask) {
+  std::vector<DisableEffect> effects;
+  const u32 old_mask = mask_.value();
+  for (u8 r = 0; r < isa::kNumFpRegs; ++r) {
+    const bool was = ((old_mask >> r) & 1u) != 0;
+    const bool now = ((new_mask >> r) & 1u) != 0;
+    if (was && !now) {
+      DisableEffect e{r, std::nullopt};
+      if (!fifo_[r].empty()) {
+        e.latched_value = fifo_[r].front();
+        fifo_[r].clear();
+      }
+      effects.push_back(e);
+    } else if (!was && now) {
+      fifo_[r].clear(); // stale architectural value is not an element
+    }
+  }
+  mask_.set_value(new_mask);
+  return effects;
+}
+
+void ArchChainFile::push(u8 reg, u64 value) { fifo_[reg].push_back(value); }
+
+std::optional<u64> ArchChainFile::pop(u8 reg) {
+  if (fifo_[reg].empty()) return std::nullopt;
+  const u64 v = fifo_[reg].front();
+  fifo_[reg].pop_front();
+  return v;
+}
+
+} // namespace sch::chain

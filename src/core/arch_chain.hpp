@@ -1,0 +1,52 @@
+// Architectural (timing-free) model of chaining-enabled registers, used by
+// the functional ISS and by property tests as the golden FIFO semantics.
+//
+// The architectural contract is order-only: writes to a chaining-enabled
+// register push, reads pop, values are delivered in program order. Capacity
+// and backpressure are microarchitectural (see sim/chain_unit.hpp) and do
+// not affect the architectural result of a well-formed program.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/chain_config.hpp"
+
+namespace sch::chain {
+
+class ArchChainFile {
+ public:
+  /// Update the mask (CSR write). Newly enabled registers start with an
+  /// empty FIFO (the stale architectural value is not an element). For a
+  /// register being disabled, the oldest unpopped element (if any) becomes
+  /// the architectural register value; remaining elements are discarded.
+  /// Returns the value to latch into each disabled register.
+  struct DisableEffect {
+    u8 reg;
+    std::optional<u64> latched_value;
+  };
+  std::vector<DisableEffect> set_mask(u32 new_mask);
+
+  [[nodiscard]] const ChainMask& mask() const { return mask_; }
+  [[nodiscard]] bool enabled(u8 reg) const { return mask_.enabled(reg); }
+
+  /// Push a produced value (architectural write to an enabled register).
+  void push(u8 reg, u64 value);
+
+  /// Pop the oldest value (architectural read of an enabled register).
+  /// Returns nullopt on underflow: the program reads an empty FIFO with no
+  /// outstanding producer, which is an architectural deadlock.
+  std::optional<u64> pop(u8 reg);
+
+  [[nodiscard]] usize depth(u8 reg) const { return fifo_[reg].size(); }
+  [[nodiscard]] bool empty(u8 reg) const { return fifo_[reg].empty(); }
+
+ private:
+  ChainMask mask_;
+  std::array<std::deque<u64>, isa::kNumFpRegs> fifo_;
+};
+
+} // namespace sch::chain

@@ -1,0 +1,35 @@
+// Scalar-chaining configuration semantics (paper, Section II).
+//
+// CSR 0x7C3 hosts a 32-bit mask, one bit per architectural FP register.
+// Setting bit r gives register fr FIFO semantics: writes push, reads pop,
+// and successive writes carry no WAW dependency. The logical FIFO is the
+// architectural register concatenated with the functional unit's pipeline
+// registers; a per-register valid bit provides backpressure.
+#pragma once
+
+#include "common/types.hpp"
+#include "isa/reg.hpp"
+
+namespace sch::chain {
+
+/// The chain-mask CSR value with convenience accessors.
+class ChainMask {
+ public:
+  ChainMask() = default;
+  explicit ChainMask(u32 mask) : mask_(mask) {}
+
+  [[nodiscard]] u32 value() const { return mask_; }
+  void set_value(u32 mask) { mask_ = mask; }
+
+  [[nodiscard]] bool enabled(u8 fp_reg) const {
+    return fp_reg < isa::kNumFpRegs && ((mask_ >> fp_reg) & 1u) != 0;
+  }
+  void enable(u8 fp_reg) { mask_ |= (1u << fp_reg); }
+  void disable(u8 fp_reg) { mask_ &= ~(1u << fp_reg); }
+  [[nodiscard]] bool any() const { return mask_ != 0; }
+
+ private:
+  u32 mask_ = 0;
+};
+
+} // namespace sch::chain

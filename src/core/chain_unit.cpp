@@ -1,0 +1,39 @@
+#include "core/chain_unit.hpp"
+
+namespace sch::chain {
+
+void ChainUnit::set_mask(u32 new_mask) {
+  const u32 old_mask = mask_.value();
+  for (u8 r = 0; r < isa::kNumFpRegs; ++r) {
+    const bool was = ((old_mask >> r) & 1u) != 0;
+    const bool now = ((new_mask >> r) & 1u) != 0;
+    if (!was && now) {
+      valid_[r] = false; // fresh FIFO: stale value is not an element
+    }
+    // Disabling keeps value_[r] as the architectural register content.
+  }
+  mask_.set_value(new_mask);
+}
+
+void ChainUnit::begin_cycle() {
+  popped_this_cycle_.fill(false);
+  pushed_this_cycle_.fill(false);
+}
+
+u64 ChainUnit::pop(u8 reg) {
+  assert(valid_[reg] && "chain pop of empty register");
+  valid_[reg] = false;
+  popped_this_cycle_[reg] = true;
+  ++stats_.pops;
+  return value_[reg];
+}
+
+void ChainUnit::push(u8 reg, u64 value) {
+  assert(can_push(reg) && "chain push into occupied register");
+  valid_[reg] = true;
+  value_[reg] = value;
+  pushed_this_cycle_[reg] = true;
+  ++stats_.pushes;
+}
+
+} // namespace sch::chain

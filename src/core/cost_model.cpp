@@ -1,0 +1,24 @@
+#include "core/cost_model.hpp"
+
+namespace sch::chain {
+
+CostBreakdown estimate_cost(const CostModelConfig& cfg) {
+  CostBreakdown b;
+  b.valid_bits_ge = cfg.num_fp_regs * cfg.ge_per_ff;
+  b.csr_ge = cfg.num_fp_regs * cfg.ge_per_csr_bit;
+  b.control_ge = cfg.control_ge;
+  b.total_extension_ge = b.valid_bits_ge + b.csr_ge + b.control_ge;
+  b.baseline_ge = (cfg.core_kge + cfg.fp_subsystem_kge + cfg.ssr_kge) * 1000.0;
+  b.overhead_fraction = b.total_extension_ge / b.baseline_ge;
+  return b;
+}
+
+RegisterPressure register_pressure(u32 fifo_depth) {
+  RegisterPressure rp;
+  rp.without_chaining = fifo_depth;   // one architectural register per element
+  rp.with_chaining = 1;               // pipeline registers hold the rest
+  rp.freed = fifo_depth > 0 ? fifo_depth - 1 : 0;
+  return rp;
+}
+
+} // namespace sch::chain

@@ -1,0 +1,58 @@
+// Hardware cost model for the chaining extension (substitute for the paper's
+// Fusion Compiler synthesis run; see DESIGN.md §1). Estimates the storage
+// and control added by the extension in gate equivalents (GE, NAND2-sized)
+// and compares against a published Snitch-class core complexity budget, to
+// reproduce the paper's "<2% cell area increase" claim (Section III).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace sch::chain {
+
+struct CostModelConfig {
+  // Baseline complexity (kGE) of a Snitch compute core with FP subsystem and
+  // 3 SSR streamers. Zaruba et al. (IEEE TC 2021) report the Snitch core at
+  // ~22 kGE with the FP subsystem (FPU + FP RF + sequencer) dominating the
+  // compute-core area at ~95 kGE in comparable configs; SSR streamers add
+  // ~12 kGE. These set the denominator's order of magnitude.
+  double core_kge = 22.0;
+  double fp_subsystem_kge = 95.0;
+  double ssr_kge = 12.0;
+
+  // Technology-independent storage cost: one flip-flop with mux ~ 8 GE;
+  // one bit of CSR (write-enable + read mux) ~ 10 GE.
+  double ge_per_ff = 8.0;
+  double ge_per_csr_bit = 10.0;
+
+  // Control overhead: pop/push handshake, WAW-bypass in the scoreboard,
+  // issue-stage operand select, backpressure gating. Estimated as
+  // comparator/mux trees over 5-bit register indices per FPU operand port.
+  double control_ge = 650.0;
+
+  u32 num_fp_regs = 32;
+};
+
+struct CostBreakdown {
+  double valid_bits_ge = 0;   // 32 valid bits
+  double csr_ge = 0;          // 32-bit chain-mask CSR
+  double control_ge = 0;
+  double total_extension_ge = 0;
+  double baseline_ge = 0;
+  double overhead_fraction = 0;  // extension / baseline
+};
+
+/// Compute the extension cost against the baseline core budget.
+CostBreakdown estimate_cost(const CostModelConfig& config = {});
+
+/// Register-pressure accounting used by the kernel reports: number of
+/// architectural FP registers a software FIFO of `depth` elements would
+/// occupy without chaining (the unrolling alternative, Fig. 1b) versus with
+/// chaining (always 1).
+struct RegisterPressure {
+  u32 without_chaining;
+  u32 with_chaining;
+  u32 freed;
+};
+RegisterPressure register_pressure(u32 fifo_depth);
+
+} // namespace sch::chain

@@ -1,0 +1,25 @@
+#include "energy/activity.hpp"
+
+namespace sch::energy {
+
+ActivityCounts collect_activity(const sim::Simulator& simulator) {
+  ActivityCounts a;
+  const TcdmStats& t = simulator.tcdm().stats();
+  a.tcdm_reads = t.reads;
+  a.tcdm_writes = t.writes;
+  for (u32 i = 0; i < ssr::kNumSsrs; ++i) {
+    const ssr::Streamer::Stats& s = simulator.fp().streamer(i).stats();
+    a.ssr_elements += s.elements_popped + s.elements_pushed;
+  }
+  const chain::ChainUnit::Stats& c = simulator.fp().chain().stats();
+  a.chain_ops = c.pushes + c.pops;
+  a.seq_replays = simulator.fp().sequencer().stats().replayed_ops;
+  return a;
+}
+
+EnergyReport evaluate_run(const sim::Simulator& simulator,
+                          const EnergyConfig& config) {
+  return evaluate(simulator.perf(), collect_activity(simulator), config);
+}
+
+} // namespace sch::energy

@@ -1,0 +1,17 @@
+// Collects the activity counts the energy model needs from a finished
+// simulation (TCDM stats, streamer element traffic, chain and sequencer
+// activity).
+#pragma once
+
+#include "energy/energy_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace sch::energy {
+
+ActivityCounts collect_activity(const sim::Simulator& simulator);
+
+/// One-call convenience: evaluate the energy model over a finished run.
+EnergyReport evaluate_run(const sim::Simulator& simulator,
+                          const EnergyConfig& config = {});
+
+} // namespace sch::energy

@@ -1,0 +1,74 @@
+#include "energy/energy_model.hpp"
+
+#include <sstream>
+
+namespace sch::energy {
+
+EnergyReport evaluate(const sim::PerfCounters& perf,
+                      const ActivityCounts& activity,
+                      const EnergyConfig& cfg) {
+  EnergyBreakdown b;
+  const double cycles = static_cast<double>(perf.cycles);
+
+  b.base_pj = cycles * cfg.e_cycle_base_pj;
+
+  b.int_core_pj =
+      static_cast<double>(perf.int_instrs + perf.offloads) * cfg.e_int_issue_pj +
+      static_cast<double>(perf.int_alu_ops) * cfg.e_int_alu_pj +
+      static_cast<double>(perf.int_mul_ops) * cfg.e_int_mul_pj +
+      static_cast<double>(perf.int_div_ops) * cfg.e_int_div_pj +
+      static_cast<double>(perf.branches) * cfg.e_branch_pj +
+      static_cast<double>(perf.csr_ops) * cfg.e_csr_pj;
+
+  b.fpu_pj = static_cast<double>(perf.fp_mac_ops) * cfg.e_fp_mac_pj +
+             static_cast<double>(perf.fp_div_ops) * cfg.e_fp_div_pj +
+             static_cast<double>(perf.fp_instrs) * cfg.e_fp_issue_pj;
+
+  b.tcdm_pj = static_cast<double>(activity.tcdm_reads) * cfg.e_tcdm_read_pj +
+              static_cast<double>(activity.tcdm_writes) * cfg.e_tcdm_write_pj;
+
+  b.rf_pj = static_cast<double>(perf.rf_int_reads) * cfg.e_rf_int_read_pj +
+            static_cast<double>(perf.rf_int_writes) * cfg.e_rf_int_write_pj +
+            static_cast<double>(perf.rf_fp_reads) * cfg.e_rf_fp_read_pj +
+            static_cast<double>(perf.rf_fp_writes) * cfg.e_rf_fp_write_pj;
+
+  b.ssr_pj = static_cast<double>(activity.ssr_elements) * cfg.e_ssr_elem_pj;
+  b.chain_pj = static_cast<double>(activity.chain_ops) * cfg.e_chain_op_pj +
+               static_cast<double>(activity.seq_replays) * cfg.e_seq_replay_pj;
+
+  EnergyReport r;
+  r.time_s = cycles / cfg.f_clk_hz;
+  b.static_pj = cfg.p_static_mw * 1e-3 /*W*/ * r.time_s * 1e12;
+
+  b.total_pj = b.base_pj + b.static_pj + b.int_core_pj + b.fpu_pj + b.tcdm_pj +
+               b.rf_pj + b.ssr_pj + b.chain_pj;
+  r.breakdown = b;
+  r.energy_per_cycle_pj = perf.cycles == 0 ? 0 : b.total_pj / cycles;
+  r.power_mw = r.time_s == 0 ? 0 : b.total_pj * 1e-12 / r.time_s * 1e3;
+  r.fpu_ops_per_joule =
+      b.total_pj == 0 ? 0 : static_cast<double>(perf.fpu_ops) / (b.total_pj * 1e-12);
+  return r;
+}
+
+std::string format_report(const EnergyReport& r) {
+  std::ostringstream os;
+  const EnergyBreakdown& b = r.breakdown;
+  auto line = [&os, &b](const char* name, double pj) {
+    os << "  " << name << ": " << pj * 1e-3 << " nJ ("
+       << (b.total_pj > 0 ? 100.0 * pj / b.total_pj : 0.0) << "%)\n";
+  };
+  os << "energy breakdown:\n";
+  line("base/clock ", b.base_pj);
+  line("static     ", b.static_pj);
+  line("int core   ", b.int_core_pj);
+  line("fpu        ", b.fpu_pj);
+  line("tcdm       ", b.tcdm_pj);
+  line("reg files  ", b.rf_pj);
+  line("ssr        ", b.ssr_pj);
+  line("chain/seq  ", b.chain_pj);
+  os << "  total      : " << b.total_pj * 1e-3 << " nJ\n";
+  os << "power: " << r.power_mw << " mW @ " << r.time_s * 1e6 << " us\n";
+  return os.str();
+}
+
+} // namespace sch::energy

@@ -1,0 +1,32 @@
+// Control-and-status-register addresses, including the custom extension CSRs.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace sch::isa::csr {
+
+// Standard user-level FP CSRs.
+inline constexpr u32 kFflags = 0x001;
+inline constexpr u32 kFrm = 0x002;
+inline constexpr u32 kFcsr = 0x003;
+
+// Standard counters.
+inline constexpr u32 kCycle = 0xC00;
+inline constexpr u32 kInstret = 0xC02;
+inline constexpr u32 kMcycle = 0xB00;
+inline constexpr u32 kMinstret = 0xB02;
+inline constexpr u32 kMhartid = 0xF14;
+
+// Snitch-style custom extension CSRs.
+/// Stream-semantic-register global enable (bit 0), as in Snitch.
+inline constexpr u32 kSsrEnable = 0x7C0;
+/// Scalar-chaining register mask: one bit per architectural FP register
+/// (paper, Section II: "a custom CSR (at address 0x7c3) hosting a 32-bit
+/// mask ... to dynamically enable and disable chaining").
+inline constexpr u32 kChainMask = 0x7C3;
+
+/// True when `addr` is one of the custom stream/chaining CSRs whose writes
+/// must be serialized against in-flight FP-subsystem work.
+constexpr bool is_stream_csr(u32 addr) { return addr >= 0x7C0 && addr <= 0x7CF; }
+
+} // namespace sch::isa::csr

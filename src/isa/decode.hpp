@@ -1,0 +1,13 @@
+// Instruction decoding: 32-bit word -> Instr.
+#pragma once
+
+#include "common/types.hpp"
+#include "isa/instr.hpp"
+
+namespace sch::isa {
+
+/// Decode a 32-bit instruction word. Unknown encodings yield
+/// Instr{.mn = Mnemonic::kInvalid} with `raw` preserved.
+Instr decode(u32 word);
+
+} // namespace sch::isa

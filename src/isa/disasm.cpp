@@ -1,0 +1,85 @@
+#include "isa/disasm.hpp"
+
+#include <sstream>
+
+#include "isa/decode.hpp"
+#include "isa/reg.hpp"
+
+namespace sch::isa {
+namespace {
+
+std::string reg_name(RegClass cls, u8 r) {
+  switch (cls) {
+    case RegClass::kInt: return std::string(int_reg_name(r));
+    case RegClass::kFp: return std::string(fp_reg_name(r));
+    default: return "?";
+  }
+}
+
+} // namespace
+
+std::string disassemble(const Instr& in) {
+  const MnemonicInfo& mi = in.meta();
+  std::ostringstream os;
+  os << mi.name;
+  if (!in.valid()) return os.str();
+
+  auto rd = [&] { return reg_name(mi.rd, in.rd); };
+  auto rs1 = [&] { return reg_name(mi.rs1, in.rs1); };
+  auto rs2 = [&] { return reg_name(mi.rs2, in.rs2); };
+  auto rs3 = [&] { return reg_name(mi.rs3, in.rs3); };
+
+  switch (mi.fmt) {
+    case Format::kR:
+      if (mi.rs2 == RegClass::kNone) {
+        os << " " << rd() << ", " << rs1();
+      } else {
+        os << " " << rd() << ", " << rs1() << ", " << rs2();
+      }
+      break;
+    case Format::kR4:
+      os << " " << rd() << ", " << rs1() << ", " << rs2() << ", " << rs3();
+      break;
+    case Format::kI:
+      if (mi.exec == ExecClass::kLoad || mi.exec == ExecClass::kFpLoad ||
+          in.mn == Mnemonic::kJalr) {
+        os << " " << rd() << ", " << in.imm << "(" << rs1() << ")";
+      } else if (in.mn == Mnemonic::kFrepO || in.mn == Mnemonic::kFrepI) {
+        os << " " << rs1() << ", " << in.imm;
+      } else if (in.mn == Mnemonic::kScfgw) {
+        os << " " << rs1() << ", " << in.imm;
+      } else if (in.mn == Mnemonic::kScfgr) {
+        os << " " << rd() << ", " << in.imm;
+      } else {
+        os << " " << rd() << ", " << rs1() << ", " << in.imm;
+      }
+      break;
+    case Format::kS:
+      os << " " << rs2() << ", " << in.imm << "(" << rs1() << ")";
+      break;
+    case Format::kB:
+      os << " " << rs1() << ", " << rs2() << ", " << in.imm;
+      break;
+    case Format::kU:
+      os << " " << rd() << ", 0x" << std::hex << in.imm;
+      break;
+    case Format::kJ:
+      os << " " << rd() << ", " << in.imm;
+      break;
+    case Format::kCsr:
+      os << " " << rd() << ", 0x" << std::hex << in.imm << std::dec << ", "
+         << reg_name(RegClass::kInt, in.rs1);
+      break;
+    case Format::kCsrI:
+      os << " " << rd() << ", 0x" << std::hex << in.imm << std::dec << ", "
+         << static_cast<int>(in.rs1);
+      break;
+    case Format::kNone:
+      break;
+  }
+  return os.str();
+}
+
+std::string disassemble(u32 word) { return disassemble(decode(word)); }
+
+} // namespace sch::isa

@@ -1,0 +1,18 @@
+// Disassembler: Instr -> canonical assembly text (the same spelling the
+// assembler accepts, enabling text round-trip tests).
+#pragma once
+
+#include <string>
+
+#include "isa/instr.hpp"
+
+namespace sch::isa {
+
+/// Render `instr` as assembly text, e.g. "fmadd.d ft3, ft0, ft1, ft3".
+/// Branch/jump targets are shown as relative byte offsets.
+std::string disassemble(const Instr& instr);
+
+/// Decode and render a raw instruction word.
+std::string disassemble(u32 word);
+
+} // namespace sch::isa

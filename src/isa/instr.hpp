@@ -1,0 +1,34 @@
+// Decoded-instruction value type shared by the ISS, timing model, assembler
+// and disassembler.
+#pragma once
+
+#include "common/types.hpp"
+#include "isa/opcode.hpp"
+
+namespace sch::isa {
+
+/// A fully decoded instruction. `imm` holds the sign-extended immediate;
+/// for CSR instructions it holds the CSR address (zero-extended) and `rs1`
+/// doubles as the 5-bit zimm for the immediate forms. For shifts it holds
+/// the shamt. For frep it holds the body-length field.
+struct Instr {
+  Mnemonic mn = Mnemonic::kInvalid;
+  u8 rd = 0;
+  u8 rs1 = 0;
+  u8 rs2 = 0;
+  u8 rs3 = 0;
+  i32 imm = 0;
+  u8 rm = 0;      // FP rounding-mode field (funct3) where applicable
+  u32 raw = 0;    // original encoding word (0 if synthesized)
+
+  [[nodiscard]] const MnemonicInfo& meta() const { return info(mn); }
+  [[nodiscard]] bool valid() const { return mn != Mnemonic::kInvalid; }
+
+  bool operator==(const Instr& other) const {
+    return mn == other.mn && rd == other.rd && rs1 == other.rs1 &&
+           rs2 == other.rs2 && rs3 == other.rs3 && imm == other.imm &&
+           rm == other.rm;
+  }
+};
+
+} // namespace sch::isa

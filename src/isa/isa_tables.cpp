@@ -1,0 +1,160 @@
+#include "isa/opcode.hpp"
+
+#include <array>
+
+namespace sch::isa {
+namespace {
+
+using M = Mnemonic;
+using F = Format;
+using R = RegClass;
+using E = ExecClass;
+
+constexpr usize kCount = static_cast<usize>(M::kCount);
+
+constexpr std::array<MnemonicInfo, kCount> build_table() {
+  std::array<MnemonicInfo, kCount> t{};
+  auto set = [&t](M mn, MnemonicInfo inf) { t[static_cast<usize>(mn)] = inf; };
+
+  set(M::kInvalid, {"<invalid>", F::kNone, R::kNone, R::kNone, R::kNone, R::kNone, E::kSystem, false, 0, false});
+
+  // RV32I -------------------------------------------------------------------
+  set(M::kLui,   {"lui",   F::kU, R::kInt, R::kNone, R::kNone, R::kNone, E::kIntAlu, false, 0, false});
+  set(M::kAuipc, {"auipc", F::kU, R::kInt, R::kNone, R::kNone, R::kNone, E::kIntAlu, false, 0, false});
+  set(M::kJal,   {"jal",   F::kJ, R::kInt, R::kNone, R::kNone, R::kNone, E::kJump,   false, 0, false});
+  set(M::kJalr,  {"jalr",  F::kI, R::kInt, R::kInt,  R::kNone, R::kNone, E::kJump,   false, 0, false});
+  set(M::kBeq,   {"beq",   F::kB, R::kNone, R::kInt, R::kInt, R::kNone, E::kBranch, false, 0, false});
+  set(M::kBne,   {"bne",   F::kB, R::kNone, R::kInt, R::kInt, R::kNone, E::kBranch, false, 0, false});
+  set(M::kBlt,   {"blt",   F::kB, R::kNone, R::kInt, R::kInt, R::kNone, E::kBranch, false, 0, false});
+  set(M::kBge,   {"bge",   F::kB, R::kNone, R::kInt, R::kInt, R::kNone, E::kBranch, false, 0, false});
+  set(M::kBltu,  {"bltu",  F::kB, R::kNone, R::kInt, R::kInt, R::kNone, E::kBranch, false, 0, false});
+  set(M::kBgeu,  {"bgeu",  F::kB, R::kNone, R::kInt, R::kInt, R::kNone, E::kBranch, false, 0, false});
+  set(M::kLb,    {"lb",    F::kI, R::kInt, R::kInt, R::kNone, R::kNone, E::kLoad,  false, 1, false});
+  set(M::kLh,    {"lh",    F::kI, R::kInt, R::kInt, R::kNone, R::kNone, E::kLoad,  false, 2, false});
+  set(M::kLw,    {"lw",    F::kI, R::kInt, R::kInt, R::kNone, R::kNone, E::kLoad,  false, 4, false});
+  set(M::kLbu,   {"lbu",   F::kI, R::kInt, R::kInt, R::kNone, R::kNone, E::kLoad,  false, 1, false});
+  set(M::kLhu,   {"lhu",   F::kI, R::kInt, R::kInt, R::kNone, R::kNone, E::kLoad,  false, 2, false});
+  set(M::kSb,    {"sb",    F::kS, R::kNone, R::kInt, R::kInt, R::kNone, E::kStore, false, 1, false});
+  set(M::kSh,    {"sh",    F::kS, R::kNone, R::kInt, R::kInt, R::kNone, E::kStore, false, 2, false});
+  set(M::kSw,    {"sw",    F::kS, R::kNone, R::kInt, R::kInt, R::kNone, E::kStore, false, 4, false});
+  set(M::kAddi,  {"addi",  F::kI, R::kInt, R::kInt, R::kNone, R::kNone, E::kIntAlu, false, 0, false});
+  set(M::kSlti,  {"slti",  F::kI, R::kInt, R::kInt, R::kNone, R::kNone, E::kIntAlu, false, 0, false});
+  set(M::kSltiu, {"sltiu", F::kI, R::kInt, R::kInt, R::kNone, R::kNone, E::kIntAlu, false, 0, false});
+  set(M::kXori,  {"xori",  F::kI, R::kInt, R::kInt, R::kNone, R::kNone, E::kIntAlu, false, 0, false});
+  set(M::kOri,   {"ori",   F::kI, R::kInt, R::kInt, R::kNone, R::kNone, E::kIntAlu, false, 0, false});
+  set(M::kAndi,  {"andi",  F::kI, R::kInt, R::kInt, R::kNone, R::kNone, E::kIntAlu, false, 0, false});
+  set(M::kSlli,  {"slli",  F::kI, R::kInt, R::kInt, R::kNone, R::kNone, E::kIntAlu, false, 0, false});
+  set(M::kSrli,  {"srli",  F::kI, R::kInt, R::kInt, R::kNone, R::kNone, E::kIntAlu, false, 0, false});
+  set(M::kSrai,  {"srai",  F::kI, R::kInt, R::kInt, R::kNone, R::kNone, E::kIntAlu, false, 0, false});
+  set(M::kAdd,   {"add",   F::kR, R::kInt, R::kInt, R::kInt, R::kNone, E::kIntAlu, false, 0, false});
+  set(M::kSub,   {"sub",   F::kR, R::kInt, R::kInt, R::kInt, R::kNone, E::kIntAlu, false, 0, false});
+  set(M::kSll,   {"sll",   F::kR, R::kInt, R::kInt, R::kInt, R::kNone, E::kIntAlu, false, 0, false});
+  set(M::kSlt,   {"slt",   F::kR, R::kInt, R::kInt, R::kInt, R::kNone, E::kIntAlu, false, 0, false});
+  set(M::kSltu,  {"sltu",  F::kR, R::kInt, R::kInt, R::kInt, R::kNone, E::kIntAlu, false, 0, false});
+  set(M::kXor,   {"xor",   F::kR, R::kInt, R::kInt, R::kInt, R::kNone, E::kIntAlu, false, 0, false});
+  set(M::kSrl,   {"srl",   F::kR, R::kInt, R::kInt, R::kInt, R::kNone, E::kIntAlu, false, 0, false});
+  set(M::kSra,   {"sra",   F::kR, R::kInt, R::kInt, R::kInt, R::kNone, E::kIntAlu, false, 0, false});
+  set(M::kOr,    {"or",    F::kR, R::kInt, R::kInt, R::kInt, R::kNone, E::kIntAlu, false, 0, false});
+  set(M::kAnd,   {"and",   F::kR, R::kInt, R::kInt, R::kInt, R::kNone, E::kIntAlu, false, 0, false});
+  set(M::kFence, {"fence", F::kNone, R::kNone, R::kNone, R::kNone, R::kNone, E::kSystem, false, 0, false});
+  set(M::kEcall, {"ecall", F::kNone, R::kNone, R::kNone, R::kNone, R::kNone, E::kSystem, false, 0, false});
+  set(M::kEbreak,{"ebreak",F::kNone, R::kNone, R::kNone, R::kNone, R::kNone, E::kSystem, false, 0, false});
+
+  // RV32M -------------------------------------------------------------------
+  set(M::kMul,    {"mul",    F::kR, R::kInt, R::kInt, R::kInt, R::kNone, E::kIntMul, false, 0, false});
+  set(M::kMulh,   {"mulh",   F::kR, R::kInt, R::kInt, R::kInt, R::kNone, E::kIntMul, false, 0, false});
+  set(M::kMulhsu, {"mulhsu", F::kR, R::kInt, R::kInt, R::kInt, R::kNone, E::kIntMul, false, 0, false});
+  set(M::kMulhu,  {"mulhu",  F::kR, R::kInt, R::kInt, R::kInt, R::kNone, E::kIntMul, false, 0, false});
+  set(M::kDiv,    {"div",    F::kR, R::kInt, R::kInt, R::kInt, R::kNone, E::kIntDiv, false, 0, false});
+  set(M::kDivu,   {"divu",   F::kR, R::kInt, R::kInt, R::kInt, R::kNone, E::kIntDiv, false, 0, false});
+  set(M::kRem,    {"rem",    F::kR, R::kInt, R::kInt, R::kInt, R::kNone, E::kIntDiv, false, 0, false});
+  set(M::kRemu,   {"remu",   F::kR, R::kInt, R::kInt, R::kInt, R::kNone, E::kIntDiv, false, 0, false});
+
+  // Zicsr -------------------------------------------------------------------
+  set(M::kCsrrw,  {"csrrw",  F::kCsr,  R::kInt, R::kInt,  R::kNone, R::kNone, E::kCsr, false, 0, false});
+  set(M::kCsrrs,  {"csrrs",  F::kCsr,  R::kInt, R::kInt,  R::kNone, R::kNone, E::kCsr, false, 0, false});
+  set(M::kCsrrc,  {"csrrc",  F::kCsr,  R::kInt, R::kInt,  R::kNone, R::kNone, E::kCsr, false, 0, false});
+  set(M::kCsrrwi, {"csrrwi", F::kCsrI, R::kInt, R::kNone, R::kNone, R::kNone, E::kCsr, false, 0, false});
+  set(M::kCsrrsi, {"csrrsi", F::kCsrI, R::kInt, R::kNone, R::kNone, R::kNone, E::kCsr, false, 0, false});
+  set(M::kCsrrci, {"csrrci", F::kCsrI, R::kInt, R::kNone, R::kNone, R::kNone, E::kCsr, false, 0, false});
+
+  // RV32F -------------------------------------------------------------------
+  set(M::kFlw,    {"flw",    F::kI, R::kFp, R::kInt, R::kNone, R::kNone, E::kFpLoad,  true, 4, true});
+  set(M::kFsw,    {"fsw",    F::kS, R::kNone, R::kInt, R::kFp, R::kNone, E::kFpStore, true, 4, true});
+  set(M::kFmaddS, {"fmadd.s", F::kR4, R::kFp, R::kFp, R::kFp, R::kFp,   E::kFpMac, true, 0, true});
+  set(M::kFmsubS, {"fmsub.s", F::kR4, R::kFp, R::kFp, R::kFp, R::kFp,   E::kFpMac, true, 0, true});
+  set(M::kFnmsubS,{"fnmsub.s",F::kR4, R::kFp, R::kFp, R::kFp, R::kFp,   E::kFpMac, true, 0, true});
+  set(M::kFnmaddS,{"fnmadd.s",F::kR4, R::kFp, R::kFp, R::kFp, R::kFp,   E::kFpMac, true, 0, true});
+  set(M::kFaddS,  {"fadd.s",  F::kR,  R::kFp, R::kFp, R::kFp, R::kNone, E::kFpMac, true, 0, true});
+  set(M::kFsubS,  {"fsub.s",  F::kR,  R::kFp, R::kFp, R::kFp, R::kNone, E::kFpMac, true, 0, true});
+  set(M::kFmulS,  {"fmul.s",  F::kR,  R::kFp, R::kFp, R::kFp, R::kNone, E::kFpMac, true, 0, true});
+  set(M::kFdivS,  {"fdiv.s",  F::kR,  R::kFp, R::kFp, R::kFp, R::kNone, E::kFpDiv, true, 0, true});
+  set(M::kFsqrtS, {"fsqrt.s", F::kR,  R::kFp, R::kFp, R::kNone, R::kNone, E::kFpSqrt, true, 0, true});
+  set(M::kFsgnjS, {"fsgnj.s", F::kR,  R::kFp, R::kFp, R::kFp, R::kNone, E::kFpMac, true, 0, true});
+  set(M::kFsgnjnS,{"fsgnjn.s",F::kR,  R::kFp, R::kFp, R::kFp, R::kNone, E::kFpMac, true, 0, true});
+  set(M::kFsgnjxS,{"fsgnjx.s",F::kR,  R::kFp, R::kFp, R::kFp, R::kNone, E::kFpMac, true, 0, true});
+  set(M::kFminS,  {"fmin.s",  F::kR,  R::kFp, R::kFp, R::kFp, R::kNone, E::kFpMac, true, 0, true});
+  set(M::kFmaxS,  {"fmax.s",  F::kR,  R::kFp, R::kFp, R::kFp, R::kNone, E::kFpMac, true, 0, true});
+  set(M::kFcvtWS, {"fcvt.w.s", F::kR, R::kInt, R::kFp, R::kNone, R::kNone, E::kFpCvtF2I, true, 0, true});
+  set(M::kFcvtWuS,{"fcvt.wu.s",F::kR, R::kInt, R::kFp, R::kNone, R::kNone, E::kFpCvtF2I, true, 0, true});
+  set(M::kFmvXW,  {"fmv.x.w", F::kR,  R::kInt, R::kFp, R::kNone, R::kNone, E::kFpCvtF2I, true, 0, true});
+  set(M::kFeqS,   {"feq.s",   F::kR,  R::kInt, R::kFp, R::kFp, R::kNone, E::kFpCmp, true, 0, true});
+  set(M::kFltS,   {"flt.s",   F::kR,  R::kInt, R::kFp, R::kFp, R::kNone, E::kFpCmp, true, 0, true});
+  set(M::kFleS,   {"fle.s",   F::kR,  R::kInt, R::kFp, R::kFp, R::kNone, E::kFpCmp, true, 0, true});
+  set(M::kFclassS,{"fclass.s",F::kR,  R::kInt, R::kFp, R::kNone, R::kNone, E::kFpCmp, true, 0, true});
+  set(M::kFcvtSW, {"fcvt.s.w", F::kR, R::kFp, R::kInt, R::kNone, R::kNone, E::kFpCvtI2F, true, 0, true});
+  set(M::kFcvtSWu,{"fcvt.s.wu",F::kR, R::kFp, R::kInt, R::kNone, R::kNone, E::kFpCvtI2F, true, 0, true});
+  set(M::kFmvWX,  {"fmv.w.x",  F::kR, R::kFp, R::kInt, R::kNone, R::kNone, E::kFpCvtI2F, true, 0, true});
+
+  // RV32D -------------------------------------------------------------------
+  set(M::kFld,    {"fld",    F::kI, R::kFp, R::kInt, R::kNone, R::kNone, E::kFpLoad,  true, 8, false});
+  set(M::kFsd,    {"fsd",    F::kS, R::kNone, R::kInt, R::kFp, R::kNone, E::kFpStore, true, 8, false});
+  set(M::kFmaddD, {"fmadd.d", F::kR4, R::kFp, R::kFp, R::kFp, R::kFp,   E::kFpMac, true, 0, false});
+  set(M::kFmsubD, {"fmsub.d", F::kR4, R::kFp, R::kFp, R::kFp, R::kFp,   E::kFpMac, true, 0, false});
+  set(M::kFnmsubD,{"fnmsub.d",F::kR4, R::kFp, R::kFp, R::kFp, R::kFp,   E::kFpMac, true, 0, false});
+  set(M::kFnmaddD,{"fnmadd.d",F::kR4, R::kFp, R::kFp, R::kFp, R::kFp,   E::kFpMac, true, 0, false});
+  set(M::kFaddD,  {"fadd.d",  F::kR,  R::kFp, R::kFp, R::kFp, R::kNone, E::kFpMac, true, 0, false});
+  set(M::kFsubD,  {"fsub.d",  F::kR,  R::kFp, R::kFp, R::kFp, R::kNone, E::kFpMac, true, 0, false});
+  set(M::kFmulD,  {"fmul.d",  F::kR,  R::kFp, R::kFp, R::kFp, R::kNone, E::kFpMac, true, 0, false});
+  set(M::kFdivD,  {"fdiv.d",  F::kR,  R::kFp, R::kFp, R::kFp, R::kNone, E::kFpDiv, true, 0, false});
+  set(M::kFsqrtD, {"fsqrt.d", F::kR,  R::kFp, R::kFp, R::kNone, R::kNone, E::kFpSqrt, true, 0, false});
+  set(M::kFsgnjD, {"fsgnj.d", F::kR,  R::kFp, R::kFp, R::kFp, R::kNone, E::kFpMac, true, 0, false});
+  set(M::kFsgnjnD,{"fsgnjn.d",F::kR,  R::kFp, R::kFp, R::kFp, R::kNone, E::kFpMac, true, 0, false});
+  set(M::kFsgnjxD,{"fsgnjx.d",F::kR,  R::kFp, R::kFp, R::kFp, R::kNone, E::kFpMac, true, 0, false});
+  set(M::kFminD,  {"fmin.d",  F::kR,  R::kFp, R::kFp, R::kFp, R::kNone, E::kFpMac, true, 0, false});
+  set(M::kFmaxD,  {"fmax.d",  F::kR,  R::kFp, R::kFp, R::kFp, R::kNone, E::kFpMac, true, 0, false});
+  set(M::kFcvtSD, {"fcvt.s.d", F::kR, R::kFp, R::kFp, R::kNone, R::kNone, E::kFpMac, true, 0, true});
+  set(M::kFcvtDS, {"fcvt.d.s", F::kR, R::kFp, R::kFp, R::kNone, R::kNone, E::kFpMac, true, 0, false});
+  set(M::kFeqD,   {"feq.d",   F::kR,  R::kInt, R::kFp, R::kFp, R::kNone, E::kFpCmp, true, 0, false});
+  set(M::kFltD,   {"flt.d",   F::kR,  R::kInt, R::kFp, R::kFp, R::kNone, E::kFpCmp, true, 0, false});
+  set(M::kFleD,   {"fle.d",   F::kR,  R::kInt, R::kFp, R::kFp, R::kNone, E::kFpCmp, true, 0, false});
+  set(M::kFclassD,{"fclass.d",F::kR,  R::kInt, R::kFp, R::kNone, R::kNone, E::kFpCmp, true, 0, false});
+  set(M::kFcvtWD, {"fcvt.w.d", F::kR, R::kInt, R::kFp, R::kNone, R::kNone, E::kFpCvtF2I, true, 0, false});
+  set(M::kFcvtWuD,{"fcvt.wu.d",F::kR, R::kInt, R::kFp, R::kNone, R::kNone, E::kFpCvtF2I, true, 0, false});
+  set(M::kFcvtDW, {"fcvt.d.w", F::kR, R::kFp, R::kInt, R::kNone, R::kNone, E::kFpCvtI2F, true, 0, false});
+  set(M::kFcvtDWu,{"fcvt.d.wu",F::kR, R::kFp, R::kInt, R::kNone, R::kNone, E::kFpCvtI2F, true, 0, false});
+
+  // Custom extensions -------------------------------------------------------
+  // frep.o rs1, imm: repeat the next `imm` FP instructions (rs1)+1 times.
+  set(M::kFrepO, {"frep.o", F::kI, R::kNone, R::kInt, R::kNone, R::kNone, E::kFrep, true, 0, false});
+  set(M::kFrepI, {"frep.i", F::kI, R::kNone, R::kInt, R::kNone, R::kNone, E::kFrep, true, 0, false});
+  // scfgw rs1, imm: write SSR config word `imm` with the value of rs1.
+  set(M::kScfgw, {"scfgw", F::kI, R::kNone, R::kInt, R::kNone, R::kNone, E::kScfg, false, 0, false});
+  // scfgr rd, imm: read SSR config word `imm` into rd.
+  set(M::kScfgr, {"scfgr", F::kI, R::kInt, R::kNone, R::kNone, R::kNone, E::kScfg, false, 0, false});
+
+  return t;
+}
+
+const std::array<MnemonicInfo, kCount> kTable = build_table();
+
+} // namespace
+
+const MnemonicInfo& info(Mnemonic mn) {
+  const auto idx = static_cast<usize>(mn);
+  return kTable[idx < kCount ? idx : 0];
+}
+
+std::string_view name(Mnemonic mn) { return info(mn).name; }
+
+} // namespace sch::isa

@@ -1,0 +1,107 @@
+// Mnemonic-level instruction vocabulary and static metadata. The metadata
+// table drives the decoder, encoder, disassembler, functional ISS and the
+// timing model, so instruction behaviour is defined in exactly one place.
+#pragma once
+
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace sch::isa {
+
+/// Every instruction the core understands. RV32IMFD + Zicsr + the custom
+/// Xfrep (hardware loop), Xssr (stream config) extensions.
+enum class Mnemonic : u16 {
+  kInvalid = 0,
+  // --- RV32I ---
+  kLui, kAuipc, kJal, kJalr,
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kLb, kLh, kLw, kLbu, kLhu,
+  kSb, kSh, kSw,
+  kAddi, kSlti, kSltiu, kXori, kOri, kAndi, kSlli, kSrli, kSrai,
+  kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
+  kFence, kEcall, kEbreak,
+  // --- RV32M ---
+  kMul, kMulh, kMulhsu, kMulhu, kDiv, kDivu, kRem, kRemu,
+  // --- Zicsr ---
+  kCsrrw, kCsrrs, kCsrrc, kCsrrwi, kCsrrsi, kCsrrci,
+  // --- RV32F ---
+  kFlw, kFsw,
+  kFmaddS, kFmsubS, kFnmsubS, kFnmaddS,
+  kFaddS, kFsubS, kFmulS, kFdivS, kFsqrtS,
+  kFsgnjS, kFsgnjnS, kFsgnjxS, kFminS, kFmaxS,
+  kFcvtWS, kFcvtWuS, kFmvXW, kFeqS, kFltS, kFleS, kFclassS,
+  kFcvtSW, kFcvtSWu, kFmvWX,
+  // --- RV32D ---
+  kFld, kFsd,
+  kFmaddD, kFmsubD, kFnmsubD, kFnmaddD,
+  kFaddD, kFsubD, kFmulD, kFdivD, kFsqrtD,
+  kFsgnjD, kFsgnjnD, kFsgnjxD, kFminD, kFmaxD,
+  kFcvtSD, kFcvtDS, kFeqD, kFltD, kFleD, kFclassD,
+  kFcvtWD, kFcvtWuD, kFcvtDW, kFcvtDWu,
+  // --- Xfrep (Snitch-style FP hardware loop) ---
+  kFrepO, kFrepI,
+  // --- Xssr (stream configuration) ---
+  kScfgw, kScfgr,
+
+  kCount,
+};
+
+/// Instruction encoding formats (RISC-V manual nomenclature).
+enum class Format : u8 { kR, kR4, kI, kS, kB, kU, kJ, kCsr, kCsrI, kNone };
+
+/// Register-file class of an operand slot.
+enum class RegClass : u8 { kNone, kInt, kFp };
+
+/// Execution resource / latency class, consumed by the timing model.
+enum class ExecClass : u8 {
+  kIntAlu,    // 1-cycle integer ops, lui/auipc
+  kIntMul,    // pipelined integer multiply
+  kIntDiv,    // iterative integer divide
+  kLoad,      // integer load
+  kStore,     // integer store
+  kBranch,    // conditional branch
+  kJump,      // jal/jalr
+  kCsr,       // CSR access
+  kSystem,    // fence/ecall/ebreak
+  kFpMac,     // pipelined FP compute (add/sub/mul/fma/sgnj/minmax/cvt f<->f)
+  kFpDiv,     // iterative FP divide
+  kFpSqrt,    // iterative FP square root
+  kFpCmp,     // FP compare/classify -> integer result
+  kFpCvtF2I,  // FP -> int conversions / fmv.x.w
+  kFpCvtI2F,  // int -> FP conversions / fmv.w.x
+  kFpLoad,    // flw/fld (FP-domain, address from integer rs1)
+  kFpStore,   // fsw/fsd
+  kFrep,      // hardware-loop marker (consumed by the sequencer)
+  kScfg,      // stream config access
+};
+
+/// Static description of one mnemonic.
+struct MnemonicInfo {
+  std::string_view name;  // canonical assembly spelling, e.g. "fmadd.d"
+  Format fmt = Format::kNone;
+  RegClass rd = RegClass::kNone;
+  RegClass rs1 = RegClass::kNone;
+  RegClass rs2 = RegClass::kNone;
+  RegClass rs3 = RegClass::kNone;
+  ExecClass exec = ExecClass::kIntAlu;
+  /// Executed in the FP subsystem (pseudo-dual-issue offload).
+  bool fp_domain = false;
+  /// Memory access size in bytes (loads/stores), else 0.
+  u8 mem_bytes = 0;
+  /// Uses the single-precision (NaN-boxed) FP format.
+  bool is_single = false;
+};
+
+/// Metadata for `mn`; `kInvalid` returns a sentinel entry.
+const MnemonicInfo& info(Mnemonic mn);
+
+/// Canonical spelling ("fmadd.d"); "<invalid>" for kInvalid.
+std::string_view name(Mnemonic mn);
+
+/// True when the mnemonic writes an integer destination register.
+inline bool writes_int_rd(Mnemonic mn) { return info(mn).rd == RegClass::kInt; }
+/// True when the mnemonic writes an FP destination register.
+inline bool writes_fp_rd(Mnemonic mn) { return info(mn).rd == RegClass::kFp; }
+
+} // namespace sch::isa

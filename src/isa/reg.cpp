@@ -1,0 +1,49 @@
+#include "isa/reg.hpp"
+
+#include <charconv>
+
+namespace sch::isa {
+namespace {
+
+constexpr std::array<std::string_view, kNumIntRegs> kIntNames = {
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+    "a1",   "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+    "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+
+constexpr std::array<std::string_view, kNumFpRegs> kFpNames = {
+    "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6",  "ft7",
+    "fs0", "fs1", "fa0", "fa1", "fa2", "fa3", "fa4",  "fa5",
+    "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6",  "fs7",
+    "fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11"};
+
+std::optional<u8> parse_numeric(std::string_view name, char prefix) {
+  if (name.size() < 2 || name.size() > 3 || name[0] != prefix) return std::nullopt;
+  unsigned value = 0;
+  const char* begin = name.data() + 1;
+  const char* end = name.data() + name.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end || value >= 32) return std::nullopt;
+  return static_cast<u8>(value);
+}
+
+} // namespace
+
+std::string_view int_reg_name(u8 r) { return kIntNames.at(r); }
+std::string_view fp_reg_name(u8 r) { return kFpNames.at(r); }
+
+std::optional<u8> parse_int_reg(std::string_view name) {
+  for (u8 i = 0; i < kNumIntRegs; ++i) {
+    if (kIntNames[i] == name) return i;
+  }
+  if (name == "fp") return u8{8}; // alias for s0
+  return parse_numeric(name, 'x');
+}
+
+std::optional<u8> parse_fp_reg(std::string_view name) {
+  for (u8 i = 0; i < kNumFpRegs; ++i) {
+    if (kFpNames[i] == name) return i;
+  }
+  return parse_numeric(name, 'f');
+}
+
+} // namespace sch::isa

@@ -1,0 +1,48 @@
+// Architectural register names (numeric + ABI) for the modeled RV32 core.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace sch::isa {
+
+inline constexpr unsigned kNumIntRegs = 32;
+inline constexpr unsigned kNumFpRegs = 32;
+
+/// Integer ABI register indices.
+enum IntReg : u8 {
+  kZero = 0, kRa = 1, kSp = 2, kGp = 3, kTp = 4,
+  kT0 = 5, kT1 = 6, kT2 = 7,
+  kS0 = 8, kS1 = 9,
+  kA0 = 10, kA1 = 11, kA2 = 12, kA3 = 13, kA4 = 14, kA5 = 15, kA6 = 16, kA7 = 17,
+  kS2 = 18, kS3 = 19, kS4 = 20, kS5 = 21, kS6 = 22, kS7 = 23, kS8 = 24, kS9 = 25,
+  kS10 = 26, kS11 = 27,
+  kT3 = 28, kT4 = 29, kT5 = 30, kT6 = 31,
+};
+
+/// FP ABI register indices. The three SSR-mapped registers are ft0..ft2
+/// (f0..f2); the paper's chained accumulator example uses ft3 (f3).
+enum FpReg : u8 {
+  kFt0 = 0, kFt1 = 1, kFt2 = 2, kFt3 = 3, kFt4 = 4, kFt5 = 5, kFt6 = 6, kFt7 = 7,
+  kFs0 = 8, kFs1 = 9,
+  kFa0 = 10, kFa1 = 11, kFa2 = 12, kFa3 = 13, kFa4 = 14, kFa5 = 15, kFa6 = 16,
+  kFa7 = 17,
+  kFs2 = 18, kFs3 = 19, kFs4 = 20, kFs5 = 21, kFs6 = 22, kFs7 = 23, kFs8 = 24,
+  kFs9 = 25, kFs10 = 26, kFs11 = 27,
+  kFt8 = 28, kFt9 = 29, kFt10 = 30, kFt11 = 31,
+};
+
+/// ABI name of integer register `r` ("zero", "ra", ..., "t6").
+std::string_view int_reg_name(u8 r);
+/// ABI name of FP register `r` ("ft0", ..., "ft11").
+std::string_view fp_reg_name(u8 r);
+
+/// Parse an integer register name: numeric ("x7") or ABI ("t2").
+std::optional<u8> parse_int_reg(std::string_view name);
+/// Parse an FP register name: numeric ("f3") or ABI ("ft3").
+std::optional<u8> parse_fp_reg(std::string_view name);
+
+} // namespace sch::isa

@@ -1,0 +1,33 @@
+// Architectural register state shared vocabulary for both engines.
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+#include "isa/reg.hpp"
+
+namespace sch {
+
+struct ArchState {
+  std::array<u32, isa::kNumIntRegs> x{};  // x0 kept 0 by the writers
+  std::array<u64, isa::kNumFpRegs> f{};
+  Addr pc = 0;
+  u32 fcsr = 0;
+
+  void write_x(u8 r, u32 v) {
+    if (r != 0) x[r] = v;
+  }
+  [[nodiscard]] u32 read_x(u8 r) const { return x[r]; }
+};
+
+/// Why an engine stopped.
+enum class HaltReason : u8 {
+  kNone,         // still running
+  kEcall,        // clean exit (a0 = exit code)
+  kEbreak,
+  kOffText,      // pc ran past the text segment (fell off the end)
+  kMaxSteps,     // step/cycle budget exhausted
+  kError,        // architectural error (see message)
+};
+
+} // namespace sch

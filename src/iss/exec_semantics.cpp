@@ -1,0 +1,317 @@
+#include "iss/exec_semantics.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+namespace sch::exec {
+namespace {
+
+using isa::Mnemonic;
+
+bool is_nan32(u32 b) {
+  return (b & 0x7F80'0000u) == 0x7F80'0000u && (b & 0x007F'FFFFu) != 0;
+}
+bool is_nan64(u64 b) {
+  return (b & 0x7FF0'0000'0000'0000ull) == 0x7FF0'0000'0000'0000ull &&
+         (b & 0x000F'FFFF'FFFF'FFFFull) != 0;
+}
+
+double canonicalize64(double v) {
+  return std::isnan(v) ? f64_of_bits(kCanonicalNan64) : v;
+}
+float canonicalize32(float v) {
+  return std::isnan(v) ? f32_of_bits(kCanonicalNan32) : v;
+}
+
+// RISC-V fmin/fmax: if exactly one operand is NaN, return the other; if both,
+// return the canonical NaN; -0.0 is considered less than +0.0.
+template <typename T>
+T rv_minmax(T a, T b, bool is_max) {
+  const bool na = std::isnan(a);
+  const bool nb = std::isnan(b);
+  if (na && nb) {
+    if constexpr (sizeof(T) == 8) return f64_of_bits(kCanonicalNan64);
+    else return f32_of_bits(kCanonicalNan32);
+  }
+  if (na) return b;
+  if (nb) return a;
+  if (a == T{0} && b == T{0}) {
+    // -0.0 orders below +0.0.
+    const bool a_neg = std::signbit(a);
+    if (is_max) return a_neg ? b : a;
+    return a_neg ? a : b;
+  }
+  return is_max ? (a > b ? a : b) : (a < b ? a : b);
+}
+
+u32 sgnj32(u32 a, u32 b, int mode) {
+  const u32 mag = a & 0x7FFF'FFFFu;
+  const u32 sa = a & 0x8000'0000u;
+  const u32 sb = b & 0x8000'0000u;
+  switch (mode) {
+    case 0: return mag | sb;          // fsgnj
+    case 1: return mag | (sb ^ 0x8000'0000u); // fsgnjn
+    default: return mag | (sa ^ sb);  // fsgnjx
+  }
+}
+
+u64 sgnj64(u64 a, u64 b, int mode) {
+  const u64 mag = a & 0x7FFF'FFFF'FFFF'FFFFull;
+  const u64 sa = a & 0x8000'0000'0000'0000ull;
+  const u64 sb = b & 0x8000'0000'0000'0000ull;
+  switch (mode) {
+    case 0: return mag | sb;
+    case 1: return mag | (sb ^ 0x8000'0000'0000'0000ull);
+    default: return mag | (sa ^ sb);
+  }
+}
+
+template <typename T>
+u32 fclass_bits(T v, u64 raw_bits, bool raw_is_nan_signaling) {
+  if (std::isnan(v)) return raw_is_nan_signaling ? (1u << 8) : (1u << 9);
+  const bool neg = std::signbit(v);
+  if (std::isinf(v)) return neg ? (1u << 0) : (1u << 7);
+  if (v == T{0}) return neg ? (1u << 3) : (1u << 4);
+  const bool subnormal = std::fpclassify(v) == FP_SUBNORMAL;
+  if (neg) return subnormal ? (1u << 2) : (1u << 1);
+  return subnormal ? (1u << 5) : (1u << 6);
+  (void)raw_bits;
+}
+
+i32 cvt_to_i32(double v) {
+  if (std::isnan(v)) return std::numeric_limits<i32>::max();
+  const double r = std::nearbyint(v);
+  if (r >= 2147483648.0) return std::numeric_limits<i32>::max();
+  if (r < -2147483648.0) return std::numeric_limits<i32>::min();
+  return static_cast<i32>(r);
+}
+
+u32 cvt_to_u32(double v) {
+  if (std::isnan(v)) return std::numeric_limits<u32>::max();
+  const double r = std::nearbyint(v);
+  if (r >= 4294967296.0) return std::numeric_limits<u32>::max();
+  if (r < 0.0) return 0;
+  return static_cast<u32>(r);
+}
+
+} // namespace
+
+u64 box32(u32 bits) { return 0xFFFF'FFFF'0000'0000ull | bits; }
+
+u32 unbox32(u64 value) {
+  if ((value >> 32) != 0xFFFF'FFFFull) return kCanonicalNan32;
+  return static_cast<u32>(value);
+}
+
+u64 bits_of_f64(double v) {
+  u64 b;
+  std::memcpy(&b, &v, 8);
+  return b;
+}
+double f64_of_bits(u64 bits) {
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+u32 bits_of_f32(float v) {
+  u32 b;
+  std::memcpy(&b, &v, 4);
+  return b;
+}
+float f32_of_bits(u32 bits) {
+  float v;
+  std::memcpy(&v, &bits, 4);
+  return v;
+}
+
+u32 int_op(Mnemonic mn, u32 a, u32 b) {
+  const i32 sa = static_cast<i32>(a);
+  const i32 sb = static_cast<i32>(b);
+  switch (mn) {
+    case Mnemonic::kAdd: case Mnemonic::kAddi: return a + b;
+    case Mnemonic::kSub: return a - b;
+    case Mnemonic::kSll: case Mnemonic::kSlli: return a << (b & 31);
+    case Mnemonic::kSrl: case Mnemonic::kSrli: return a >> (b & 31);
+    case Mnemonic::kSra: case Mnemonic::kSrai:
+      return static_cast<u32>(sa >> (b & 31));
+    case Mnemonic::kSlt: case Mnemonic::kSlti: return sa < sb ? 1 : 0;
+    case Mnemonic::kSltu: case Mnemonic::kSltiu: return a < b ? 1 : 0;
+    case Mnemonic::kXor: case Mnemonic::kXori: return a ^ b;
+    case Mnemonic::kOr: case Mnemonic::kOri: return a | b;
+    case Mnemonic::kAnd: case Mnemonic::kAndi: return a & b;
+    case Mnemonic::kMul: return a * b;
+    case Mnemonic::kMulh:
+      return static_cast<u32>((static_cast<i64>(sa) * static_cast<i64>(sb)) >> 32);
+    case Mnemonic::kMulhsu:
+      return static_cast<u32>((static_cast<i64>(sa) * static_cast<i64>(static_cast<u64>(b))) >> 32);
+    case Mnemonic::kMulhu:
+      return static_cast<u32>((static_cast<u64>(a) * static_cast<u64>(b)) >> 32);
+    case Mnemonic::kDiv:
+      if (b == 0) return 0xFFFF'FFFFu;
+      if (sa == std::numeric_limits<i32>::min() && sb == -1) return a;
+      return static_cast<u32>(sa / sb);
+    case Mnemonic::kDivu:
+      return b == 0 ? 0xFFFF'FFFFu : a / b;
+    case Mnemonic::kRem:
+      if (b == 0) return a;
+      if (sa == std::numeric_limits<i32>::min() && sb == -1) return 0;
+      return static_cast<u32>(sa % sb);
+    case Mnemonic::kRemu:
+      return b == 0 ? a : a % b;
+    default:
+      throw std::logic_error("int_op: not an integer computation mnemonic");
+  }
+}
+
+bool branch_taken(Mnemonic mn, u32 a, u32 b) {
+  const i32 sa = static_cast<i32>(a);
+  const i32 sb = static_cast<i32>(b);
+  switch (mn) {
+    case Mnemonic::kBeq: return a == b;
+    case Mnemonic::kBne: return a != b;
+    case Mnemonic::kBlt: return sa < sb;
+    case Mnemonic::kBge: return sa >= sb;
+    case Mnemonic::kBltu: return a < b;
+    case Mnemonic::kBgeu: return a >= b;
+    default:
+      throw std::logic_error("branch_taken: not a branch mnemonic");
+  }
+}
+
+u64 fp_compute(Mnemonic mn, u64 a, u64 b, u64 c) {
+  switch (mn) {
+    // --- double precision ---
+    case Mnemonic::kFaddD:
+      return bits_of_f64(canonicalize64(f64_of_bits(a) + f64_of_bits(b)));
+    case Mnemonic::kFsubD:
+      return bits_of_f64(canonicalize64(f64_of_bits(a) - f64_of_bits(b)));
+    case Mnemonic::kFmulD:
+      return bits_of_f64(canonicalize64(f64_of_bits(a) * f64_of_bits(b)));
+    case Mnemonic::kFdivD:
+      return bits_of_f64(canonicalize64(f64_of_bits(a) / f64_of_bits(b)));
+    case Mnemonic::kFsqrtD:
+      return bits_of_f64(canonicalize64(std::sqrt(f64_of_bits(a))));
+    case Mnemonic::kFmaddD:
+      return bits_of_f64(canonicalize64(std::fma(f64_of_bits(a), f64_of_bits(b), f64_of_bits(c))));
+    case Mnemonic::kFmsubD:
+      return bits_of_f64(canonicalize64(std::fma(f64_of_bits(a), f64_of_bits(b), -f64_of_bits(c))));
+    case Mnemonic::kFnmsubD:
+      return bits_of_f64(canonicalize64(std::fma(-f64_of_bits(a), f64_of_bits(b), f64_of_bits(c))));
+    case Mnemonic::kFnmaddD:
+      return bits_of_f64(canonicalize64(std::fma(-f64_of_bits(a), f64_of_bits(b), -f64_of_bits(c))));
+    case Mnemonic::kFsgnjD: return sgnj64(a, b, 0);
+    case Mnemonic::kFsgnjnD: return sgnj64(a, b, 1);
+    case Mnemonic::kFsgnjxD: return sgnj64(a, b, 2);
+    case Mnemonic::kFminD:
+      return bits_of_f64(rv_minmax(f64_of_bits(a), f64_of_bits(b), false));
+    case Mnemonic::kFmaxD:
+      return bits_of_f64(rv_minmax(f64_of_bits(a), f64_of_bits(b), true));
+    case Mnemonic::kFcvtSD:
+      return box32(bits_of_f32(canonicalize32(static_cast<float>(f64_of_bits(a)))));
+    case Mnemonic::kFcvtDS:
+      return bits_of_f64(canonicalize64(static_cast<double>(f32_of_bits(unbox32(a)))));
+
+    // --- single precision (NaN-boxed) ---
+    case Mnemonic::kFaddS:
+      return box32(bits_of_f32(canonicalize32(f32_of_bits(unbox32(a)) + f32_of_bits(unbox32(b)))));
+    case Mnemonic::kFsubS:
+      return box32(bits_of_f32(canonicalize32(f32_of_bits(unbox32(a)) - f32_of_bits(unbox32(b)))));
+    case Mnemonic::kFmulS:
+      return box32(bits_of_f32(canonicalize32(f32_of_bits(unbox32(a)) * f32_of_bits(unbox32(b)))));
+    case Mnemonic::kFdivS:
+      return box32(bits_of_f32(canonicalize32(f32_of_bits(unbox32(a)) / f32_of_bits(unbox32(b)))));
+    case Mnemonic::kFsqrtS:
+      return box32(bits_of_f32(canonicalize32(std::sqrt(f32_of_bits(unbox32(a))))));
+    case Mnemonic::kFmaddS:
+      return box32(bits_of_f32(canonicalize32(
+          std::fma(f32_of_bits(unbox32(a)), f32_of_bits(unbox32(b)), f32_of_bits(unbox32(c))))));
+    case Mnemonic::kFmsubS:
+      return box32(bits_of_f32(canonicalize32(
+          std::fma(f32_of_bits(unbox32(a)), f32_of_bits(unbox32(b)), -f32_of_bits(unbox32(c))))));
+    case Mnemonic::kFnmsubS:
+      return box32(bits_of_f32(canonicalize32(
+          std::fma(-f32_of_bits(unbox32(a)), f32_of_bits(unbox32(b)), f32_of_bits(unbox32(c))))));
+    case Mnemonic::kFnmaddS:
+      return box32(bits_of_f32(canonicalize32(
+          std::fma(-f32_of_bits(unbox32(a)), f32_of_bits(unbox32(b)), -f32_of_bits(unbox32(c))))));
+    case Mnemonic::kFsgnjS: return box32(sgnj32(unbox32(a), unbox32(b), 0));
+    case Mnemonic::kFsgnjnS: return box32(sgnj32(unbox32(a), unbox32(b), 1));
+    case Mnemonic::kFsgnjxS: return box32(sgnj32(unbox32(a), unbox32(b), 2));
+    case Mnemonic::kFminS:
+      return box32(bits_of_f32(rv_minmax(f32_of_bits(unbox32(a)), f32_of_bits(unbox32(b)), false)));
+    case Mnemonic::kFmaxS:
+      return box32(bits_of_f32(rv_minmax(f32_of_bits(unbox32(a)), f32_of_bits(unbox32(b)), true)));
+    default:
+      throw std::logic_error("fp_compute: unhandled mnemonic");
+  }
+}
+
+u32 fp_to_int(Mnemonic mn, u64 a, u64 b) {
+  switch (mn) {
+    case Mnemonic::kFeqD: {
+      const double x = f64_of_bits(a), y = f64_of_bits(b);
+      return (!std::isnan(x) && !std::isnan(y) && x == y) ? 1 : 0;
+    }
+    case Mnemonic::kFltD: {
+      const double x = f64_of_bits(a), y = f64_of_bits(b);
+      return (!std::isnan(x) && !std::isnan(y) && x < y) ? 1 : 0;
+    }
+    case Mnemonic::kFleD: {
+      const double x = f64_of_bits(a), y = f64_of_bits(b);
+      return (!std::isnan(x) && !std::isnan(y) && x <= y) ? 1 : 0;
+    }
+    case Mnemonic::kFeqS: {
+      const float x = f32_of_bits(unbox32(a)), y = f32_of_bits(unbox32(b));
+      return (!std::isnan(x) && !std::isnan(y) && x == y) ? 1 : 0;
+    }
+    case Mnemonic::kFltS: {
+      const float x = f32_of_bits(unbox32(a)), y = f32_of_bits(unbox32(b));
+      return (!std::isnan(x) && !std::isnan(y) && x < y) ? 1 : 0;
+    }
+    case Mnemonic::kFleS: {
+      const float x = f32_of_bits(unbox32(a)), y = f32_of_bits(unbox32(b));
+      return (!std::isnan(x) && !std::isnan(y) && x <= y) ? 1 : 0;
+    }
+    case Mnemonic::kFclassD: {
+      const double v = f64_of_bits(a);
+      const bool signaling = is_nan64(a) && ((a >> 51) & 1) == 0;
+      return fclass_bits(v, a, signaling);
+    }
+    case Mnemonic::kFclassS: {
+      const u32 ub = unbox32(a);
+      const float v = f32_of_bits(ub);
+      const bool signaling = is_nan32(ub) && ((ub >> 22) & 1) == 0;
+      return fclass_bits(v, ub, signaling);
+    }
+    case Mnemonic::kFcvtWD: return static_cast<u32>(cvt_to_i32(f64_of_bits(a)));
+    case Mnemonic::kFcvtWuD: return cvt_to_u32(f64_of_bits(a));
+    case Mnemonic::kFcvtWS:
+      return static_cast<u32>(cvt_to_i32(static_cast<double>(f32_of_bits(unbox32(a)))));
+    case Mnemonic::kFcvtWuS:
+      return cvt_to_u32(static_cast<double>(f32_of_bits(unbox32(a))));
+    case Mnemonic::kFmvXW: return unbox32(a);
+    default:
+      throw std::logic_error("fp_to_int: unhandled mnemonic");
+  }
+}
+
+u64 int_to_fp(Mnemonic mn, u32 x) {
+  switch (mn) {
+    case Mnemonic::kFcvtDW:
+      return bits_of_f64(static_cast<double>(static_cast<i32>(x)));
+    case Mnemonic::kFcvtDWu:
+      return bits_of_f64(static_cast<double>(x));
+    case Mnemonic::kFcvtSW:
+      return box32(bits_of_f32(static_cast<float>(static_cast<i32>(x))));
+    case Mnemonic::kFcvtSWu:
+      return box32(bits_of_f32(static_cast<float>(x)));
+    case Mnemonic::kFmvWX:
+      return box32(x);
+    default:
+      throw std::logic_error("int_to_fp: unhandled mnemonic");
+  }
+}
+
+} // namespace sch::exec

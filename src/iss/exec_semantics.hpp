@@ -1,0 +1,46 @@
+// Pure instruction semantics shared by the functional ISS and the cycle-level
+// simulator, so architectural behaviour is defined exactly once. FP arithmetic
+// uses native IEEE-754 host types with RISC-V NaN-boxing for single precision
+// (not a bit-exact softfloat; see DESIGN.md §4).
+#pragma once
+
+#include "common/types.hpp"
+#include "isa/instr.hpp"
+
+namespace sch::exec {
+
+// --- NaN boxing -------------------------------------------------------------
+/// Box a 32-bit single-precision pattern into a 64-bit register (high 1s).
+u64 box32(u32 bits);
+/// Unbox: returns the f32 pattern, or the canonical NaN when improperly boxed.
+u32 unbox32(u64 value);
+
+u64 bits_of_f64(double v);
+double f64_of_bits(u64 bits);
+u32 bits_of_f32(float v);
+float f32_of_bits(u32 bits);
+
+/// Canonical quiet NaNs.
+inline constexpr u32 kCanonicalNan32 = 0x7FC0'0000u;
+inline constexpr u64 kCanonicalNan64 = 0x7FF8'0000'0000'0000ull;
+
+// --- integer ----------------------------------------------------------------
+/// ALU/MUL/DIV semantics (imm already folded into rs2 by the caller for
+/// immediate forms). Covers every ExecClass::kIntAlu/kIntMul/kIntDiv mnemonic.
+u32 int_op(isa::Mnemonic mn, u32 rs1, u32 rs2);
+
+/// Conditional-branch predicate.
+bool branch_taken(isa::Mnemonic mn, u32 rs1, u32 rs2);
+
+// --- floating point ----------------------------------------------------------
+/// FP -> FP operation (add/sub/mul/div/sqrt/sgnj/minmax/fma family and
+/// float<->double conversions). Operands/result are 64-bit register values.
+u64 fp_compute(isa::Mnemonic mn, u64 a, u64 b, u64 c);
+
+/// FP -> integer operations (compares, fclass, fcvt.w[u], fmv.x.w).
+u32 fp_to_int(isa::Mnemonic mn, u64 a, u64 b);
+
+/// Integer -> FP operations (fcvt.{s,d}.{w,wu}, fmv.w.x).
+u64 int_to_fp(isa::Mnemonic mn, u32 x);
+
+} // namespace sch::exec

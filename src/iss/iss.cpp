@@ -1,0 +1,347 @@
+#include "iss/iss.hpp"
+
+#include <sstream>
+
+#include "isa/csr.hpp"
+#include "isa/disasm.hpp"
+#include "iss/exec_semantics.hpp"
+
+namespace sch {
+
+using isa::ExecClass;
+using isa::Instr;
+using isa::Mnemonic;
+
+Iss::Iss(Program program, Memory& memory, const IssConfig& config)
+    : prog_(std::move(program)), mem_(memory), cfg_(config) {
+  state_.pc = prog_.text_base;
+  mem_.load_image(prog_.data_base, prog_.data);
+}
+
+void Iss::halt_error(const std::string& message) {
+  halt_ = HaltReason::kError;
+  std::ostringstream os;
+  os << "pc=0x" << std::hex << state_.pc << std::dec << ": " << message;
+  error_ = os.str();
+}
+
+u64 Iss::read_fp(u8 reg) {
+  if (ssrs_.maps(reg)) {
+    auto v = ssrs_.read(reg, mem_);
+    if (!v) {
+      halt_error("read of SSR register " + std::string(isa::fp_reg_name(reg)) +
+                 " with no active/remaining read stream");
+      return 0;
+    }
+    return *v;
+  }
+  if (chains_.enabled(reg)) {
+    auto v = chains_.pop(reg);
+    if (!v) {
+      halt_error("chain FIFO underflow on " + std::string(isa::fp_reg_name(reg)));
+      return 0;
+    }
+    return *v;
+  }
+  return state_.f[reg];
+}
+
+void Iss::write_fp(u8 reg, u64 value) {
+  if (ssrs_.maps(reg)) {
+    if (!ssrs_.write(reg, mem_, value)) {
+      halt_error("write to SSR register " + std::string(isa::fp_reg_name(reg)) +
+                 " with no active/remaining write stream");
+    }
+    return;
+  }
+  if (chains_.enabled(reg)) {
+    chains_.push(reg, value);
+    return;
+  }
+  state_.f[reg] = value;
+}
+
+u32 Iss::csr_read(u32 addr) {
+  switch (addr) {
+    case isa::csr::kFflags: return state_.fcsr & 0x1F;
+    case isa::csr::kFrm: return (state_.fcsr >> 5) & 0x7;
+    case isa::csr::kFcsr: return state_.fcsr;
+    case isa::csr::kCycle:
+    case isa::csr::kMcycle:
+      // The ISS has no cycle notion; expose instret as a monotonic proxy.
+      return static_cast<u32>(instret_);
+    case isa::csr::kInstret:
+    case isa::csr::kMinstret:
+      return static_cast<u32>(instret_);
+    case isa::csr::kMhartid: return 0;
+    case isa::csr::kSsrEnable: return ssrs_.enabled() ? 1u : 0u;
+    case isa::csr::kChainMask: return chains_.mask().value();
+    default: return 0;
+  }
+}
+
+void Iss::csr_write(u32 addr, u32 value) {
+  switch (addr) {
+    case isa::csr::kFflags:
+      state_.fcsr = (state_.fcsr & ~0x1Fu) | (value & 0x1Fu);
+      return;
+    case isa::csr::kFrm:
+      state_.fcsr = (state_.fcsr & ~0xE0u) | ((value & 0x7u) << 5);
+      return;
+    case isa::csr::kFcsr:
+      state_.fcsr = value & 0xFFu;
+      return;
+    case isa::csr::kSsrEnable:
+      ssrs_.set_enabled((value & 1u) != 0);
+      return;
+    case isa::csr::kChainMask: {
+      // Disabling a register latches the oldest unpopped element.
+      for (const auto& e : chains_.set_mask(value)) {
+        if (e.latched_value) state_.f[e.reg] = *e.latched_value;
+      }
+      return;
+    }
+    default:
+      return; // unimplemented CSRs write as no-ops
+  }
+}
+
+void Iss::exec_frep(const Instr& in) {
+  if (in_frep_) {
+    halt_error("nested frep");
+    return;
+  }
+  const u32 reps = state_.read_x(in.rs1) + 1;
+  const u32 body = static_cast<u32>(in.imm);
+  if (body == 0) {
+    halt_error("frep with empty body");
+    return;
+  }
+  const Addr body_base = state_.pc + 4;
+  // Validate the body: FP-domain instructions only.
+  for (u32 i = 0; i < body; ++i) {
+    const Instr* bi = prog_.fetch(body_base + 4 * i);
+    if (bi == nullptr || !bi->valid() || !bi->meta().fp_domain) {
+      halt_error("frep body contains a non-FP instruction at offset " +
+                 std::to_string(i));
+      return;
+    }
+    if (bi->mn == Mnemonic::kFrepO || bi->mn == Mnemonic::kFrepI) {
+      halt_error("nested frep");
+      return;
+    }
+  }
+  in_frep_ = true;
+  const Addr saved_next = body_base + 4 * body;
+  if (in.mn == Mnemonic::kFrepO) {
+    for (u32 r = 0; r < reps && halt_ == HaltReason::kNone; ++r) {
+      for (u32 i = 0; i < body && halt_ == HaltReason::kNone; ++i) {
+        state_.pc = body_base + 4 * i;
+        exec(*prog_.fetch(state_.pc));
+        ++instret_;
+      }
+    }
+  } else { // frep.i: repeat each instruction individually
+    for (u32 i = 0; i < body && halt_ == HaltReason::kNone; ++i) {
+      state_.pc = body_base + 4 * i;
+      for (u32 r = 0; r < reps && halt_ == HaltReason::kNone; ++r) {
+        exec(*prog_.fetch(state_.pc));
+        ++instret_;
+      }
+    }
+  }
+  in_frep_ = false;
+  state_.pc = saved_next - 4; // step() adds 4
+}
+
+void Iss::exec(const Instr& in) {
+  const isa::MnemonicInfo& mi = in.meta();
+  switch (mi.exec) {
+    case ExecClass::kIntAlu: {
+      if (in.mn == Mnemonic::kLui) {
+        state_.write_x(in.rd, static_cast<u32>(in.imm) << 12);
+        return;
+      }
+      if (in.mn == Mnemonic::kAuipc) {
+        state_.write_x(in.rd, state_.pc + (static_cast<u32>(in.imm) << 12));
+        return;
+      }
+      const u32 a = state_.read_x(in.rs1);
+      const u32 b = mi.fmt == isa::Format::kI ? static_cast<u32>(in.imm)
+                                              : state_.read_x(in.rs2);
+      state_.write_x(in.rd, exec::int_op(in.mn, a, b));
+      return;
+    }
+    case ExecClass::kIntMul:
+    case ExecClass::kIntDiv:
+      state_.write_x(in.rd, exec::int_op(in.mn, state_.read_x(in.rs1),
+                                         state_.read_x(in.rs2)));
+      return;
+    case ExecClass::kJump: {
+      const u32 link = state_.pc + 4;
+      if (in.mn == Mnemonic::kJal) {
+        state_.pc = state_.pc + static_cast<u32>(in.imm) - 4;
+      } else {
+        const u32 target = (state_.read_x(in.rs1) + static_cast<u32>(in.imm)) & ~1u;
+        state_.pc = target - 4;
+      }
+      state_.write_x(in.rd, link);
+      return;
+    }
+    case ExecClass::kBranch:
+      if (exec::branch_taken(in.mn, state_.read_x(in.rs1), state_.read_x(in.rs2))) {
+        state_.pc = state_.pc + static_cast<u32>(in.imm) - 4;
+      }
+      return;
+    case ExecClass::kLoad: {
+      const Addr addr = state_.read_x(in.rs1) + static_cast<u32>(in.imm);
+      if (!mem_.valid(addr, mi.mem_bytes)) {
+        halt_error("load from unmapped address");
+        return;
+      }
+      u64 v = mem_.load(addr, mi.mem_bytes);
+      if (in.mn == Mnemonic::kLb) v = static_cast<u32>(static_cast<i32>(static_cast<i8>(v)));
+      if (in.mn == Mnemonic::kLh) v = static_cast<u32>(static_cast<i32>(static_cast<i16>(v)));
+      state_.write_x(in.rd, static_cast<u32>(v));
+      return;
+    }
+    case ExecClass::kStore: {
+      const Addr addr = state_.read_x(in.rs1) + static_cast<u32>(in.imm);
+      if (!mem_.valid(addr, mi.mem_bytes)) {
+        halt_error("store to unmapped address");
+        return;
+      }
+      mem_.store(addr, state_.read_x(in.rs2), mi.mem_bytes);
+      return;
+    }
+    case ExecClass::kFpLoad: {
+      const Addr addr = state_.read_x(in.rs1) + static_cast<u32>(in.imm);
+      if (!mem_.valid(addr, mi.mem_bytes)) {
+        halt_error("fp load from unmapped address");
+        return;
+      }
+      const u64 raw = mem_.load(addr, mi.mem_bytes);
+      write_fp(in.rd, mi.mem_bytes == 4 ? exec::box32(static_cast<u32>(raw)) : raw);
+      return;
+    }
+    case ExecClass::kFpStore: {
+      const Addr addr = state_.read_x(in.rs1) + static_cast<u32>(in.imm);
+      if (!mem_.valid(addr, mi.mem_bytes)) {
+        halt_error("fp store to unmapped address");
+        return;
+      }
+      const u64 v = read_fp(in.rs2);
+      mem_.store(addr, mi.mem_bytes == 4 ? exec::unbox32(v) : v, mi.mem_bytes);
+      return;
+    }
+    case ExecClass::kFpMac:
+    case ExecClass::kFpDiv:
+    case ExecClass::kFpSqrt: {
+      // An instruction naming the same stream/chain register in several
+      // operand slots pops it once and feeds all slots (Snitch semantics;
+      // matches the cycle-level model).
+      u8 seen[3];
+      u64 vals[3];
+      u32 n = 0;
+      auto read_once = [&](u8 r) -> u64 {
+        for (u32 i = 0; i < n; ++i) {
+          if (seen[i] == r) return vals[i];
+        }
+        seen[n] = r;
+        vals[n] = read_fp(r);
+        return vals[n++];
+      };
+      const u64 a = read_once(in.rs1);
+      const u64 b = mi.rs2 == isa::RegClass::kFp ? read_once(in.rs2) : 0;
+      const u64 c = mi.rs3 == isa::RegClass::kFp ? read_once(in.rs3) : 0;
+      if (halt_ != HaltReason::kNone) return;
+      write_fp(in.rd, exec::fp_compute(in.mn, a, b, c));
+      return;
+    }
+    case ExecClass::kFpCmp:
+    case ExecClass::kFpCvtF2I: {
+      const u64 a = read_fp(in.rs1);
+      const u64 b = mi.rs2 == isa::RegClass::kFp
+                        ? (in.rs2 == in.rs1 ? a : read_fp(in.rs2))
+                        : 0;
+      if (halt_ != HaltReason::kNone) return;
+      state_.write_x(in.rd, exec::fp_to_int(in.mn, a, b));
+      return;
+    }
+    case ExecClass::kFpCvtI2F:
+      write_fp(in.rd, exec::int_to_fp(in.mn, state_.read_x(in.rs1)));
+      return;
+    case ExecClass::kCsr: {
+      const u32 addr = static_cast<u32>(in.imm);
+      const u32 old = csr_read(addr);
+      u32 operand = 0;
+      switch (in.mn) {
+        case Mnemonic::kCsrrw: case Mnemonic::kCsrrs: case Mnemonic::kCsrrc:
+          operand = state_.read_x(in.rs1);
+          break;
+        default:
+          operand = in.rs1; // zimm
+      }
+      switch (in.mn) {
+        case Mnemonic::kCsrrw: case Mnemonic::kCsrrwi:
+          csr_write(addr, operand);
+          break;
+        case Mnemonic::kCsrrs: case Mnemonic::kCsrrsi:
+          if (operand != 0) csr_write(addr, old | operand);
+          break;
+        default:
+          if (operand != 0) csr_write(addr, old & ~operand);
+      }
+      state_.write_x(in.rd, old);
+      return;
+    }
+    case ExecClass::kSystem:
+      if (in.mn == Mnemonic::kEcall) { halt_ = HaltReason::kEcall; return; }
+      if (in.mn == Mnemonic::kEbreak) { halt_ = HaltReason::kEbreak; return; }
+      return; // fence: no-op in a single-hart model
+    case ExecClass::kFrep:
+      exec_frep(in);
+      return;
+    case ExecClass::kScfg: {
+      if (in.mn == Mnemonic::kScfgw) {
+        const Status s = ssrs_.cfg_write(in.imm, state_.read_x(in.rs1));
+        if (!s.is_ok()) halt_error(s.message());
+      } else {
+        state_.write_x(in.rd, ssrs_.cfg_read(in.imm));
+      }
+      return;
+    }
+  }
+  halt_error("unhandled instruction: " + isa::disassemble(in));
+}
+
+bool Iss::step() {
+  if (halt_ != HaltReason::kNone) return false;
+  const Instr* in = prog_.fetch(state_.pc);
+  if (in == nullptr) {
+    halt_ = HaltReason::kOffText;
+    return false;
+  }
+  if (!in->valid()) {
+    halt_error("illegal instruction encoding 0x" + std::to_string(in->raw));
+    return false;
+  }
+  exec(*in);
+  ++instret_;
+  if (halt_ != HaltReason::kNone) return false;
+  state_.pc += 4;
+  return true;
+}
+
+HaltReason Iss::run() {
+  while (halt_ == HaltReason::kNone) {
+    if (instret_ >= cfg_.max_steps) {
+      halt_ = HaltReason::kMaxSteps;
+      break;
+    }
+    step();
+  }
+  return halt_;
+}
+
+} // namespace sch

@@ -1,0 +1,68 @@
+// Functional instruction-set simulator ("spike-style" golden reference).
+// Executes one instruction per step with full architectural semantics of the
+// custom extensions (SSR streams, FREP hardware loops, scalar chaining), but
+// no timing. The cycle-level simulator is cross-validated against it.
+#pragma once
+
+#include <string>
+
+#include "asm/program.hpp"
+#include "common/types.hpp"
+#include "core/arch_chain.hpp"
+#include "iss/arch_state.hpp"
+#include "mem/memory.hpp"
+#include "ssr/ssr_file.hpp"
+
+namespace sch {
+
+struct IssConfig {
+  u64 max_steps = 200'000'000;
+};
+
+class Iss {
+ public:
+  /// The ISS keeps its own copy of the program (so temporaries are safe);
+  /// `memory` must outlive the ISS.
+  Iss(Program program, Memory& memory, const IssConfig& config = {});
+
+  /// Execute one instruction. Returns false when halted.
+  bool step();
+
+  /// Run until halt (ecall/ebreak/off-text/error/step budget).
+  HaltReason run();
+
+  [[nodiscard]] const ArchState& state() const { return state_; }
+  [[nodiscard]] ArchState& state() { return state_; }
+  [[nodiscard]] HaltReason halt_reason() const { return halt_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] u64 instret() const { return instret_; }
+  [[nodiscard]] const ssr::FunctionalSsrFile& ssrs() const { return ssrs_; }
+  [[nodiscard]] const chain::ArchChainFile& chains() const { return chains_; }
+
+ private:
+  void exec(const isa::Instr& in);
+  void halt_error(const std::string& message);
+
+  /// Operand read honoring SSR mapping and chaining FIFO semantics.
+  u64 read_fp(u8 reg);
+  /// Destination write honoring SSR mapping and chaining FIFO semantics.
+  void write_fp(u8 reg, u64 value);
+
+  u32 csr_read(u32 addr);
+  void csr_write(u32 addr, u32 value);
+
+  void exec_frep(const isa::Instr& in);
+
+  Program prog_;
+  Memory& mem_;
+  IssConfig cfg_;
+  ArchState state_;
+  ssr::FunctionalSsrFile ssrs_;
+  chain::ArchChainFile chains_;
+  HaltReason halt_ = HaltReason::kNone;
+  std::string error_;
+  u64 instret_ = 0;
+  bool in_frep_ = false;
+};
+
+} // namespace sch

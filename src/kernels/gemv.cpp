@@ -1,0 +1,144 @@
+#include "kernels/gemv.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "asm/builder.hpp"
+#include "isa/csr.hpp"
+#include "isa/reg.hpp"
+#include "ssr/ssr_config.hpp"
+
+namespace sch::kernels {
+
+using ssr::CfgReg;
+
+namespace {
+
+double a_value(u32 r, u32 c) {
+  return 0.0625 * static_cast<double>((r * 13 + c * 7 + 1) % 97) - 3.0;
+}
+double x_value(u32 c) {
+  return 0.125 * static_cast<double>((c * 11 + 5) % 41) - 2.5;
+}
+
+void cfg(ProgramBuilder& b, u32 ssr_id, CfgReg reg, i64 value) {
+  b.li(isa::kT0, value);
+  b.scfgw(isa::kT0, ssr::cfg_index(ssr_id, reg));
+}
+
+CfgReg plus(CfgReg base, u32 d) {
+  return static_cast<CfgReg>(static_cast<u32>(base) + d);
+}
+
+} // namespace
+
+const char* gemv_variant_name(GemvVariant v) {
+  return v == GemvVariant::kUnrolledAcc ? "unrolled-acc" : "chained";
+}
+
+BuiltKernel build_gemv(GemvVariant variant, const GemvParams& p) {
+  if (p.m == 0 || p.m % 4 != 0 || p.n == 0) {
+    throw std::invalid_argument("gemv: m must be a positive multiple of 4");
+  }
+  ProgramBuilder b;
+
+  std::vector<double> a(static_cast<usize>(p.m) * p.n), x(p.n);
+  for (u32 r = 0; r < p.m; ++r) {
+    for (u32 c = 0; c < p.n; ++c) a[r * p.n + c] = a_value(r, c);
+  }
+  for (u32 c = 0; c < p.n; ++c) x[c] = x_value(c);
+  const Addr a_base = b.data_f64(a);
+  const Addr x_base = b.data_f64(x);
+  const Addr y_base = b.data_zero(p.m * 8);
+
+  BuiltKernel out;
+  out.name = std::string("gemv/") + gemv_variant_name(variant);
+  out.out_base = y_base;
+  out.expected.resize(p.m);
+  for (u32 r = 0; r < p.m; ++r) {
+    double acc = 0.0;
+    for (u32 c = 0; c < p.n; ++c) acc = std::fma(a[r * p.n + c], x[c], acc);
+    out.expected[r] = acc;
+  }
+  out.useful_flops = static_cast<u64>(p.m) * p.n;
+
+  const i64 row = static_cast<i64>(p.n) * 8;
+
+  // SSR0: A in 4-row-interleaved k-major order.
+  //   d0: the 4 rows of a group     (stride = row pitch)
+  //   d1: the n columns             (stride = back 3 rows, over 1 column)
+  //   d2: the m/4 groups            (stride = 8, see layout arithmetic)
+  cfg(b, 0, CfgReg::kBound0, 3);
+  cfg(b, 0, plus(CfgReg::kStride0, 0), row);
+  cfg(b, 0, plus(CfgReg::kBound0, 1), p.n - 1);
+  cfg(b, 0, plus(CfgReg::kStride0, 1), 8 - 3 * row);
+  cfg(b, 0, plus(CfgReg::kBound0, 2), p.m / 4 - 1);
+  cfg(b, 0, plus(CfgReg::kStride0, 2), 8);
+  b.li(isa::kT1, static_cast<i64>(a_base));
+  b.scfgw(isa::kT1, ssr::cfg_index(0, plus(CfgReg::kRptr0, 2)));
+
+  // SSR1: x, each element popped 4x (one per interleaved row), wrapped per
+  // group.
+  cfg(b, 1, CfgReg::kRepeat, 3);
+  cfg(b, 1, CfgReg::kBound0, p.n - 1);
+  cfg(b, 1, plus(CfgReg::kStride0, 0), 8);
+  cfg(b, 1, plus(CfgReg::kBound0, 1), p.m / 4 - 1);
+  cfg(b, 1, plus(CfgReg::kStride0, 1), -static_cast<i64>(p.n - 1) * 8);
+  b.li(isa::kT1, static_cast<i64>(x_base));
+  b.scfgw(isa::kT1, ssr::cfg_index(1, plus(CfgReg::kRptr0, 1)));
+
+  // SSR2: y writeback, contiguous.
+  cfg(b, 2, CfgReg::kBound0, p.m - 1);
+  cfg(b, 2, plus(CfgReg::kStride0, 0), 8);
+  b.li(isa::kT1, static_cast<i64>(y_base));
+  b.scfgw(isa::kT1, ssr::cfg_index(2, CfgReg::kWptr0));
+
+  b.csrwi(isa::csr::kSsrEnable, 1);
+
+  if (variant == GemvVariant::kChained) {
+    b.li(isa::kT0, 8); // chain ft3
+    b.csrs(isa::csr::kChainMask, isa::kT0);
+  }
+  b.li(isa::kT2, static_cast<i64>(p.m / 4)); // group counter
+  b.li(isa::kT3, variant == GemvVariant::kChained
+                     ? static_cast<i64>(4 * p.n - 1)
+                     : static_cast<i64>(p.n - 1));
+
+  b.label("group");
+  if (variant == GemvVariant::kChained) {
+    // Four zero partial sums into the FIFO, then ONE fmadd replayed 4n
+    // times: the FIFO rotates the four in-flight sums by construction.
+    for (int i = 0; i < 4; ++i) b.fcvt_d_w(isa::kFt3, 0);
+    b.frep_o(isa::kT3, 1);
+    b.fmadd_d(isa::kFt3, isa::kFt0, isa::kFt1, isa::kFt3);
+    for (int i = 0; i < 4; ++i) b.fmv_d(isa::kFt2, isa::kFt3); // drain -> y
+    out.regs.accumulator_regs = 1;
+    out.regs.chained_regs = 1;
+    out.regs.fp_regs_used = 4; // ft0..ft2 + ft3
+  } else {
+    // Four accumulator registers, four-instruction FREP body.
+    for (int i = 0; i < 4; ++i) b.fcvt_d_w(static_cast<u8>(isa::kFt4 + i), 0);
+    b.frep_o(isa::kT3, 4);
+    for (int i = 0; i < 4; ++i) {
+      const u8 acc = static_cast<u8>(isa::kFt4 + i);
+      b.fmadd_d(acc, isa::kFt0, isa::kFt1, acc);
+    }
+    for (int i = 0; i < 4; ++i) {
+      b.fmv_d(isa::kFt2, static_cast<u8>(isa::kFt4 + i));
+    }
+    out.regs.accumulator_regs = 4;
+    out.regs.fp_regs_used = 7; // ft0..ft2 + ft4..ft7
+  }
+  b.addi(isa::kT2, isa::kT2, -1);
+  b.bnez(isa::kT2, "group");
+
+  if (variant == GemvVariant::kChained) b.csrw(isa::csr::kChainMask, 0);
+  b.csrwi(isa::csr::kSsrEnable, 0);
+  b.ecall();
+
+  out.regs.ssr_regs = 3;
+  out.program = b.build();
+  return out;
+}
+
+} // namespace sch::kernels

@@ -1,0 +1,30 @@
+// Extension workload (beyond the paper's evaluation): dense matrix-vector
+// product y = A*x, demonstrating scalar chaining on reduction chains.
+//
+// Four matrix rows are interleaved to hide the FMA latency (exactly the
+// stencil's trick). Without chaining the four running sums occupy four
+// architectural registers and the FREP body is four distinct instructions.
+// With chaining the FIFO rotates the four partial sums through ONE chained
+// register -- and because every body instruction is then textually
+// identical (fmadd ft3, ft0, ft1, ft3), the FREP body collapses to a single
+// instruction replayed 4n times.
+#pragma once
+
+#include "kernels/kernel_common.hpp"
+
+namespace sch::kernels {
+
+enum class GemvVariant : u8 { kUnrolledAcc, kChained };
+
+const char* gemv_variant_name(GemvVariant variant);
+
+struct GemvParams {
+  u32 m = 32;  // rows, multiple of 4
+  u32 n = 24;  // columns
+};
+
+/// Build the kernel, its data image and the golden output (bit-exact FMA
+/// ordering).
+BuiltKernel build_gemv(GemvVariant variant, const GemvParams& params = {});
+
+} // namespace sch::kernels

@@ -1,0 +1,34 @@
+// Shared vocabulary for generated kernels: built program + data-layout
+// handles + expected results + register-pressure accounting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "common/types.hpp"
+
+namespace sch::kernels {
+
+/// Register-pressure accounting for a kernel variant (the paper's Fig. 1b
+/// cost: a software FIFO spends architectural registers; chaining does not).
+struct RegisterReport {
+  u32 fp_regs_used = 0;        // architectural FP registers the kernel names
+  u32 accumulator_regs = 0;    // registers spent on in-flight partial results
+  u32 coefficient_regs = 0;    // registers holding resident coefficients
+  u32 chained_regs = 0;        // registers with FIFO semantics
+  u32 ssr_regs = 0;            // registers claimed by armed streams
+};
+
+/// A generated kernel: program image, where the output lives, what it should
+/// contain, and bookkeeping for the benches.
+struct BuiltKernel {
+  Program program;
+  std::string name;
+  Addr out_base = 0;
+  std::vector<double> expected;  // golden output (same operation order)
+  RegisterReport regs;
+  u64 useful_flops = 0;          // FP compute ops the kernel must execute
+};
+
+} // namespace sch::kernels

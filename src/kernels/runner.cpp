@@ -1,0 +1,88 @@
+#include "kernels/runner.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "energy/activity.hpp"
+#include "iss/iss.hpp"
+#include "mem/memory.hpp"
+#include "sim/simulator.hpp"
+
+namespace sch::kernels {
+namespace {
+
+u64 count_mismatches(const Memory& mem, const BuiltKernel& k,
+                     std::string& detail) {
+  u64 bad = 0;
+  for (u32 i = 0; i < k.expected.size(); ++i) {
+    const double got = mem.load_f64(k.out_base + 8 * i);
+    const double want = k.expected[i];
+    const bool equal = (got == want) || (std::isnan(got) && std::isnan(want));
+    if (!equal) {
+      if (bad == 0) {
+        std::ostringstream os;
+        os << "first mismatch at element " << i << ": got " << got
+           << ", want " << want;
+        detail = os.str();
+      }
+      ++bad;
+    }
+  }
+  return bad;
+}
+
+} // namespace
+
+RunResult run_on_simulator(const BuiltKernel& kernel,
+                           const sim::SimConfig& config,
+                           const energy::EnergyConfig& energy_config) {
+  RunResult r;
+  Memory mem;
+  sim::Simulator s(kernel.program, mem, config);
+  const HaltReason halt = s.run();
+  r.cycles = s.cycles();
+  r.perf = s.perf();
+  r.fpu_utilization = s.perf().fpu_utilization();
+  r.energy = energy::evaluate_run(s, energy_config);
+  r.tcdm_reads = s.tcdm().stats().reads;
+  r.tcdm_writes = s.tcdm().stats().writes;
+  r.tcdm_conflicts = s.tcdm().stats().conflicts;
+  if (halt != HaltReason::kEcall) {
+    r.error = kernel.name + ": simulator halted abnormally: " +
+              (s.error().empty() ? "(no message)" : s.error());
+    return r;
+  }
+  std::string detail;
+  r.mismatches = count_mismatches(mem, kernel, detail);
+  if (r.mismatches != 0) {
+    std::ostringstream os;
+    os << kernel.name << ": " << r.mismatches << " output mismatches; " << detail;
+    r.error = os.str();
+    return r;
+  }
+  r.ok = true;
+  return r;
+}
+
+IssRunResult run_on_iss(const BuiltKernel& kernel) {
+  IssRunResult r;
+  Memory mem;
+  Iss iss(kernel.program, mem);
+  const HaltReason halt = iss.run();
+  r.instructions = iss.instret();
+  if (halt != HaltReason::kEcall) {
+    r.error = kernel.name + ": ISS halted abnormally: " +
+              (iss.error().empty() ? "(no message)" : iss.error());
+    return r;
+  }
+  std::string detail;
+  r.mismatches = count_mismatches(mem, kernel, detail);
+  if (r.mismatches != 0) {
+    r.error = kernel.name + ": ISS output mismatch; " + detail;
+    return r;
+  }
+  r.ok = true;
+  return r;
+}
+
+} // namespace sch::kernels

@@ -1,0 +1,43 @@
+// One-call kernel execution: run a BuiltKernel on the functional ISS and/or
+// the cycle-level simulator, validate the output against the golden
+// reference, and collect performance + energy numbers.
+#pragma once
+
+#include <string>
+
+#include "energy/energy_model.hpp"
+#include "kernels/kernel_common.hpp"
+#include "sim/perf.hpp"
+#include "sim/sim_config.hpp"
+
+namespace sch::kernels {
+
+struct RunResult {
+  bool ok = false;            // halted cleanly and matched the golden output
+  std::string error;          // failure description when !ok
+  u64 cycles = 0;
+  double fpu_utilization = 0;
+  sim::PerfCounters perf;
+  energy::EnergyReport energy;
+  u64 tcdm_reads = 0;
+  u64 tcdm_writes = 0;
+  u64 tcdm_conflicts = 0;
+  u64 mismatches = 0;         // first-run output mismatches vs golden
+};
+
+/// Run on the cycle-level simulator; validates bit-exactly against
+/// kernel.expected.
+RunResult run_on_simulator(const BuiltKernel& kernel,
+                           const sim::SimConfig& config = {},
+                           const energy::EnergyConfig& energy_config = {});
+
+/// Run on the functional ISS only (validation + instruction count).
+struct IssRunResult {
+  bool ok = false;
+  std::string error;
+  u64 instructions = 0;
+  u64 mismatches = 0;
+};
+IssRunResult run_on_iss(const BuiltKernel& kernel);
+
+} // namespace sch::kernels

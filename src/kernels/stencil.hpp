@@ -1,0 +1,57 @@
+// SARIS-style 27-point stencil kernels (box3d1r, j3d27pt) in the paper's
+// five variants (Fig. 3). All variants interleave U=4 output points to hide
+// the 3-stage FMA latency and gather inputs through indirect SSR streams
+// with 16-bit index arrays (even/odd points split across two streamers).
+//
+// | variant    | SSR0        | SSR1        | SSR2         | coefficients    | writeback  | chain |
+// |------------|-------------|-------------|--------------|-----------------|------------|-------|
+// | Base--     | gather even | gather odd  | --           | fld (partial RF)| fsd        | off   |
+// | Base-      | gather even | gather odd  | write stream | fld (partial RF)| SSR2       | off   |
+// | Base [7]   | gather even | coef stream | gather odd   | streamed L1     | fsd        | off   |
+// | Chaining   | gather even | gather odd  | --           | resident in RF  | fsd        | on    |
+// | Chaining+  | gather even | gather odd  | write stream | resident in RF  | SSR2       | on    |
+//
+// The register arithmetic is the paper's story: without chaining the four
+// interleaved partial sums occupy four architectural registers and the 27
+// coefficients do not fit in the register file; with chaining one chained
+// register holds all four in-flight partial sums (they live in the FPU
+// pipeline registers), freeing enough registers to keep every coefficient
+// resident. Output is written compacted (one f64 per interior point in
+// row-major interior order); the golden reference uses the same layout and
+// the same FMA ordering, so results must match bit-exactly.
+#pragma once
+
+#include "kernels/kernel_common.hpp"
+
+namespace sch::kernels {
+
+// kStar3d1r (7-point) is an extension negative control: its coefficient set
+// fits the register file even without chaining, so the paper's advantage
+// should collapse (bench/ext_star_control).
+enum class StencilKind : u8 { kBox3d1r, kJ3d27pt, kStar3d1r };
+
+/// Neighbors in the stencil's support (27 for the paper's kernels, 7 for the
+/// star control).
+u32 stencil_neighbors(StencilKind kind);
+enum class StencilVariant : u8 { kBaseMM, kBaseM, kBase, kChaining, kChainingPlus };
+
+const char* stencil_kind_name(StencilKind kind);
+const char* stencil_variant_name(StencilVariant variant);
+
+struct StencilParams {
+  u32 nx = 12, ny = 12, nz = 12; // grid incl. radius-1 halo
+  /// Interleaved output points (= FPU depth + 1 = chain FIFO capacity).
+  u32 unroll = 4;
+  /// Coefficients kept resident in the RF for Base--/Base-; 0 = the maximum
+  /// the register file allows for the variant/kind (see stencil.cpp).
+  u32 resident_coefs = 0;
+};
+
+/// Number of interior points (must be a multiple of `unroll`).
+u32 stencil_interior_points(const StencilParams& params);
+
+/// Build the kernel program, its input data image and the golden output.
+BuiltKernel build_stencil(StencilKind kind, StencilVariant variant,
+                          const StencilParams& params = {});
+
+} // namespace sch::kernels

@@ -1,0 +1,161 @@
+#include "kernels/vecop.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "asm/builder.hpp"
+#include "isa/csr.hpp"
+#include "isa/reg.hpp"
+#include "ssr/ssr_config.hpp"
+
+namespace sch::kernels {
+
+using isa::FpReg;
+using isa::IntReg;
+
+namespace {
+
+/// Deterministic input patterns (exactly representable in f64).
+double c_value(u32 i) { return 0.25 * static_cast<double>((i * 7 + 3) % 64) - 4.0; }
+double d_value(u32 i) { return 0.5 * static_cast<double>((i * 13 + 1) % 32) - 8.0; }
+
+/// Configure an SSR as a 1-D f64 stream of `n` elements from/to `base`.
+void arm_linear_stream(ProgramBuilder& b, u32 ssr_id, u32 n, Addr base,
+                       bool is_write) {
+  using ssr::CfgReg;
+  b.li(isa::kT0, static_cast<i64>(n - 1));
+  b.scfgw(isa::kT0, ssr::cfg_index(ssr_id, CfgReg::kBound0));
+  b.li(isa::kT0, 8);
+  b.scfgw(isa::kT0, ssr::cfg_index(ssr_id, CfgReg::kStride0));
+  b.li(isa::kT1, static_cast<i64>(base));
+  b.scfgw(isa::kT1, ssr::cfg_index(ssr_id, is_write ? CfgReg::kWptr0 : CfgReg::kRptr0));
+}
+
+} // namespace
+
+const char* vecop_variant_name(VecopVariant v) {
+  switch (v) {
+    case VecopVariant::kBaseline: return "baseline";
+    case VecopVariant::kUnrolled: return "unrolled";
+    case VecopVariant::kChained: return "chained";
+    case VecopVariant::kChainedFrep: return "chained+frep";
+  }
+  return "?";
+}
+
+BuiltKernel build_vecop(VecopVariant variant, const VecopParams& p) {
+  if (p.unroll < 2 || p.unroll > 8) {
+    throw std::invalid_argument("vecop: unroll must be in 2..8");
+  }
+  if (p.n == 0 || p.n % p.unroll != 0) {
+    throw std::invalid_argument("vecop: n must be a positive multiple of unroll");
+  }
+  const u32 u = p.unroll;
+  ProgramBuilder b;
+
+  // --- data segment ---
+  std::vector<double> c(p.n), d(p.n);
+  for (u32 i = 0; i < p.n; ++i) {
+    c[i] = c_value(i);
+    d[i] = d_value(i);
+  }
+  const Addr c_base = b.data_f64(c);
+  const Addr d_base = b.data_f64(d);
+  const Addr a_base = b.data_zero(p.n * 8);
+  const Addr b_addr = b.data_f64({p.b});
+
+  // --- golden (same operation order: add then mul, one rounding each) ---
+  BuiltKernel out;
+  out.expected.resize(p.n);
+  for (u32 i = 0; i < p.n; ++i) out.expected[i] = p.b * (c[i] + d[i]);
+  out.out_base = a_base;
+  out.name = std::string("vecop/") + vecop_variant_name(variant);
+  out.useful_flops = 2ull * p.n;
+
+  // --- streams: SSR0 = c (read), SSR1 = d (read), SSR2 = a (write) ---
+  arm_linear_stream(b, 0, p.n, c_base, false);
+  arm_linear_stream(b, 1, p.n, d_base, false);
+  arm_linear_stream(b, 2, p.n, a_base, true);
+
+  // b constant in fa1 (above the widest accumulator block ft3..f10).
+  b.la(isa::kA0, b_addr);
+  b.fld(isa::kFa1, isa::kA0, 0);
+  b.csrwi(isa::csr::kSsrEnable, 1);
+
+  out.regs.ssr_regs = 3;
+  out.regs.fp_regs_used = 4; // ft0..ft2 + fa1
+
+  switch (variant) {
+    case VecopVariant::kBaseline: {
+      // Fig. 1a: per element, fadd -> fmul with the RAW stall.
+      b.li(isa::kA1, 0);
+      b.li(isa::kA2, static_cast<i64>(p.n));
+      b.label("loop");
+      b.fadd_d(isa::kFt3, isa::kFt0, isa::kFt1);
+      b.fmul_d(isa::kFt2, isa::kFt3, isa::kFa1);
+      b.addi(isa::kA1, isa::kA1, 1);
+      b.bne(isa::kA1, isa::kA2, "loop");
+      out.regs.fp_regs_used += 1;
+      out.regs.accumulator_regs = 1;
+      break;
+    }
+    case VecopVariant::kUnrolled: {
+      // Fig. 1b: the software FIFO costs u-1 extra registers on top of ft3.
+      b.li(isa::kA1, 0);
+      b.li(isa::kA2, static_cast<i64>(p.n / u));
+      b.label("loop");
+      for (u32 i = 0; i < u; ++i) {
+        b.fadd_d(static_cast<u8>(isa::kFt3 + i), isa::kFt0, isa::kFt1);
+      }
+      for (u32 i = 0; i < u; ++i) {
+        b.fmul_d(isa::kFt2, static_cast<u8>(isa::kFt3 + i), isa::kFa1);
+      }
+      b.addi(isa::kA1, isa::kA1, 1);
+      b.bne(isa::kA1, isa::kA2, "loop");
+      out.regs.fp_regs_used += u;
+      out.regs.accumulator_regs = u;
+      break;
+    }
+    case VecopVariant::kChained: {
+      // Fig. 1c: chaining mask bit 3 (ft3); same u-deep schedule, zero extra
+      // architectural registers.
+      b.li(isa::kT2, 8);
+      b.csrs(isa::csr::kChainMask, isa::kT2);
+      b.li(isa::kA1, 0);
+      b.li(isa::kA2, static_cast<i64>(p.n / u));
+      b.label("loop");
+      for (u32 i = 0; i < u; ++i) b.fadd_d(isa::kFt3, isa::kFt0, isa::kFt1);
+      for (u32 i = 0; i < u; ++i) b.fmul_d(isa::kFt2, isa::kFt3, isa::kFa1);
+      b.addi(isa::kA1, isa::kA1, 1);
+      b.bne(isa::kA1, isa::kA2, "loop");
+      b.csrw(isa::csr::kChainMask, 0);
+      out.regs.fp_regs_used += 1;
+      out.regs.accumulator_regs = 1;
+      out.regs.chained_regs = 1;
+      break;
+    }
+    case VecopVariant::kChainedFrep: {
+      // Chaining + hardware loop: the uniform 2u-instruction body fits the
+      // sequencer; the integer core only sets it up.
+      b.li(isa::kT2, 8);
+      b.csrs(isa::csr::kChainMask, isa::kT2);
+      b.li(isa::kT3, static_cast<i64>(p.n / u - 1));
+      b.frep_o(isa::kT3, static_cast<i32>(2 * u));
+      for (u32 i = 0; i < u; ++i) b.fadd_d(isa::kFt3, isa::kFt0, isa::kFt1);
+      for (u32 i = 0; i < u; ++i) b.fmul_d(isa::kFt2, isa::kFt3, isa::kFa1);
+      b.csrw(isa::csr::kChainMask, 0);
+      out.regs.fp_regs_used += 1;
+      out.regs.accumulator_regs = 1;
+      out.regs.chained_regs = 1;
+      break;
+    }
+  }
+
+  b.csrwi(isa::csr::kSsrEnable, 0);
+  b.ecall();
+
+  out.program = b.build();
+  return out;
+}
+
+} // namespace sch::kernels

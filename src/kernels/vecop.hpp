@@ -1,0 +1,33 @@
+// The paper's running example (Fig. 1): the vector operation a = b * (c + d)
+// on a stream-fed scalar core, in four scheduling variants:
+//  * kBaseline   - Fig. 1a: one fadd/fmul pair per element; the RAW
+//                  dependency wastes fpu_depth cycles per element;
+//  * kUnrolled   - Fig. 1b: 4x unrolled software FIFO using ft3..ft6
+//                  (+3 architectural registers);
+//  * kChained    - Fig. 1c: scalar chaining on ft3 (CSR 0x7C3 mask = 8),
+//                  same schedule with zero extra registers;
+//  * kChainedFrep - chaining + FREP hardware loop (the 8-instruction body
+//                  fits the sequencer, eliminating loop overhead too).
+#pragma once
+
+#include "kernels/kernel_common.hpp"
+
+namespace sch::kernels {
+
+enum class VecopVariant : u8 { kBaseline, kUnrolled, kChained, kChainedFrep };
+
+const char* vecop_variant_name(VecopVariant variant);
+
+struct VecopParams {
+  u32 n = 256;       // elements; multiple of `unroll`
+  double b = 2.0;    // the scalar constant
+  /// Software-FIFO depth for kUnrolled/kChained/kChainedFrep (2..8). Must be
+  /// >= fpu_depth + 1 to hide the FMA latency and <= fpu_depth + 1 for the
+  /// chained variants to avoid FIFO overflow, i.e. exactly depth + 1.
+  u32 unroll = 4;
+};
+
+/// Build the kernel and its golden output.
+BuiltKernel build_vecop(VecopVariant variant, const VecopParams& params = {});
+
+} // namespace sch::kernels

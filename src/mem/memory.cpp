@@ -1,0 +1,90 @@
+#include "mem/memory.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace sch {
+
+Memory::Memory()
+    : tcdm_(memmap::kTcdmSize, 0), main_(memmap::kMainSize, 0) {}
+
+bool Memory::valid(Addr addr, u32 bytes) const {
+  const u64 end = static_cast<u64>(addr) + bytes;
+  if (addr >= memmap::kTcdmBase && end <= memmap::kTcdmBase + memmap::kTcdmSize) return true;
+  if (addr >= memmap::kMainBase && end <= memmap::kMainBase + memmap::kMainSize) return true;
+  return false;
+}
+
+const u8* Memory::ptr(Addr addr, u32 bytes) const {
+  const u64 end = static_cast<u64>(addr) + bytes;
+  if (addr >= memmap::kTcdmBase && end <= memmap::kTcdmBase + memmap::kTcdmSize) {
+    return tcdm_.data() + (addr - memmap::kTcdmBase);
+  }
+  if (addr >= memmap::kMainBase && end <= memmap::kMainBase + memmap::kMainSize) {
+    return main_.data() + (addr - memmap::kMainBase);
+  }
+  throw std::out_of_range("memory access to unmapped address 0x" +
+                          std::to_string(addr));
+}
+
+u8* Memory::ptr(Addr addr, u32 bytes) {
+  return const_cast<u8*>(static_cast<const Memory*>(this)->ptr(addr, bytes));
+}
+
+u64 Memory::load(Addr addr, u32 bytes) const {
+  const u8* p = ptr(addr, bytes);
+  u64 v = 0;
+  std::memcpy(&v, p, bytes);
+  return v;
+}
+
+void Memory::store(Addr addr, u64 value, u32 bytes) {
+  u8* p = ptr(addr, bytes);
+  std::memcpy(p, &value, bytes);
+}
+
+double Memory::load_f64(Addr addr) const {
+  const u64 b = load(addr, 8);
+  double v;
+  std::memcpy(&v, &b, 8);
+  return v;
+}
+
+float Memory::load_f32(Addr addr) const {
+  const u64 b = load(addr, 4);
+  const u32 lo = static_cast<u32>(b);
+  float v;
+  std::memcpy(&v, &lo, 4);
+  return v;
+}
+
+void Memory::store_f64(Addr addr, double v) {
+  u64 b;
+  std::memcpy(&b, &v, 8);
+  store(addr, b, 8);
+}
+
+void Memory::store_f32(Addr addr, float v) {
+  u32 b;
+  std::memcpy(&b, &v, 4);
+  store(addr, b, 4);
+}
+
+void Memory::load_image(Addr base, std::span<const u8> bytes) {
+  if (bytes.empty()) return;
+  u8* p = ptr(base, static_cast<u32>(bytes.size()));
+  std::memcpy(p, bytes.data(), bytes.size());
+}
+
+std::vector<u8> Memory::read_block(Addr base, u32 bytes) const {
+  const u8* p = ptr(base, bytes);
+  return {p, p + bytes};
+}
+
+std::vector<double> Memory::read_f64_block(Addr base, u32 count) const {
+  std::vector<double> out(count);
+  for (u32 i = 0; i < count; ++i) out[i] = load_f64(base + 8 * i);
+  return out;
+}
+
+} // namespace sch

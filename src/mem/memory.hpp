@@ -1,0 +1,52 @@
+// Functional memory storage shared by the ISS and the cycle-level simulator.
+// Timing (banks, ports, arbitration) is modeled separately in tcdm.hpp; this
+// class is only the byte store with a region map.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "common/types.hpp"
+
+namespace sch {
+
+class Memory {
+ public:
+  Memory();
+
+  /// True when [addr, addr+bytes) lies inside a mapped region.
+  [[nodiscard]] bool valid(Addr addr, u32 bytes) const;
+
+  /// Little-endian load, zero-extended into 64 bits. `bytes` in {1,2,4,8}.
+  /// Throws std::out_of_range on unmapped access (modeling a bus error).
+  [[nodiscard]] u64 load(Addr addr, u32 bytes) const;
+  void store(Addr addr, u64 value, u32 bytes);
+
+  [[nodiscard]] double load_f64(Addr addr) const;
+  [[nodiscard]] float load_f32(Addr addr) const;
+  void store_f64(Addr addr, double v);
+  void store_f32(Addr addr, float v);
+
+  /// Copy an initial image (e.g. Program::data) into memory.
+  void load_image(Addr base, std::span<const u8> bytes);
+
+  /// Read back a block (tests, kernel result validation).
+  [[nodiscard]] std::vector<u8> read_block(Addr base, u32 bytes) const;
+  [[nodiscard]] std::vector<double> read_f64_block(Addr base, u32 count) const;
+
+  /// True when `addr` falls into the L1 TCDM region (bank-arbitrated).
+  [[nodiscard]] static bool in_tcdm(Addr addr) {
+    return addr >= memmap::kTcdmBase && addr < memmap::kTcdmBase + memmap::kTcdmSize;
+  }
+
+ private:
+  [[nodiscard]] const u8* ptr(Addr addr, u32 bytes) const;
+  [[nodiscard]] u8* ptr(Addr addr, u32 bytes);
+
+  std::vector<u8> tcdm_;
+  std::vector<u8> main_;
+};
+
+} // namespace sch

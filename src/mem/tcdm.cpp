@@ -1,0 +1,34 @@
+#include "mem/tcdm.hpp"
+
+#include <cassert>
+
+namespace sch {
+
+Tcdm::Tcdm(const TcdmConfig& config) : cfg_(config) {
+  assert(is_pow2(cfg_.num_banks));
+  bank_busy_.assign(cfg_.num_banks, false);
+}
+
+void Tcdm::begin_cycle() {
+  bank_busy_.assign(cfg_.num_banks, false);
+}
+
+bool Tcdm::request(TcdmPortId port, Addr addr, bool is_write) {
+  const u32 bank = bank_of(addr);
+  const u32 p = static_cast<u32>(port);
+  if (bank_busy_[bank]) {
+    ++stats_.conflicts;
+    ++stats_.conflicts_per_port[p];
+    return false;
+  }
+  bank_busy_[bank] = true;
+  ++stats_.grants_per_port[p];
+  if (is_write) {
+    ++stats_.writes;
+  } else {
+    ++stats_.reads;
+  }
+  return true;
+}
+
+} // namespace sch

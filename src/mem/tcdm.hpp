@@ -1,0 +1,61 @@
+// Timing model of the banked L1 scratchpad (TCDM). Storage lives in Memory;
+// this class models per-cycle bank arbitration between the core's LSU port
+// and the three SSR ports, and counts conflicts for the stall attribution
+// and the energy model.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "common/bitfield.hpp"
+#include "common/types.hpp"
+
+namespace sch {
+
+struct TcdmConfig {
+  u32 num_banks = 32;
+  /// log2 of the bank word size in bytes (8-byte banks, Snitch-style).
+  u32 bank_word_log2 = 3;
+};
+
+/// Requester ports in fixed priority order (core wins ties; SSR ports are
+/// rotated round-robin by the caller's invocation order each cycle).
+enum class TcdmPortId : u8 { kCoreLsu = 0, kSsr0 = 1, kSsr1 = 2, kSsr2 = 3 };
+inline constexpr u32 kNumTcdmPorts = 4;
+
+struct TcdmStats {
+  u64 reads = 0;
+  u64 writes = 0;
+  u64 conflicts = 0;  // denied port-cycles
+  std::array<u64, kNumTcdmPorts> grants_per_port{};
+  std::array<u64, kNumTcdmPorts> conflicts_per_port{};
+};
+
+class Tcdm {
+ public:
+  explicit Tcdm(const TcdmConfig& config = {});
+
+  /// Clear per-cycle bank occupancy. Call once per simulated cycle.
+  void begin_cycle();
+
+  /// Try to access the bank holding `addr` for `port`. Returns true when the
+  /// bank is free this cycle (access granted; data available next cycle).
+  /// Callers must invoke in priority order within a cycle.
+  bool request(TcdmPortId port, Addr addr, bool is_write);
+
+  [[nodiscard]] u32 bank_of(Addr addr) const {
+    return (static_cast<u32>(addr - memmap::kTcdmBase) >> cfg_.bank_word_log2) %
+           cfg_.num_banks;
+  }
+
+  [[nodiscard]] const TcdmStats& stats() const { return stats_; }
+  [[nodiscard]] const TcdmConfig& config() const { return cfg_; }
+
+ private:
+  TcdmConfig cfg_;
+  std::vector<bool> bank_busy_;
+  TcdmStats stats_;
+};
+
+} // namespace sch

@@ -1,0 +1,435 @@
+#include "sim/fp_subsystem.hpp"
+
+#include "isa/disasm.hpp"
+#include "iss/exec_semantics.hpp"
+
+namespace sch::sim {
+
+using isa::ExecClass;
+using isa::Instr;
+using isa::Mnemonic;
+using isa::RegClass;
+
+FpSubsystem::FpSubsystem(const SimConfig& cfg, Memory& mem, Tcdm& tcdm,
+                         PerfCounters& perf)
+    : cfg_(cfg),
+      mem_(mem),
+      tcdm_(tcdm),
+      perf_(perf),
+      seq_(cfg.fp_queue_depth, cfg.seq_buffer_depth),
+      pipe_(cfg.fpu_depth),
+      chain_(cfg.strict_chain_handoff),
+      streamers_{ssr::Streamer(cfg.ssr), ssr::Streamer(cfg.ssr),
+                 ssr::Streamer(cfg.ssr)} {}
+
+bool FpSubsystem::quiescent() const {
+  if (!seq_.idle() || latch_.has_value() || !pipe_.empty() || div_.busy ||
+      lsu_.busy) {
+    return false;
+  }
+  for (const ssr::Streamer& s : streamers_) {
+    if (s.dir() == ssr::StreamDir::kWrite && !s.idle()) return false;
+  }
+  return true;
+}
+
+void FpSubsystem::set_chain_mask(u32 mask) {
+  // Disabling a register latches its unpopped element (if any) into the RF.
+  const u32 old_mask = chain_.mask();
+  for (u8 r = 0; r < isa::kNumFpRegs; ++r) {
+    const bool was = ((old_mask >> r) & 1u) != 0;
+    const bool now = ((mask >> r) & 1u) != 0;
+    if (was && !now && chain_.valid(r)) fregs_[r] = chain_.value(r);
+  }
+  chain_.set_mask(mask);
+}
+
+Status FpSubsystem::cfg_write(i32 index, u32 value) {
+  auto result = ssr::apply_cfg_write(ssr_cfgs_, index, value);
+  if (!result.ok()) return result.status();
+  if (const auto& arm = result.value(); arm.has_value()) {
+    streamers_[arm->ssr].arm(ssr_cfgs_[arm->ssr], arm->ptr, arm->dims, arm->dir);
+  }
+  return Status::ok();
+}
+
+u32 FpSubsystem::cfg_read(i32 index) const {
+  std::array<bool, ssr::kNumSsrs> active{};
+  for (u32 i = 0; i < ssr::kNumSsrs; ++i) active[i] = !streamers_[i].idle();
+  return ssr::apply_cfg_read(ssr_cfgs_, index, active);
+}
+
+void FpSubsystem::begin_cycle(Cycle now) {
+  chain_.begin_cycle();
+  for (ssr::Streamer& s : streamers_) s.begin_cycle(now);
+  last_issue_.clear();
+  last_stall_.clear();
+}
+
+FpSubsystem::SrcKind FpSubsystem::classify_src(u8 reg) const {
+  if (ssr_enabled_ && reg < ssr::kNumSsrs &&
+      streamers_[reg].dir() != ssr::StreamDir::kNone) {
+    return SrcKind::kSsr;
+  }
+  if (chain_.enabled(reg)) return SrcKind::kChain;
+  return SrcKind::kRf;
+}
+
+bool FpSubsystem::src_ready(u8 reg) {
+  switch (classify_src(reg)) {
+    case SrcKind::kSsr: {
+      const ssr::Streamer& s = streamers_[reg];
+      if (s.dir() != ssr::StreamDir::kRead) {
+        fail("read of SSR register " + std::string(isa::fp_reg_name(reg)) +
+             " armed as a write stream");
+        return false;
+      }
+      if (!s.can_pop()) {
+        ++perf_.stall_ssr_empty;
+        last_stall_ = "ssr-empty";
+        return false;
+      }
+      return true;
+    }
+    case SrcKind::kChain:
+      if (!chain_.can_pop(reg)) {
+        ++perf_.stall_chain_empty;
+        last_stall_ = "chain-empty";
+        return false;
+      }
+      return true;
+    case SrcKind::kRf:
+      if (busy_f_[reg] != 0) {
+        ++perf_.stall_fp_raw;
+        last_stall_ = "raw";
+        return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+u64 FpSubsystem::read_src(u8 reg) {
+  switch (classify_src(reg)) {
+    case SrcKind::kSsr:
+      return streamers_[reg].pop();
+    case SrcKind::kChain:
+      return chain_.pop(reg);
+    case SrcKind::kRf:
+      ++perf_.rf_fp_reads;
+      return fregs_[reg];
+  }
+  return 0;
+}
+
+std::optional<DestKind> FpSubsystem::resolve_dest(u8 rd) {
+  if (ssr_enabled_ && rd < ssr::kNumSsrs &&
+      streamers_[rd].dir() != ssr::StreamDir::kNone) {
+    if (streamers_[rd].dir() != ssr::StreamDir::kWrite) {
+      fail("write to SSR register " + std::string(isa::fp_reg_name(rd)) +
+           " armed as a read stream");
+      return std::nullopt;
+    }
+    return DestKind::kSsrWrite;
+  }
+  if (chain_.enabled(rd)) return DestKind::kChain; // no WAW for chained regs
+  if (busy_f_[rd] != 0) {
+    ++perf_.stall_fp_waw;
+    last_stall_ = "waw";
+    return std::nullopt;
+  }
+  return DestKind::kFpReg;
+}
+
+void FpSubsystem::fill_compute(const FpOp& op, [[maybe_unused]] Cycle now) {
+  const Instr& in = op.in;
+  const isa::MnemonicInfo& mi = in.meta();
+  const bool is_div = mi.exec == ExecClass::kFpDiv || mi.exec == ExecClass::kFpSqrt;
+  if (is_div && div_.busy) {
+    ++perf_.stall_fpu_busy;
+    last_stall_ = "div-busy";
+    return;
+  }
+
+  // Gather the *unique* FP source registers: an instruction naming the same
+  // stream/chain register in several operand slots pops it once and feeds
+  // all slots (fmv.d/fabs.d from a stream are idiomatic; Snitch semantics).
+  std::array<u8, 3> uniq{};
+  u32 n_uniq = 0;
+  auto add_src = [&](u8 reg) {
+    for (u32 i = 0; i < n_uniq; ++i) {
+      if (uniq[i] == reg) return;
+    }
+    uniq[n_uniq++] = reg;
+  };
+  if (mi.rs1 == RegClass::kFp) add_src(in.rs1);
+  if (mi.rs2 == RegClass::kFp) add_src(in.rs2);
+  if (mi.rs3 == RegClass::kFp) add_src(in.rs3);
+  for (u32 i = 0; i < n_uniq; ++i) {
+    if (!src_ready(uniq[i])) return;
+  }
+
+  DestKind dest = DestKind::kIntReg;
+  if (mi.rd == RegClass::kFp) {
+    const auto d = resolve_dest(in.rd);
+    if (!d) return;
+    dest = *d;
+  }
+
+  // Commit: pop/read each unique operand once and fan the value out.
+  std::array<u64, 3> uniq_val{};
+  for (u32 i = 0; i < n_uniq; ++i) uniq_val[i] = read_src(uniq[i]);
+  auto val_of = [&](u8 reg) -> u64 {
+    for (u32 i = 0; i < n_uniq; ++i) {
+      if (uniq[i] == reg) return uniq_val[i];
+    }
+    return 0;
+  };
+  u64 a = 0, b = 0, c = 0;
+  if (mi.rs1 == RegClass::kFp) a = val_of(in.rs1);
+  if (mi.rs2 == RegClass::kFp) b = val_of(in.rs2);
+  if (mi.rs3 == RegClass::kFp) c = val_of(in.rs3);
+
+  u64 result = 0;
+  switch (mi.exec) {
+    case ExecClass::kFpMac:
+    case ExecClass::kFpDiv:
+    case ExecClass::kFpSqrt:
+      result = exec::fp_compute(in.mn, a, b, c);
+      break;
+    case ExecClass::kFpCmp:
+    case ExecClass::kFpCvtF2I:
+      result = exec::fp_to_int(in.mn, a, b);
+      break;
+    case ExecClass::kFpCvtI2F:
+      result = exec::int_to_fp(in.mn, op.int_operand);
+      break;
+    default:
+      fail("fill_compute: unexpected exec class");
+      return;
+  }
+
+  FpuSlot slot;
+  slot.busy = true;
+  slot.mn = in.mn;
+  slot.rd = in.rd;
+  slot.dest = dest;
+  slot.result = result;
+  slot.seq = ++issue_seq_;
+  if (dest == DestKind::kFpReg) ++busy_f_[in.rd];
+
+  latch_ = LatchEntry{slot, is_div ? ExecClass::kFpDiv : ExecClass::kFpMac};
+  seq_.pop_front();
+  ++perf_.fp_instrs;
+  if (is_div) {
+    ++perf_.fp_div_ops;
+  } else {
+    ++perf_.fp_mac_ops;
+  }
+  last_issue_ = isa::disassemble(in);
+}
+
+void FpSubsystem::fill_load(const FpOp& op, Cycle now, CorePort& port) {
+  const Instr& in = op.in;
+  if (lsu_.busy) {
+    ++perf_.stall_fp_lsu;
+    last_stall_ = "lsu-busy";
+    return;
+  }
+  const auto d = resolve_dest(in.rd);
+  if (!d) return;
+  const Addr ea = op.int_operand;
+  if (!mem_.valid(ea, in.meta().mem_bytes)) {
+    fail("fp load from unmapped address");
+    return;
+  }
+  Cycle ready_at;
+  if (Memory::in_tcdm(ea)) {
+    if (port.used) {
+      ++perf_.stall_fp_lsu;
+      last_stall_ = "lsu-port";
+      return;
+    }
+    if (!tcdm_.request(TcdmPortId::kCoreLsu, ea, /*is_write=*/false)) {
+      ++perf_.stall_fp_lsu;
+      last_stall_ = "lsu-bank";
+      return;
+    }
+    port.used = true;
+    ready_at = now + 1 + cfg_.load_latency;
+  } else {
+    ready_at = now + cfg_.main_mem_latency;
+  }
+  const u64 raw = mem_.load(ea, in.meta().mem_bytes);
+  lsu_.busy = true;
+  lsu_.rd = in.rd;
+  lsu_.dest = *d;
+  lsu_.value = in.meta().mem_bytes == 4 ? exec::box32(static_cast<u32>(raw)) : raw;
+  lsu_.ready_at = ready_at;
+  if (*d == DestKind::kFpReg) ++busy_f_[in.rd];
+  seq_.pop_front();
+  ++perf_.fp_instrs;
+  ++perf_.fp_loads;
+  last_issue_ = isa::disassemble(in);
+}
+
+void FpSubsystem::fill_store(const FpOp& op, Cycle now, CorePort& port) {
+  const Instr& in = op.in;
+  if (!src_ready(in.rs2)) return;
+  const Addr ea = op.int_operand;
+  if (!mem_.valid(ea, in.meta().mem_bytes)) {
+    fail("fp store to unmapped address");
+    return;
+  }
+  if (Memory::in_tcdm(ea)) {
+    if (port.used) {
+      ++perf_.stall_fp_lsu;
+      last_stall_ = "lsu-port";
+      return;
+    }
+    if (!tcdm_.request(TcdmPortId::kCoreLsu, ea, /*is_write=*/true)) {
+      ++perf_.stall_fp_lsu;
+      last_stall_ = "lsu-bank";
+      return;
+    }
+    port.used = true;
+  }
+  const u64 v = read_src(in.rs2);
+  mem_.store(ea, in.meta().mem_bytes == 4 ? exec::unbox32(v) : v,
+             in.meta().mem_bytes);
+  seq_.pop_front();
+  ++perf_.fp_instrs;
+  ++perf_.fp_stores;
+  last_issue_ = isa::disassemble(in);
+  (void)now;
+}
+
+void FpSubsystem::try_fill_latch(Cycle now, CorePort& port) {
+  if (latch_.has_value()) return;
+  const auto op = seq_.front();
+  if (seq_.has_error()) {
+    fail(seq_.error());
+    return;
+  }
+  if (!op.has_value()) {
+    ++perf_.fp_queue_empty;
+    return;
+  }
+  switch (op->in.meta().exec) {
+    case ExecClass::kFpMac:
+    case ExecClass::kFpDiv:
+    case ExecClass::kFpSqrt:
+    case ExecClass::kFpCmp:
+    case ExecClass::kFpCvtF2I:
+    case ExecClass::kFpCvtI2F:
+      fill_compute(*op, now);
+      return;
+    case ExecClass::kFpLoad:
+      fill_load(*op, now, port);
+      return;
+    case ExecClass::kFpStore:
+      fill_store(*op, now, port);
+      return;
+    default:
+      fail("non-FP instruction reached the FP issue stage: " +
+           isa::disassemble(op->in));
+  }
+}
+
+bool FpSubsystem::try_writeback(const FpuSlot& slot, Cycle now) {
+  switch (slot.dest) {
+    case DestKind::kFpReg:
+      fregs_[slot.rd] = slot.result;
+      --busy_f_[slot.rd];
+      ++perf_.rf_fp_writes;
+      return true;
+    case DestKind::kChain:
+      if (!chain_.can_push(slot.rd)) {
+        ++perf_.stall_chain_full;
+        chain_.count_backpressure();
+        return false;
+      }
+      chain_.push(slot.rd, slot.result);
+      return true;
+    case DestKind::kSsrWrite:
+      if (!streamers_[slot.rd].can_push()) {
+        ++perf_.stall_ssr_wfull;
+        return false;
+      }
+      streamers_[slot.rd].push(slot.result);
+      return true;
+    case DestKind::kIntReg:
+      if (int_wb_) int_wb_({slot.rd, static_cast<u32>(slot.result), now + 1});
+      return true;
+    case DestKind::kNone:
+      return true;
+  }
+  return true;
+}
+
+void FpSubsystem::tick_lsu(Cycle now) {
+  if (!lsu_.busy || now < lsu_.ready_at) return;
+  FpuSlot slot;
+  slot.busy = true;
+  slot.rd = lsu_.rd;
+  slot.dest = lsu_.dest;
+  slot.result = lsu_.value;
+  if (try_writeback(slot, now)) lsu_.busy = false;
+}
+
+void FpSubsystem::drain_latch(Cycle now) {
+  if (!latch_.has_value()) return;
+  if (latch_->unit == ExecClass::kFpDiv) {
+    if (div_.busy) return;
+    div_.busy = true;
+    div_.slot = latch_->slot;
+    const bool is_sqrt = latch_->slot.mn == Mnemonic::kFsqrtD ||
+                         latch_->slot.mn == Mnemonic::kFsqrtS;
+    div_.done_at = now + (is_sqrt ? cfg_.fsqrt_latency : cfg_.fdiv_latency);
+    ++perf_.fpu_ops;
+    latch_.reset();
+    return;
+  }
+  if (!pipe_.stage0_free()) {
+    if (last_stall_.empty()) last_stall_ = "pipe-frozen";
+    ++perf_.stall_fpu_busy;
+    return;
+  }
+  pipe_.insert(latch_->slot);
+  ++perf_.fpu_ops;
+  latch_.reset();
+}
+
+void FpSubsystem::tick(Cycle now, CorePort& port) {
+  if (has_error()) return;
+
+  // 1. LSU completion (loads land in RF/chain FIFO).
+  tick_lsu(now);
+
+  // 2. Issue stage: operand pops happen here, before writeback pushes.
+  try_fill_latch(now, port);
+
+  // 3. Pipeline writeback + advance (pushes into chain/SSR FIFOs). A blocked
+  //    writeback freezes the whole pipeline: this is the paper's chaining
+  //    backpressure (and the SSR write-FIFO backpressure).
+  bool wb_used = false;
+  if (pipe_.last().busy) {
+    if (try_writeback(pipe_.last(), now)) {
+      pipe_.clear_last();
+      pipe_.advance();
+      wb_used = true;
+    }
+  } else {
+    pipe_.advance();
+  }
+
+  // 4. Iterative unit shares the single writeback port with the pipeline.
+  if (div_.ready(now) && !wb_used) {
+    if (try_writeback(div_.slot, now)) div_.busy = false;
+  }
+
+  // 5. Move the latched instruction into its unit if possible.
+  drain_latch(now);
+}
+
+} // namespace sch::sim

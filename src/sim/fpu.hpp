@@ -1,0 +1,69 @@
+// Pipelined FPU model. Results are computed at issue (functional-ahead) and
+// carried through the pipeline; writeback applies them to the destination:
+// FP register file, chain FIFO (push), SSR write stream, or the integer
+// core (compares/conversions). A blocked writeback freezes the pipeline --
+// this freeze is exactly the chaining backpressure mechanism of the paper.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/instr.hpp"
+
+namespace sch::sim {
+
+/// Where a result goes at writeback.
+enum class DestKind : u8 { kNone, kFpReg, kChain, kSsrWrite, kIntReg };
+
+struct FpuSlot {
+  bool busy = false;
+  isa::Mnemonic mn = isa::Mnemonic::kInvalid;
+  u8 rd = 0;
+  DestKind dest = DestKind::kNone;
+  u64 result = 0;
+  u64 seq = 0; // issue order, for traces
+};
+
+class FpuPipeline {
+ public:
+  explicit FpuPipeline(u32 depth) : stages_(depth) {}
+
+  [[nodiscard]] u32 depth() const { return static_cast<u32>(stages_.size()); }
+  [[nodiscard]] bool stage0_free() const { return !stages_.front().busy; }
+  [[nodiscard]] const FpuSlot& last() const { return stages_.back(); }
+  [[nodiscard]] const FpuSlot& stage(u32 i) const { return stages_[i]; }
+  [[nodiscard]] bool empty() const {
+    for (const FpuSlot& s : stages_) {
+      if (s.busy) return false;
+    }
+    return true;
+  }
+
+  /// Insert into stage 0 (issue). Requires stage0_free().
+  void insert(const FpuSlot& slot) { stages_.front() = slot; }
+
+  /// Advance one cycle after the last stage was written back (or was empty):
+  /// shifts every slot forward and clears stage 0.
+  void advance() {
+    for (usize i = stages_.size(); i-- > 1;) stages_[i] = stages_[i - 1];
+    stages_.front() = FpuSlot{};
+  }
+
+  /// Clear the last stage in place (writeback done, used before advance()).
+  void clear_last() { stages_.back() = FpuSlot{}; }
+
+ private:
+  std::vector<FpuSlot> stages_;
+};
+
+/// Iterative (unpipelined) unit for fdiv/fsqrt.
+struct IterativeUnit {
+  bool busy = false;
+  FpuSlot slot{};
+  Cycle done_at = 0;
+
+  [[nodiscard]] bool ready(Cycle now) const { return busy && now >= done_at; }
+};
+
+} // namespace sch::sim

@@ -1,0 +1,409 @@
+#include "sim/int_core.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "isa/csr.hpp"
+#include "isa/disasm.hpp"
+#include "iss/exec_semantics.hpp"
+
+namespace sch::sim {
+
+using isa::ExecClass;
+using isa::Instr;
+using isa::Mnemonic;
+
+IntCore::IntCore(const Program& prog, Memory& mem, Tcdm& tcdm,
+                 const SimConfig& cfg, PerfCounters& perf, FpSubsystem& fp)
+    : prog_(prog), mem_(mem), tcdm_(tcdm), cfg_(cfg), perf_(perf), fp_(fp),
+      pc_(prog.text_base) {}
+
+void IntCore::fail(const std::string& message) {
+  if (halt_ != HaltReason::kNone) return;
+  halt_ = HaltReason::kError;
+  std::ostringstream os;
+  os << "pc=0x" << std::hex << pc_ << std::dec << ": " << message;
+  error_ = os.str();
+}
+
+void IntCore::schedule_write(u8 rd, u32 value, Cycle ready_at) {
+  if (rd == 0) return;
+  busy_x_[rd] = true;
+  pending_.push_back({rd, value, ready_at});
+}
+
+void IntCore::commit_pending(Cycle now) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->ready_at <= now) {
+      write_x(it->rd, it->value);
+      busy_x_[it->rd] = false;
+      ++perf_.rf_int_writes;
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+u32 IntCore::csr_read(u32 addr, Cycle now) const {
+  switch (addr) {
+    case isa::csr::kCycle:
+    case isa::csr::kMcycle:
+      return static_cast<u32>(now);
+    case isa::csr::kInstret:
+    case isa::csr::kMinstret:
+      return static_cast<u32>(perf_.total_retired());
+    case isa::csr::kMhartid:
+      return 0;
+    case isa::csr::kSsrEnable:
+      return fp_.ssr_enabled() ? 1u : 0u;
+    case isa::csr::kChainMask:
+      return fp_.chain_mask();
+    default:
+      return 0;
+  }
+}
+
+void IntCore::csr_apply(u32 addr, u32 value) {
+  switch (addr) {
+    case isa::csr::kSsrEnable:
+      fp_.set_ssr_enable((value & 1u) != 0);
+      return;
+    case isa::csr::kChainMask:
+      fp_.set_chain_mask(value);
+      return;
+    default:
+      return; // other CSRs are read-only or no-op in this model
+  }
+}
+
+void IntCore::exec_offload(const Instr& in, [[maybe_unused]] Cycle now) {
+  const isa::MnemonicInfo& mi = in.meta();
+  // Integer operands are captured at offload time.
+  const bool needs_rs1 = mi.rs1 == isa::RegClass::kInt;
+  if (needs_rs1 && !ready_x(in.rs1)) {
+    ++perf_.stall_int_raw;
+    return;
+  }
+  // FP->int results write back asynchronously; guard in-order WAW.
+  const bool writes_int = mi.rd == isa::RegClass::kInt;
+  if (writes_int && !ready_x(in.rd)) {
+    ++perf_.stall_int_raw;
+    return;
+  }
+  if (!fp_.offload_ready()) {
+    ++perf_.stall_offload_full;
+    return;
+  }
+
+  FpOp op;
+  op.in = in;
+  if (needs_rs1) {
+    ++perf_.rf_int_reads;
+    const u32 rs1 = read_x(in.rs1);
+    op.int_operand = (mi.exec == ExecClass::kFpLoad || mi.exec == ExecClass::kFpStore)
+                         ? rs1 + static_cast<u32>(in.imm)
+                         : rs1;
+  }
+  if (writes_int) busy_x_[in.rd] = true; // released by the FP writeback
+  fp_.offload(op);
+  ++perf_.offloads;
+  last_issue_ = "offload " + isa::disassemble(in);
+  pc_ += 4;
+}
+
+void IntCore::exec_int(const Instr& in, Cycle now, CorePort& port) {
+  const isa::MnemonicInfo& mi = in.meta();
+  switch (mi.exec) {
+    case ExecClass::kIntAlu: {
+      u32 result;
+      if (in.mn == Mnemonic::kLui) {
+        result = static_cast<u32>(in.imm) << 12;
+      } else if (in.mn == Mnemonic::kAuipc) {
+        result = pc_ + (static_cast<u32>(in.imm) << 12);
+      } else {
+        if (!ready_x(in.rs1) ||
+            (mi.rs2 == isa::RegClass::kInt && !ready_x(in.rs2))) {
+          ++perf_.stall_int_raw;
+          return;
+        }
+        ++perf_.rf_int_reads;
+        const u32 a = read_x(in.rs1);
+        u32 b;
+        if (mi.fmt == isa::Format::kI) {
+          b = static_cast<u32>(in.imm);
+        } else {
+          ++perf_.rf_int_reads;
+          b = read_x(in.rs2);
+        }
+        result = exec::int_op(in.mn, a, b);
+      }
+      if (!ready_x(in.rd)) {
+        ++perf_.stall_int_raw;
+        return;
+      }
+      write_x(in.rd, result);
+      ++perf_.rf_int_writes;
+      ++perf_.int_alu_ops;
+      ++perf_.int_instrs;
+      last_issue_ = isa::disassemble(in);
+      pc_ += 4;
+      return;
+    }
+    case ExecClass::kIntMul: {
+      if (!ready_x(in.rs1) || !ready_x(in.rs2) || !ready_x(in.rd)) {
+        ++perf_.stall_int_raw;
+        return;
+      }
+      perf_.rf_int_reads += 2;
+      const u32 result = exec::int_op(in.mn, read_x(in.rs1), read_x(in.rs2));
+      schedule_write(in.rd, result, now + cfg_.int_mul_latency);
+      ++perf_.int_mul_ops;
+      ++perf_.int_instrs;
+      last_issue_ = isa::disassemble(in);
+      pc_ += 4;
+      return;
+    }
+    case ExecClass::kIntDiv: {
+      if (!ready_x(in.rs1) || !ready_x(in.rs2) || !ready_x(in.rd)) {
+        ++perf_.stall_int_raw;
+        return;
+      }
+      perf_.rf_int_reads += 2;
+      const u32 result = exec::int_op(in.mn, read_x(in.rs1), read_x(in.rs2));
+      write_x(in.rd, result);
+      ++perf_.rf_int_writes;
+      div_busy_until_ = now + cfg_.int_div_latency; // blocking divider
+      ++perf_.int_div_ops;
+      ++perf_.int_instrs;
+      last_issue_ = isa::disassemble(in);
+      pc_ += 4;
+      return;
+    }
+    case ExecClass::kLoad: {
+      if (!ready_x(in.rs1) || !ready_x(in.rd)) {
+        ++perf_.stall_int_raw;
+        return;
+      }
+      const Addr ea = read_x(in.rs1) + static_cast<u32>(in.imm);
+      if (!mem_.valid(ea, mi.mem_bytes)) {
+        fail("load from unmapped address");
+        return;
+      }
+      Cycle ready_at;
+      if (Memory::in_tcdm(ea)) {
+        if (port.used) {
+          ++perf_.stall_int_lsu;
+          return;
+        }
+        if (!tcdm_.request(TcdmPortId::kCoreLsu, ea, false)) {
+          ++perf_.stall_int_lsu;
+          return;
+        }
+        port.used = true;
+        ready_at = now + 1 + cfg_.load_latency;
+      } else {
+        ready_at = now + cfg_.main_mem_latency;
+      }
+      ++perf_.rf_int_reads;
+      u64 v = mem_.load(ea, mi.mem_bytes);
+      if (in.mn == Mnemonic::kLb) v = static_cast<u32>(static_cast<i32>(static_cast<i8>(v)));
+      if (in.mn == Mnemonic::kLh) v = static_cast<u32>(static_cast<i32>(static_cast<i16>(v)));
+      schedule_write(in.rd, static_cast<u32>(v), ready_at);
+      ++perf_.int_loads;
+      ++perf_.int_instrs;
+      last_issue_ = isa::disassemble(in);
+      pc_ += 4;
+      return;
+    }
+    case ExecClass::kStore: {
+      if (!ready_x(in.rs1) || !ready_x(in.rs2)) {
+        ++perf_.stall_int_raw;
+        return;
+      }
+      const Addr ea = read_x(in.rs1) + static_cast<u32>(in.imm);
+      if (!mem_.valid(ea, mi.mem_bytes)) {
+        fail("store to unmapped address");
+        return;
+      }
+      if (Memory::in_tcdm(ea)) {
+        if (port.used) {
+          ++perf_.stall_int_lsu;
+          return;
+        }
+        if (!tcdm_.request(TcdmPortId::kCoreLsu, ea, true)) {
+          ++perf_.stall_int_lsu;
+          return;
+        }
+        port.used = true;
+      }
+      perf_.rf_int_reads += 2;
+      mem_.store(ea, read_x(in.rs2), mi.mem_bytes);
+      ++perf_.int_stores;
+      ++perf_.int_instrs;
+      last_issue_ = isa::disassemble(in);
+      pc_ += 4;
+      return;
+    }
+    case ExecClass::kBranch: {
+      if (!ready_x(in.rs1) || !ready_x(in.rs2)) {
+        ++perf_.stall_int_raw;
+        return;
+      }
+      perf_.rf_int_reads += 2;
+      ++perf_.branches;
+      ++perf_.int_instrs;
+      last_issue_ = isa::disassemble(in);
+      if (exec::branch_taken(in.mn, read_x(in.rs1), read_x(in.rs2))) {
+        pc_ += static_cast<u32>(in.imm);
+        bubbles_ = cfg_.taken_branch_penalty;
+      } else {
+        pc_ += 4;
+      }
+      return;
+    }
+    case ExecClass::kJump: {
+      if (in.mn == Mnemonic::kJalr && !ready_x(in.rs1)) {
+        ++perf_.stall_int_raw;
+        return;
+      }
+      if (!ready_x(in.rd)) {
+        ++perf_.stall_int_raw;
+        return;
+      }
+      const u32 link = pc_ + 4;
+      if (in.mn == Mnemonic::kJal) {
+        pc_ += static_cast<u32>(in.imm);
+      } else {
+        ++perf_.rf_int_reads;
+        pc_ = (read_x(in.rs1) + static_cast<u32>(in.imm)) & ~1u;
+      }
+      write_x(in.rd, link);
+      ++perf_.rf_int_writes;
+      bubbles_ = cfg_.taken_branch_penalty;
+      ++perf_.int_instrs;
+      last_issue_ = isa::disassemble(in);
+      return;
+    }
+    case ExecClass::kCsr: {
+      const u32 addr = static_cast<u32>(in.imm);
+      // Stream/chaining CSR writes serialize against in-flight FP work, so
+      // enabling/disabling SSRs or chaining never races the FPU pipeline.
+      if (isa::csr::is_stream_csr(addr) && !fp_.quiescent()) {
+        ++perf_.stall_csr_barrier;
+        return;
+      }
+      u32 operand = 0;
+      const bool reg_form = in.mn == Mnemonic::kCsrrw ||
+                            in.mn == Mnemonic::kCsrrs || in.mn == Mnemonic::kCsrrc;
+      if (reg_form) {
+        if (!ready_x(in.rs1)) {
+          ++perf_.stall_int_raw;
+          return;
+        }
+        ++perf_.rf_int_reads;
+        operand = read_x(in.rs1);
+      } else {
+        operand = in.rs1; // zimm
+      }
+      if (!ready_x(in.rd)) {
+        ++perf_.stall_int_raw;
+        return;
+      }
+      const u32 old = csr_read(addr, now);
+      switch (in.mn) {
+        case Mnemonic::kCsrrw: case Mnemonic::kCsrrwi:
+          csr_apply(addr, operand);
+          break;
+        case Mnemonic::kCsrrs: case Mnemonic::kCsrrsi:
+          if (operand != 0) csr_apply(addr, old | operand);
+          break;
+        default:
+          if (operand != 0) csr_apply(addr, old & ~operand);
+      }
+      write_x(in.rd, old);
+      ++perf_.csr_ops;
+      ++perf_.int_instrs;
+      last_issue_ = isa::disassemble(in);
+      pc_ += 4;
+      return;
+    }
+    case ExecClass::kScfg: {
+      if (in.mn == Mnemonic::kScfgw) {
+        if (!ready_x(in.rs1)) {
+          ++perf_.stall_int_raw;
+          return;
+        }
+        ++perf_.rf_int_reads;
+        const Status s = fp_.cfg_write(in.imm, read_x(in.rs1));
+        if (!s.is_ok()) {
+          fail(s.message());
+          return;
+        }
+      } else {
+        if (!ready_x(in.rd)) {
+          ++perf_.stall_int_raw;
+          return;
+        }
+        write_x(in.rd, fp_.cfg_read(in.imm));
+        ++perf_.rf_int_writes;
+      }
+      ++perf_.csr_ops;
+      ++perf_.int_instrs;
+      last_issue_ = isa::disassemble(in);
+      pc_ += 4;
+      return;
+    }
+    case ExecClass::kSystem: {
+      if (in.mn == Mnemonic::kEcall) {
+        halt_ = HaltReason::kEcall;
+        return;
+      }
+      if (in.mn == Mnemonic::kEbreak) {
+        halt_ = HaltReason::kEbreak;
+        return;
+      }
+      // fence: wait for FP-subsystem quiescence (memory ordering barrier).
+      if (!fp_.quiescent()) {
+        ++perf_.stall_csr_barrier;
+        return;
+      }
+      ++perf_.int_instrs;
+      last_issue_ = isa::disassemble(in);
+      pc_ += 4;
+      return;
+    }
+    default:
+      fail("unhandled instruction on the integer core: " + isa::disassemble(in));
+  }
+}
+
+void IntCore::tick(Cycle now, CorePort& port) {
+  last_issue_.clear();
+  if (halt_ != HaltReason::kNone) return;
+  if (now < div_busy_until_) {
+    ++perf_.int_div_busy;
+    return;
+  }
+  if (bubbles_ > 0) {
+    --bubbles_;
+    ++perf_.branch_bubbles;
+    return;
+  }
+  const Instr* in = prog_.fetch(pc_);
+  if (in == nullptr) {
+    halt_ = HaltReason::kOffText;
+    return;
+  }
+  if (!in->valid()) {
+    fail("illegal instruction encoding");
+    return;
+  }
+  if (in->meta().fp_domain) {
+    exec_offload(*in, now);
+  } else {
+    exec_int(*in, now, port);
+  }
+}
+
+} // namespace sch::sim

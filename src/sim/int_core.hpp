@@ -1,0 +1,85 @@
+// Integer core of the pseudo-dual-issue pair: fetch/issue at most one
+// instruction per cycle; FP-domain instructions are offloaded into the FP
+// subsystem's queue with their integer operands captured (addresses for
+// fld/fsd, rs1 values for int->FP ops and frep), after which the core moves
+// on -- FP stalls only reach the core through a full offload queue.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "iss/arch_state.hpp"
+#include "mem/memory.hpp"
+#include "mem/tcdm.hpp"
+#include "sim/fp_subsystem.hpp"
+#include "sim/perf.hpp"
+#include "sim/sim_config.hpp"
+
+namespace sch::sim {
+
+class IntCore {
+ public:
+  IntCore(const Program& prog, Memory& mem, Tcdm& tcdm, const SimConfig& cfg,
+          PerfCounters& perf, FpSubsystem& fp);
+
+  /// Commit scheduled register writes (loads, muls, FP->int results) whose
+  /// latency has elapsed. Call at the start of each cycle.
+  void commit_pending(Cycle now);
+
+  void tick(Cycle now, CorePort& port);
+
+  /// Schedule a delayed integer register write (also used by the FP
+  /// subsystem for compare/convert writebacks).
+  void schedule_write(u8 rd, u32 value, Cycle ready_at);
+
+  [[nodiscard]] bool halting() const { return halt_ != HaltReason::kNone; }
+  /// No scheduled register writes outstanding (halt must wait for these).
+  [[nodiscard]] bool pending_empty() const { return pending_.empty(); }
+  [[nodiscard]] HaltReason halt_reason() const { return halt_; }
+  [[nodiscard]] bool has_error() const { return !error_.empty(); }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  [[nodiscard]] const std::array<u32, isa::kNumIntRegs>& regs() const { return x_; }
+  [[nodiscard]] Addr pc() const { return pc_; }
+  /// Disassembly of this cycle's integer-core action (trace support).
+  [[nodiscard]] const std::string& last_issue() const { return last_issue_; }
+
+ private:
+  struct Pending {
+    u8 rd;
+    u32 value;
+    Cycle ready_at;
+  };
+
+  void fail(const std::string& message);
+  [[nodiscard]] u32 read_x(u8 r) const { return x_[r]; }
+  void write_x(u8 r, u32 v) {
+    if (r != 0) x_[r] = v;
+  }
+  [[nodiscard]] bool ready_x(u8 r) const { return !busy_x_[r]; }
+
+  void exec_offload(const isa::Instr& in, Cycle now);
+  void exec_int(const isa::Instr& in, Cycle now, CorePort& port);
+  u32 csr_read(u32 addr, Cycle now) const;
+  void csr_apply(u32 addr, u32 value);
+
+  const Program& prog_;
+  Memory& mem_;
+  Tcdm& tcdm_;
+  const SimConfig& cfg_;
+  PerfCounters& perf_;
+  FpSubsystem& fp_;
+
+  Addr pc_;
+  std::array<u32, isa::kNumIntRegs> x_{};
+  std::array<bool, isa::kNumIntRegs> busy_x_{};
+  std::vector<Pending> pending_;
+  u32 bubbles_ = 0;
+  Cycle div_busy_until_ = 0;
+  HaltReason halt_ = HaltReason::kNone;
+  std::string error_;
+  std::string last_issue_;
+};
+
+} // namespace sch::sim

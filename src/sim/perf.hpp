@@ -1,0 +1,64 @@
+// Performance counters with stall attribution. The FPU-utilization metric
+// (Fig. 3 left) is fpu_ops / cycles; the stall taxonomy feeds EXPERIMENTS.md
+// and the energy model's activity factors.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace sch::sim {
+
+struct PerfCounters {
+  u64 cycles = 0;
+
+  // Retire counts.
+  u64 int_instrs = 0;   // executed on the integer core (non-offloaded)
+  u64 fp_instrs = 0;    // issued by the FP subsystem (compute + fld/fsd)
+  u64 offloads = 0;     // instructions pushed into the FP queue
+  u64 fpu_ops = 0;      // FP compute operations entering the FPU pipeline
+
+  // Instruction mix (for the energy model).
+  u64 int_alu_ops = 0;
+  u64 int_mul_ops = 0;
+  u64 int_div_ops = 0;
+  u64 int_loads = 0;
+  u64 int_stores = 0;
+  u64 branches = 0;
+  u64 csr_ops = 0;
+  u64 fp_mac_ops = 0;   // pipelined FP compute
+  u64 fp_div_ops = 0;   // div + sqrt
+  u64 fp_loads = 0;
+  u64 fp_stores = 0;
+
+  // Register-file activity (energy model).
+  u64 rf_int_reads = 0;
+  u64 rf_int_writes = 0;
+  u64 rf_fp_reads = 0;
+  u64 rf_fp_writes = 0;
+
+  // FP issue-stall attribution (cycles where an FP instruction was available
+  // but could not issue).
+  u64 stall_fp_raw = 0;         // scoreboard RAW on a normal register
+  u64 stall_fp_waw = 0;         // scoreboard WAW on a normal register
+  u64 stall_chain_empty = 0;    // chain FIFO valid bit clear (consumer early)
+  u64 stall_chain_full = 0;     // writeback backpressure (producer early)
+  u64 stall_ssr_empty = 0;      // read-stream FIFO empty
+  u64 stall_ssr_wfull = 0;      // write-stream FIFO full at writeback
+  u64 stall_fpu_busy = 0;       // structural: div unit / frozen pipeline
+  u64 stall_fp_lsu = 0;         // fld/fsd TCDM port or bank denied
+  u64 fp_queue_empty = 0;       // FP issue idle with nothing queued
+
+  // Integer-core stalls.
+  u64 stall_offload_full = 0;   // FP queue full
+  u64 stall_int_raw = 0;        // load-use / FP->int / mul in flight
+  u64 stall_int_lsu = 0;        // TCDM port or bank denied
+  u64 stall_csr_barrier = 0;    // stream-CSR write awaiting FP quiescence
+  u64 branch_bubbles = 0;
+  u64 int_div_busy = 0;         // blocking divider cycles
+
+  [[nodiscard]] double fpu_utilization() const {
+    return cycles == 0 ? 0.0 : static_cast<double>(fpu_ops) / static_cast<double>(cycles);
+  }
+  [[nodiscard]] u64 total_retired() const { return int_instrs + fp_instrs; }
+};
+
+} // namespace sch::sim

@@ -1,0 +1,99 @@
+#include "sim/sequencer.hpp"
+
+namespace sch::sim {
+
+using isa::Mnemonic;
+
+void Sequencer::start_frep(const FpOp& marker) {
+  if (state_ != State::kIdle) {
+    error_ = "nested frep";
+    return;
+  }
+  const u32 body = static_cast<u32>(marker.in.imm);
+  if (body == 0) {
+    error_ = "frep with empty body";
+    return;
+  }
+  if (body > buffer_depth_) {
+    error_ = "frep body of " + std::to_string(body) +
+             " instructions exceeds the " + std::to_string(buffer_depth_) +
+             "-entry sequencer buffer";
+    return;
+  }
+  inner_mode_ = marker.in.mn == Mnemonic::kFrepI;
+  body_len_ = body;
+  total_passes_ = marker.int_operand + 1;
+  capture_left_ = body;
+  buffer_.clear();
+  replay_pass_ = 0;
+  replay_idx_ = 0;
+  inner_rep_ = 0;
+  state_ = State::kCapturing;
+  ++stats_.freps_executed;
+}
+
+std::optional<FpOp> Sequencer::front() {
+  if (has_error()) return std::nullopt;
+  if (state_ == State::kReplaying) return buffer_[replay_idx_];
+  // Consume frep markers at the queue head.
+  while (!queue_.empty() && (queue_.front().in.mn == Mnemonic::kFrepO ||
+                             queue_.front().in.mn == Mnemonic::kFrepI)) {
+    const FpOp marker = queue_.pop();
+    start_frep(marker);
+    if (has_error()) return std::nullopt;
+  }
+  if (queue_.empty()) return std::nullopt;
+  if (state_ == State::kCapturing && !queue_.front().in.meta().fp_domain) {
+    error_ = "frep body contains a non-FP instruction";
+    return std::nullopt;
+  }
+  return queue_.front();
+}
+
+void Sequencer::pop_front() {
+  if (state_ == State::kReplaying) {
+    ++stats_.replayed_ops;
+    if (inner_mode_) {
+      ++inner_rep_;
+      if (inner_rep_ >= total_passes_) {
+        // Done repeating this instruction; capture the next or finish.
+        state_ = capture_left_ > 0 ? State::kCapturing : State::kIdle;
+      }
+      return;
+    }
+    ++replay_idx_;
+    if (replay_idx_ >= body_len_) {
+      replay_idx_ = 0;
+      ++replay_pass_;
+      if (replay_pass_ >= total_passes_) state_ = State::kIdle;
+    }
+    return;
+  }
+
+  const FpOp op = queue_.pop();
+  if (state_ == State::kCapturing) {
+    buffer_.push_back(op);
+    --capture_left_;
+    if (inner_mode_) {
+      if (total_passes_ > 1) {
+        state_ = State::kReplaying;
+        replay_idx_ = static_cast<u32>(buffer_.size()) - 1;
+        inner_rep_ = 1;
+      } else if (capture_left_ == 0) {
+        state_ = State::kIdle;
+      }
+      return;
+    }
+    if (capture_left_ == 0) {
+      if (total_passes_ > 1) {
+        state_ = State::kReplaying;
+        replay_pass_ = 1;
+        replay_idx_ = 0;
+      } else {
+        state_ = State::kIdle;
+      }
+    }
+  }
+}
+
+} // namespace sch::sim

@@ -1,0 +1,88 @@
+// FP offload queue + FREP hardware-loop sequencer.
+//
+// The integer core pushes FP-domain instructions (with integer operands
+// captured at offload time) into a bounded queue. The sequencer presents a
+// front() instruction to the FP issue stage. A frep.o/frep.i marker puts the
+// sequencer into capture mode: the next `body` instructions are copied into
+// a ring buffer as they flow through, then replayed without integer-core
+// involvement -- which is how SARIS-style kernels hide loop overhead.
+// Bodies larger than the buffer are rejected (model error), which matters:
+// chaining variants keep coefficients in named registers and their unrolled
+// bodies exceed the buffer, so they cannot use FREP (see DESIGN.md §5).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/fixed_queue.hpp"
+#include "common/types.hpp"
+#include "isa/instr.hpp"
+
+namespace sch::sim {
+
+/// An offloaded FP-domain instruction with captured integer operands.
+struct FpOp {
+  isa::Instr in;
+  /// For fld/fsd: effective address; for int->FP ops and frep: rs1 value.
+  u32 int_operand = 0;
+  u64 seq = 0;
+};
+
+class Sequencer {
+ public:
+  Sequencer(u32 queue_depth, u32 buffer_depth)
+      : queue_(queue_depth), buffer_depth_(buffer_depth) {}
+
+  [[nodiscard]] bool queue_full() const { return queue_.full(); }
+  [[nodiscard]] bool queue_empty() const { return queue_.empty(); }
+
+  /// Push from the integer core (offload). frep markers configure the
+  /// sequencer when they reach the queue head.
+  void push(FpOp op) { queue_.push(std::move(op)); }
+
+  /// Next instruction for the FP issue stage (replay takes priority),
+  /// consuming frep markers on the way. nullopt when nothing is available.
+  /// Sets `error` (sticky) when a frep body is malformed.
+  std::optional<FpOp> front();
+
+  /// Consume the instruction returned by front().
+  void pop_front();
+
+  /// No queued work, no replay in progress.
+  [[nodiscard]] bool idle() const {
+    return queue_.empty() && state_ == State::kIdle;
+  }
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] bool has_error() const { return !error_.empty(); }
+
+  struct Stats {
+    u64 replayed_ops = 0; // ops issued from the ring buffer (passes 2..N)
+    u64 freps_executed = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  enum class State : u8 { kIdle, kCapturing, kReplaying };
+
+  void start_frep(const FpOp& marker);
+
+  FixedQueue<FpOp> queue_;
+  u32 buffer_depth_;
+
+  State state_ = State::kIdle;
+  bool inner_mode_ = false;     // frep.i: repeat each instruction in place
+  std::vector<FpOp> buffer_;
+  u32 body_len_ = 0;
+  u32 total_passes_ = 0;        // rs1 + 1
+  u32 capture_left_ = 0;
+  u32 replay_pass_ = 0;         // current pass (0 = capture pass)
+  u32 replay_idx_ = 0;
+  u32 inner_rep_ = 0;           // frep.i repetition counter for current instr
+
+  std::string error_;
+  Stats stats_;
+};
+
+} // namespace sch::sim

@@ -1,0 +1,55 @@
+// Microarchitectural parameters of the cycle-level core model. Defaults
+// reproduce the Snitch configuration of the paper (3-stage FPU, 32-bank
+// TCDM, 3 SSRs, FREP sequencer, pseudo dual-issue).
+#pragma once
+
+#include "common/types.hpp"
+#include "mem/tcdm.hpp"
+#include "ssr/streamer.hpp"
+
+namespace sch::sim {
+
+struct SimConfig {
+  /// Pipelined FP compute depth (paper: 3 stages; "chaining benefits are
+  /// increased for functional units with deeper pipelines").
+  u32 fpu_depth = 3;
+  /// Iterative (unpipelined) FP operation latencies.
+  u32 fdiv_latency = 11;
+  u32 fsqrt_latency = 21;
+
+  /// Integer multiplier latency (pipelined).
+  u32 int_mul_latency = 2;
+  /// Integer divider latency (blocking).
+  u32 int_div_latency = 20;
+
+  /// Offload queue depth between the integer core and the FP subsystem.
+  u32 fp_queue_depth = 8;
+  /// FREP sequencer ring-buffer capacity (instructions).
+  u32 seq_buffer_depth = 16;
+
+  /// Extra cycles from TCDM grant to loaded data (1 = data next cycle,
+  /// usable the cycle after: 2-cycle load-to-use).
+  u32 load_latency = 1;
+  /// Fixed latency of non-TCDM (bulk) memory accesses.
+  u32 main_mem_latency = 10;
+
+  /// Taken-branch fetch bubble.
+  u32 taken_branch_penalty = 1;
+
+  /// Forbid same-cycle chain-FIFO pop->push handoff (ablation A3).
+  bool strict_chain_handoff = false;
+
+  TcdmConfig tcdm{};
+  ssr::StreamerConfig ssr{};
+
+  u64 max_cycles = 200'000'000;
+  /// Abort when no instruction retires for this many cycles (deadlock
+  /// detector for chain-FIFO underflow / exhausted-stream stalls).
+  u64 deadlock_cycles = 50'000;
+
+  /// Record a per-cycle issue trace (Fig. 1c style) and pipeline snapshots
+  /// (Fig. 2 style). Costs memory; enable for short runs only.
+  bool trace = false;
+};
+
+} // namespace sch::sim

@@ -1,0 +1,133 @@
+#include "sim/simulator.hpp"
+
+#include <sstream>
+
+namespace sch::sim {
+
+Simulator::Simulator(Program program, Memory& memory, const SimConfig& config)
+    : prog_(std::move(program)),
+      mem_(memory),
+      cfg_(config),
+      tcdm_(config.tcdm),
+      trace_(config.trace) {
+  fp_ = std::make_unique<FpSubsystem>(cfg_, mem_, tcdm_, perf_);
+  core_ = std::make_unique<IntCore>(prog_, mem_, tcdm_, cfg_, perf_, *fp_);
+  fp_->set_int_wb_sink([this](const IntWriteback& wb) {
+    core_->schedule_write(wb.rd, wb.value, wb.ready_at);
+  });
+}
+
+bool Simulator::fully_halted() const {
+  return core_->halting() && fp_->quiescent() && core_->pending_empty();
+}
+
+void Simulator::record_trace() {
+  TraceEntry e;
+  e.cycle = cycle_;
+  e.int_issue = core_->last_issue();
+  e.fp_issue = fp_->last_issue();
+  e.fp_stall = fp_->last_stall();
+  const FpuPipeline& pipe = fp_->pipeline();
+  e.fpu_depth = pipe.depth();
+  for (u32 s = 0; s < pipe.depth() && s < 8; ++s) {
+    e.fpu_stage_seq[s] = pipe.stage(s).busy ? pipe.stage(s).seq : 0;
+  }
+  const u32 mask = fp_->chain_mask();
+  if (mask != 0) {
+    u8 reg = 0;
+    while (((mask >> reg) & 1u) == 0) ++reg;
+    e.chain_tracked = true;
+    e.chain_reg = reg;
+    e.chain_valid = fp_->chain().valid(reg);
+    e.chain_value = fp_->chain().value(reg);
+  }
+  for (u32 i = 0; i < ssr::kNumSsrs; ++i) {
+    e.ssr_read_fifo[i] = fp_->streamer(i).read_fifo_level();
+    e.ssr_write_fifo[i] = fp_->streamer(i).write_fifo_level();
+  }
+  trace_.record(std::move(e));
+}
+
+void Simulator::tick() {
+  ++cycle_;
+  tcdm_.begin_cycle();
+  fp_->begin_cycle(cycle_);
+  CorePort port;
+
+  core_->commit_pending(cycle_);
+  fp_->tick(cycle_, port);
+  core_->tick(cycle_, port);
+
+  // SSR streamers fetch last: the core's LSU has bank priority within the
+  // cycle; the three streamer ports rotate round-robin among themselves.
+  static constexpr TcdmPortId kPorts[3] = {TcdmPortId::kSsr0, TcdmPortId::kSsr1,
+                                           TcdmPortId::kSsr2};
+  for (u32 k = 0; k < ssr::kNumSsrs; ++k) {
+    const u32 i = (ssr_rr_ + k) % ssr::kNumSsrs;
+    fp_->streamer(i).tick_fetch(cycle_, tcdm_, mem_, kPorts[i]);
+  }
+  ssr_rr_ = (ssr_rr_ + 1) % ssr::kNumSsrs;
+
+  ++perf_.cycles;
+  if (trace_.enabled()) record_trace();
+
+  // Progress watchdog.
+  const u64 retired = perf_.total_retired() + perf_.offloads;
+  if (retired != last_progress_retired_) {
+    last_progress_retired_ = retired;
+    last_progress_cycle_ = cycle_;
+  } else if (cycle_ - last_progress_cycle_ > cfg_.deadlock_cycles) {
+    std::ostringstream os;
+    os << "deadlock: no instruction retired for " << cfg_.deadlock_cycles
+       << " cycles at cycle " << cycle_ << " (pc=0x" << std::hex << core_->pc()
+       << std::dec << ", chain-empty=" << perf_.stall_chain_empty
+       << ", ssr-empty=" << perf_.stall_ssr_empty
+       << ", chain-full=" << perf_.stall_chain_full << ")";
+    halt_ = HaltReason::kError;
+    error_ = os.str();
+  }
+
+  if (fp_->has_error()) {
+    halt_ = HaltReason::kError;
+    error_ = fp_->error();
+  } else if (core_->has_error()) {
+    halt_ = HaltReason::kError;
+    error_ = core_->error();
+  }
+}
+
+bool Simulator::step() {
+  if (halt_ != HaltReason::kNone) return false;
+  if (!started_) {
+    mem_.load_image(prog_.data_base, prog_.data);
+    started_ = true;
+  }
+  tick();
+  if (halt_ != HaltReason::kNone) return false;
+  if (fully_halted()) {
+    halt_ = core_->halt_reason();
+    return false;
+  }
+  if (cycle_ >= cfg_.max_cycles) {
+    halt_ = HaltReason::kMaxSteps;
+    error_ = "cycle budget exhausted";
+    return false;
+  }
+  return true;
+}
+
+HaltReason Simulator::run() {
+  while (step()) {
+  }
+  return halt_;
+}
+
+ArchState Simulator::arch_state() const {
+  ArchState s;
+  s.pc = core_->pc();
+  for (u8 r = 0; r < isa::kNumIntRegs; ++r) s.x[r] = core_->regs()[r];
+  s.f = fp_->fregs();
+  return s;
+}
+
+} // namespace sch::sim

@@ -1,0 +1,54 @@
+#include "sim/trace.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace sch::sim {
+
+std::string Trace::format_issue_table() const {
+  std::ostringstream os;
+  os << std::left << std::setw(7) << "cycle" << std::setw(34) << "int issue"
+     << std::setw(34) << "fp issue" << "fp stall\n";
+  for (const TraceEntry& e : entries_) {
+    os << std::left << std::setw(7) << e.cycle << std::setw(34)
+       << (e.int_issue.empty() ? "-" : e.int_issue) << std::setw(34)
+       << (e.fp_issue.empty() ? "-" : e.fp_issue)
+       << (e.fp_stall.empty() ? "" : e.fp_stall) << "\n";
+  }
+  return os.str();
+}
+
+std::string Trace::format_dataflow(usize max_rows) const {
+  std::ostringstream os;
+  os << "cycle | FPU stages (issue seq, stage0=youngest) | chain reg | "
+        "ssr read FIFOs | ssr write FIFOs\n";
+  usize rows = 0;
+  for (const TraceEntry& e : entries_) {
+    if (rows++ >= max_rows) {
+      os << "... (" << entries_.size() - max_rows << " more cycles)\n";
+      break;
+    }
+    os << std::setw(5) << e.cycle << " | ";
+    for (u32 s = 0; s < e.fpu_depth; ++s) {
+      if (e.fpu_stage_seq[s] == 0) {
+        os << "[ . ]";
+      } else {
+        os << "[" << std::setw(3) << e.fpu_stage_seq[s] << "]";
+      }
+    }
+    os << " | ";
+    if (e.chain_tracked) {
+      os << "f" << static_cast<int>(e.chain_reg)
+         << (e.chain_valid ? " full " : " empty");
+    } else {
+      os << "   --   ";
+    }
+    os << " | " << e.ssr_read_fifo[0] << "/" << e.ssr_read_fifo[1] << "/"
+       << e.ssr_read_fifo[2];
+    os << " | " << e.ssr_write_fifo[0] << "/" << e.ssr_write_fifo[1] << "/"
+       << e.ssr_write_fifo[2] << "\n";
+  }
+  return os.str();
+}
+
+} // namespace sch::sim

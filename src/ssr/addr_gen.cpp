@@ -1,0 +1,52 @@
+#include "ssr/addr_gen.hpp"
+
+#include <cassert>
+
+namespace sch::ssr {
+
+void AddrGen::arm(Addr base, u32 dims, const std::array<u32, kMaxDims>& bounds,
+                  const std::array<i32, kMaxDims>& strides, u32 repeat) {
+  assert(dims >= 1 && dims <= kMaxDims);
+  armed_ = true;
+  done_ = false;
+  dims_ = dims;
+  bounds_ = bounds;
+  strides_ = strides;
+  idx_.fill(0);
+  repeat_ = repeat;
+  rep_left_ = repeat;
+  ptr_ = base;
+  produced_ = 0;
+  total_ = static_cast<u64>(repeat) + 1;
+  for (u32 d = 0; d < dims_; ++d) total_ *= static_cast<u64>(bounds_[d]) + 1;
+}
+
+void AddrGen::advance() {
+  assert(!done_);
+  ++produced_;
+  if (rep_left_ > 0) {
+    --rep_left_;
+    return;
+  }
+  rep_left_ = repeat_;
+  for (u32 d = 0; d < dims_; ++d) {
+    if (idx_[d] < bounds_[d]) {
+      ++idx_[d];
+      ptr_ = static_cast<Addr>(static_cast<i64>(ptr_) + strides_[d]);
+      return;
+    }
+    idx_[d] = 0; // wrap; relative-stride semantics: no pointer correction
+  }
+  done_ = true;
+}
+
+bool AddrGen::inner_contiguous(u32 step) const {
+  return repeat_ == 0 && dims_ >= 1 && strides_[0] == static_cast<i32>(step);
+}
+
+u64 AddrGen::inner_remaining() const {
+  if (done_) return 0;
+  return static_cast<u64>(bounds_[0] - idx_[0]) + 1;
+}
+
+} // namespace sch::ssr

@@ -1,0 +1,59 @@
+// Affine address generation: up to 4 nested hardware loops with relative
+// strides (Snitch semantics: stride[d] is the pointer jump applied when
+// dimension d increments; inner indices reset without pointer adjustment).
+// Element repetition serves streams whose consumer reads each element
+// multiple times (e.g. one stencil coefficient feeding U unrolled points).
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+#include "ssr/ssr_config.hpp"
+
+namespace sch::ssr {
+
+class AddrGen {
+ public:
+  AddrGen() = default;
+
+  /// Arm with `dims` active dimensions (1..4) starting at `base`.
+  void arm(Addr base, u32 dims, const std::array<u32, kMaxDims>& bounds,
+           const std::array<i32, kMaxDims>& strides, u32 repeat);
+
+  [[nodiscard]] bool armed() const { return armed_; }
+  [[nodiscard]] bool done() const { return done_; }
+
+  /// Current element address (valid while !done()).
+  [[nodiscard]] Addr peek() const { return ptr_; }
+
+  /// Consume one element occurrence (handles repetition).
+  void advance();
+
+  /// Total element occurrences the stream will produce.
+  [[nodiscard]] u64 total() const { return total_; }
+  [[nodiscard]] u64 produced() const { return produced_; }
+  [[nodiscard]] u64 remaining() const { return total_ - produced_; }
+
+  /// True while consecutive next addresses advance by exactly `step` bytes
+  /// within the innermost dimension (used for packed index fetches).
+  [[nodiscard]] bool inner_contiguous(u32 step) const;
+  /// Occurrences left before the innermost dimension wraps.
+  [[nodiscard]] u64 inner_remaining() const;
+
+  void reset() { *this = AddrGen(); }
+
+ private:
+  bool armed_ = false;
+  bool done_ = true;
+  u32 dims_ = 0;
+  std::array<u32, kMaxDims> bounds_{};
+  std::array<i32, kMaxDims> strides_{};
+  std::array<u32, kMaxDims> idx_{};
+  u32 repeat_ = 0;
+  u32 rep_left_ = 0;
+  Addr ptr_ = 0;
+  u64 total_ = 0;
+  u64 produced_ = 0;
+};
+
+} // namespace sch::ssr

@@ -1,0 +1,68 @@
+#include "ssr/functional_stream.hpp"
+
+#include <cassert>
+
+namespace sch::ssr {
+
+void FunctionalStream::arm(const SsrRawConfig& cfg, Addr ptr, u32 dims,
+                           StreamDir dir) {
+  cfg_ = cfg;
+  dir_ = dir;
+  // Repetition is applied in the datapath, so the generator runs repeat-free.
+  gen_.arm(ptr, dims, cfg.bounds, cfg.strides, 0);
+  rep_left_ = 0;
+  rep_valid_ = false;
+  consumed_ = 0;
+}
+
+void FunctionalStream::disarm() {
+  dir_ = StreamDir::kNone;
+  gen_.reset();
+}
+
+bool FunctionalStream::done() const {
+  if (dir_ == StreamDir::kNone) return true;
+  return gen_.done() && rep_left_ == 0;
+}
+
+u64 FunctionalStream::total() const {
+  if (dir_ == StreamDir::kNone) return 0;
+  const u64 rep = dir_ == StreamDir::kRead ? cfg_.repeat + 1 : 1;
+  return gen_.total() * rep;
+}
+
+Addr FunctionalStream::current_addr(const Memory& mem) const {
+  const Addr elem_addr = gen_.peek();
+  if (!cfg_.indirect()) return elem_addr;
+  const u32 idx_bytes = 1u << cfg_.idx_size_log2();
+  const u64 idx = mem.load(elem_addr, idx_bytes);
+  return cfg_.idx_base + static_cast<Addr>(idx << cfg_.idx_shift());
+}
+
+std::optional<u64> FunctionalStream::read_next(const Memory& mem) {
+  if (dir_ != StreamDir::kRead) return std::nullopt;
+  if (rep_left_ > 0) {
+    --rep_left_;
+    ++consumed_;
+    return rep_value_;
+  }
+  if (gen_.done()) return std::nullopt;
+  const Addr addr = current_addr(mem);
+  const u64 value = mem.load(addr, 8);
+  gen_.advance();
+  rep_value_ = value;
+  rep_left_ = cfg_.repeat;
+  ++consumed_;
+  return value;
+}
+
+bool FunctionalStream::write_next(Memory& mem, u64 value) {
+  if (dir_ != StreamDir::kWrite || gen_.done()) return false;
+  const Addr addr = current_addr(mem);
+  mem.store(addr, value, 8);
+  gen_.advance();
+  ++consumed_;
+  return true;
+}
+
+} // namespace sch::ssr

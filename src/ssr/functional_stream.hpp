@@ -1,0 +1,50 @@
+// Architectural (timing-free) stream model used by the functional ISS.
+// Shares the address-generation semantics with the timing streamer; element
+// repetition replays the fetched value without re-reading memory (the
+// hardware has a repeat counter in the datapath, saving L1 bandwidth).
+#pragma once
+
+#include <optional>
+
+#include "common/types.hpp"
+#include "mem/memory.hpp"
+#include "ssr/addr_gen.hpp"
+#include "ssr/ssr_config.hpp"
+
+namespace sch::ssr {
+
+class FunctionalStream {
+ public:
+  /// Arm from raw config. `dims` in 1..4; dir read or write.
+  void arm(const SsrRawConfig& cfg, Addr ptr, u32 dims, StreamDir dir);
+  void disarm();
+
+  [[nodiscard]] StreamDir dir() const { return dir_; }
+  [[nodiscard]] bool active() const { return dir_ != StreamDir::kNone && !done(); }
+  [[nodiscard]] bool done() const;
+
+  /// Read the next element (64-bit raw). nullopt when the stream is
+  /// exhausted or not a read stream (architectural error at the call site).
+  std::optional<u64> read_next(const Memory& mem);
+
+  /// Write the next element. Returns false when exhausted / not a write.
+  bool write_next(Memory& mem, u64 value);
+
+  /// Total element occurrences (fetches x repetition for reads).
+  [[nodiscard]] u64 total() const;
+  [[nodiscard]] u64 consumed() const { return consumed_; }
+
+ private:
+  /// Resolve the current element's data address (affine or indirect).
+  Addr current_addr(const Memory& mem) const;
+
+  SsrRawConfig cfg_;
+  AddrGen gen_;
+  StreamDir dir_ = StreamDir::kNone;
+  u32 rep_left_ = 0;
+  u64 rep_value_ = 0;
+  bool rep_valid_ = false;
+  u64 consumed_ = 0;
+};
+
+} // namespace sch::ssr

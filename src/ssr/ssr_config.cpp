@@ -1,0 +1,35 @@
+#include "ssr/ssr_config.hpp"
+
+namespace sch::ssr {
+
+bool SsrRawConfig::write(CfgReg reg, u32 value) {
+  const u32 r = static_cast<u32>(reg);
+  if (reg == CfgReg::kRepeat) { repeat = value; return true; }
+  if (r >= static_cast<u32>(CfgReg::kBound0) && r <= static_cast<u32>(CfgReg::kBound0) + 3) {
+    bounds[r - static_cast<u32>(CfgReg::kBound0)] = value;
+    return true;
+  }
+  if (r >= static_cast<u32>(CfgReg::kStride0) && r <= static_cast<u32>(CfgReg::kStride0) + 3) {
+    strides[r - static_cast<u32>(CfgReg::kStride0)] = static_cast<i32>(value);
+    return true;
+  }
+  if (reg == CfgReg::kIdxCfg) { idx_cfg = value; return true; }
+  if (reg == CfgReg::kIdxBase) { idx_base = value; return true; }
+  return false; // rptr/wptr/status handled by the streamer owner
+}
+
+u32 SsrRawConfig::read(CfgReg reg) const {
+  const u32 r = static_cast<u32>(reg);
+  if (reg == CfgReg::kRepeat) return repeat;
+  if (r >= static_cast<u32>(CfgReg::kBound0) && r <= static_cast<u32>(CfgReg::kBound0) + 3) {
+    return bounds[r - static_cast<u32>(CfgReg::kBound0)];
+  }
+  if (r >= static_cast<u32>(CfgReg::kStride0) && r <= static_cast<u32>(CfgReg::kStride0) + 3) {
+    return static_cast<u32>(strides[r - static_cast<u32>(CfgReg::kStride0)]);
+  }
+  if (reg == CfgReg::kIdxCfg) return idx_cfg;
+  if (reg == CfgReg::kIdxBase) return idx_base;
+  return 0;
+}
+
+} // namespace sch::ssr

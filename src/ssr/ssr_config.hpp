@@ -1,0 +1,62 @@
+// Stream-semantic-register configuration space (Snitch-style, SARIS-extended).
+//
+// Three streamers map to ft0/ft1/ft2 when globally enabled via CSR 0x7C0.
+// Configuration goes through `scfgw rs1, imm` / `scfgr rd, imm` with
+// imm = reg_id * 4 + ssr_id. Writing RPTR[d] / WPTR[d] arms a (d+1)-dim
+// read / write stream starting at the written pointer.
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+
+namespace sch::ssr {
+
+inline constexpr u32 kNumSsrs = 3;
+/// FP registers claimed by the streamers when SSRs are enabled.
+inline constexpr u8 kSsrFpReg[kNumSsrs] = {0, 1, 2}; // ft0, ft1, ft2
+inline constexpr u32 kMaxDims = 4;
+
+/// Config register ids within one streamer's config block.
+enum class CfgReg : u32 {
+  kStatus = 0,
+  kRepeat = 1,
+  kBound0 = 2,  // .. kBound3 = 5: iterations-1 per dim
+  kStride0 = 6, // .. kStride3 = 9: signed byte strides (relative jumps)
+  kIdxCfg = 10, // bits[1:0] idx size log2; bits[9:4] data shift; bit[16] enable
+  kIdxBase = 11,
+  kRptr0 = 12,  // .. kRptr3 = 15: arm read stream with dims = d+1
+  kWptr0 = 16,  // .. kWptr3 = 19: arm write stream with dims = d+1
+};
+
+inline constexpr u32 kNumCfgRegs = 20;
+
+/// scfg immediate encoding.
+constexpr i32 cfg_index(u32 ssr_id, CfgReg reg) {
+  return static_cast<i32>(static_cast<u32>(reg) * 4 + ssr_id);
+}
+constexpr u32 cfg_ssr_of(i32 index) { return static_cast<u32>(index) % 4; }
+constexpr u32 cfg_reg_of(i32 index) { return static_cast<u32>(index) / 4; }
+
+/// Raw per-streamer configuration state.
+struct SsrRawConfig {
+  u32 repeat = 0;                       // element repetition count - 1
+  std::array<u32, kMaxDims> bounds{};   // iterations - 1
+  std::array<i32, kMaxDims> strides{};  // relative byte jumps
+  u32 idx_cfg = 0;
+  Addr idx_base = 0;
+
+  [[nodiscard]] bool indirect() const { return ((idx_cfg >> 16) & 1u) != 0; }
+  [[nodiscard]] u32 idx_size_log2() const { return idx_cfg & 0x3u; }
+  [[nodiscard]] u32 idx_shift() const { return (idx_cfg >> 4) & 0x3Fu; }
+
+  /// Write a config register; returns false for read-only/unknown ids.
+  bool write(CfgReg reg, u32 value);
+  /// Read a config register (status handled by the owner).
+  [[nodiscard]] u32 read(CfgReg reg) const;
+};
+
+/// Direction of an armed stream.
+enum class StreamDir : u8 { kNone, kRead, kWrite };
+
+} // namespace sch::ssr

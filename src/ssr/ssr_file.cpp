@@ -1,0 +1,68 @@
+#include "ssr/ssr_file.hpp"
+
+namespace sch::ssr {
+
+Result<std::optional<ArmEvent>> apply_cfg_write(
+    std::array<SsrRawConfig, kNumSsrs>& cfgs, i32 index, u32 value) {
+  if (index < 0) return Status::error("scfgw: negative config index");
+  const u32 ssr = cfg_ssr_of(index);
+  const u32 reg = cfg_reg_of(index);
+  if (ssr >= kNumSsrs || reg >= kNumCfgRegs) {
+    return Status::error("scfgw: config index out of range: " +
+                         std::to_string(index));
+  }
+  const auto creg = static_cast<CfgReg>(reg);
+  const u32 rptr0 = static_cast<u32>(CfgReg::kRptr0);
+  const u32 wptr0 = static_cast<u32>(CfgReg::kWptr0);
+  if (reg >= rptr0 && reg <= rptr0 + 3) {
+    return std::optional<ArmEvent>(
+        ArmEvent{ssr, StreamDir::kRead, reg - rptr0 + 1, value});
+  }
+  if (reg >= wptr0 && reg <= wptr0 + 3) {
+    return std::optional<ArmEvent>(
+        ArmEvent{ssr, StreamDir::kWrite, reg - wptr0 + 1, value});
+  }
+  if (creg == CfgReg::kStatus) {
+    return Status::error("scfgw: status register is read-only");
+  }
+  cfgs[ssr].write(creg, value);
+  return std::optional<ArmEvent>(std::nullopt);
+}
+
+u32 apply_cfg_read(const std::array<SsrRawConfig, kNumSsrs>& cfgs, i32 index,
+                   const std::array<bool, kNumSsrs>& active) {
+  if (index < 0) return 0;
+  const u32 ssr = cfg_ssr_of(index);
+  const u32 reg = cfg_reg_of(index);
+  if (ssr >= kNumSsrs || reg >= kNumCfgRegs) return 0;
+  const auto creg = static_cast<CfgReg>(reg);
+  if (creg == CfgReg::kStatus) return active[ssr] ? 1u : 0u;
+  return cfgs[ssr].read(creg);
+}
+
+Status FunctionalSsrFile::cfg_write(i32 index, u32 value) {
+  auto result = apply_cfg_write(cfgs_, index, value);
+  if (!result.ok()) return result.status();
+  if (const auto& arm = result.value(); arm.has_value()) {
+    streams_[arm->ssr].arm(cfgs_[arm->ssr], arm->ptr, arm->dims, arm->dir);
+  }
+  return Status::ok();
+}
+
+u32 FunctionalSsrFile::cfg_read(i32 index) const {
+  std::array<bool, kNumSsrs> active{};
+  for (u32 i = 0; i < kNumSsrs; ++i) active[i] = streams_[i].active();
+  return apply_cfg_read(cfgs_, index, active);
+}
+
+std::optional<u64> FunctionalSsrFile::read(u8 fp_reg, const Memory& mem) {
+  if (!maps(fp_reg)) return std::nullopt;
+  return streams_[fp_reg].read_next(mem);
+}
+
+bool FunctionalSsrFile::write(u8 fp_reg, Memory& mem, u64 value) {
+  if (!maps(fp_reg)) return false;
+  return streams_[fp_reg].write_next(mem, value);
+}
+
+} // namespace sch::ssr

@@ -1,0 +1,69 @@
+// Shared SSR configuration front-end: decodes scfgw/scfgr accesses into
+// per-streamer config writes and arm events, for both the functional ISS
+// (FunctionalSsrFile) and the cycle-level model (which owns Streamers).
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "mem/memory.hpp"
+#include "ssr/functional_stream.hpp"
+#include "ssr/ssr_config.hpp"
+
+namespace sch::ssr {
+
+/// Result of a config write that armed a stream.
+struct ArmEvent {
+  u32 ssr = 0;
+  StreamDir dir = StreamDir::kNone;
+  u32 dims = 0;
+  Addr ptr = 0;
+};
+
+/// Decode a `scfgw` write. Updates `cfg` in place for plain register writes;
+/// returns an ArmEvent for rptr/wptr writes. Returns error status for an
+/// out-of-range index.
+Result<std::optional<ArmEvent>> apply_cfg_write(
+    std::array<SsrRawConfig, kNumSsrs>& cfgs, i32 index, u32 value);
+
+/// Decode a `scfgr` read (status reads handled by the caller via `active`).
+u32 apply_cfg_read(const std::array<SsrRawConfig, kNumSsrs>& cfgs, i32 index,
+                   const std::array<bool, kNumSsrs>& active);
+
+/// Architectural SSR register file for the ISS: three functional streams
+/// plus the global enable bit (CSR 0x7C0).
+class FunctionalSsrFile {
+ public:
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  void set_enabled(bool e) { enabled_ = e; }
+
+  /// True when FP register `r` is stream-mapped right now: SSRs are globally
+  /// enabled AND streamer `r` has been armed. An unarmed ft0..ft2 behaves as
+  /// a normal register, letting kernels that only use two streams keep the
+  /// third register for data (the Chaining variant relies on this).
+  [[nodiscard]] bool maps(u8 fp_reg) const {
+    return enabled_ && fp_reg < kNumSsrs &&
+           streams_[fp_reg].dir() != StreamDir::kNone;
+  }
+
+  /// Handle scfgw; error on bad index.
+  Status cfg_write(i32 index, u32 value);
+  /// Handle scfgr.
+  [[nodiscard]] u32 cfg_read(i32 index) const;
+
+  /// Architectural read of stream-mapped register `r` (pops one element).
+  std::optional<u64> read(u8 fp_reg, const Memory& mem);
+  /// Architectural write to stream-mapped register `r`.
+  bool write(u8 fp_reg, Memory& mem, u64 value);
+
+  [[nodiscard]] const FunctionalStream& stream(u32 i) const { return streams_[i]; }
+
+ private:
+  bool enabled_ = false;
+  std::array<SsrRawConfig, kNumSsrs> cfgs_{};
+  std::array<FunctionalStream, kNumSsrs> streams_{};
+};
+
+} // namespace sch::ssr

@@ -1,0 +1,145 @@
+#include "ssr/streamer.hpp"
+
+#include <cassert>
+
+namespace sch::ssr {
+
+Streamer::Streamer(const StreamerConfig& config) : scfg_(config) {}
+
+void Streamer::arm(const SsrRawConfig& cfg, Addr ptr, u32 dims, StreamDir dir) {
+  cfg_ = cfg;
+  dir_ = dir;
+  // Repetition replays buffered data; the generator runs repeat-free.
+  gen_.arm(ptr, dims, cfg.bounds, cfg.strides, 0);
+  data_fifo_.clear();
+  idx_q_.clear();
+  write_fifo_.clear();
+}
+
+void Streamer::disarm() {
+  dir_ = StreamDir::kNone;
+  gen_.reset();
+  data_fifo_.clear();
+  idx_q_.clear();
+  write_fifo_.clear();
+}
+
+bool Streamer::idle() const {
+  if (dir_ == StreamDir::kNone) return true;
+  if (dir_ == StreamDir::kRead) {
+    return gen_.done() && idx_q_.empty() && data_fifo_.empty();
+  }
+  return write_fifo_.empty();
+}
+
+bool Streamer::can_pop() const {
+  return dir_ == StreamDir::kRead && !data_fifo_.empty() &&
+         data_fifo_.front().available_at <= now_;
+}
+
+u64 Streamer::pop() {
+  assert(can_pop());
+  DataEntry& e = data_fifo_.front();
+  const u64 v = e.value;
+  ++stats_.elements_popped;
+  if (--e.copies == 0) data_fifo_.pop_front();
+  return v;
+}
+
+bool Streamer::can_push() const {
+  return dir_ == StreamDir::kWrite && write_fifo_.size() < scfg_.write_fifo_depth;
+}
+
+void Streamer::push(u64 value) {
+  assert(can_push());
+  write_fifo_.push_back(value);
+  ++stats_.elements_pushed;
+}
+
+void Streamer::begin_cycle(Cycle now) { now_ = now; }
+
+bool Streamer::fifo_has_room() const {
+  return data_fifo_.size() < scfg_.data_fifo_depth;
+}
+
+void Streamer::fetch_index_word(Cycle now, Tcdm& tcdm, Memory& mem,
+                                TcdmPortId port) {
+  const Addr word_addr = gen_.peek() & ~Addr{7};
+  if (!tcdm.request(port, word_addr, /*is_write=*/false)) {
+    ++stats_.conflict_retries;
+    return;
+  }
+  ++stats_.idx_reads;
+  const u32 idx_bytes = 1u << cfg_.idx_size_log2();
+  // Decode every index the fetched word covers (packed-index amortization).
+  while (!gen_.done() && (gen_.peek() & ~Addr{7}) == word_addr &&
+         idx_q_.size() < scfg_.idx_queue_depth) {
+    const u64 idx = mem.load(gen_.peek(), idx_bytes);
+    const Addr data_addr =
+        cfg_.idx_base + static_cast<Addr>(idx << cfg_.idx_shift());
+    idx_q_.push_back({data_addr, now + 1});
+    gen_.advance();
+  }
+}
+
+bool Streamer::data_addr_known(Cycle now) const {
+  if (!cfg_.indirect()) return !gen_.done();
+  return !idx_q_.empty() && idx_q_.front().available_at <= now;
+}
+
+Addr Streamer::next_data_addr() const {
+  return cfg_.indirect() ? idx_q_.front().data_addr : gen_.peek();
+}
+
+void Streamer::consume_data_addr() {
+  if (cfg_.indirect()) {
+    idx_q_.pop_front();
+  } else {
+    gen_.advance();
+  }
+}
+
+void Streamer::tick_fetch(Cycle now, Tcdm& tcdm, Memory& mem, TcdmPortId port) {
+  if (dir_ == StreamDir::kNone) return;
+
+  if (dir_ == StreamDir::kRead) {
+    // Prefer a data fetch; fall back to an index-word fetch.
+    if (data_addr_known(now) && fifo_has_room()) {
+      const Addr addr = next_data_addr();
+      if (!tcdm.request(port, addr, /*is_write=*/false)) {
+        ++stats_.conflict_retries;
+        return;
+      }
+      ++stats_.data_reads;
+      data_fifo_.push_back({mem.load(addr, 8), cfg_.repeat + 1, now + 1});
+      consume_data_addr();
+      return;
+    }
+    if (cfg_.indirect() && !gen_.done() &&
+        idx_q_.size() < scfg_.idx_queue_depth) {
+      fetch_index_word(now, tcdm, mem, port);
+    }
+    return;
+  }
+
+  // Write stream: drain the FIFO head.
+  if (write_fifo_.empty()) return;
+  if (cfg_.indirect() && !data_addr_known(now)) {
+    if (!gen_.done() && idx_q_.size() < scfg_.idx_queue_depth) {
+      fetch_index_word(now, tcdm, mem, port);
+    }
+    return;
+  }
+  if (!data_addr_known(now)) return; // affine stream exhausted: drop nothing, program bug
+  const Addr addr = next_data_addr();
+  if (!tcdm.request(port, addr, /*is_write=*/true)) {
+    ++stats_.conflict_retries;
+    return;
+  }
+  ++stats_.data_writes;
+  mem.store(addr, write_fifo_.front(), 8);
+  write_fifo_.pop_front();
+  consume_data_addr();
+}
+
+} // namespace sch::ssr

@@ -1,0 +1,204 @@
+// Additional assembler coverage: expressions, .equ chains, alignment
+// directives, jump/branch pseudo-ops, memory-operand forms, and the error
+// taxonomy (line numbers, range checks, malformed tokens).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "asm/assembler.hpp"
+#include "isa/disasm.hpp"
+#include "isa/reg.hpp"
+
+namespace sch {
+namespace {
+
+using assembler::assemble;
+
+Program ok(std::string_view src) {
+  auto r = assemble(src);
+  EXPECT_TRUE(r.ok()) << r.status().message();
+  return std::move(r).value();
+}
+
+std::string err(std::string_view src) {
+  auto r = assemble(src);
+  EXPECT_FALSE(r.ok());
+  return r.ok() ? "" : r.status().message();
+}
+
+TEST(AsmExpr, SymbolArithmetic) {
+  const Program p = ok(R"(
+    .equ base, 0x100
+    .equ off, 8
+    li a0, base + off
+    li a1, base - off - 1
+    addi a2, a0, off + 4
+  )");
+  // li 0x108 -> lui+addi or addi: 0x108 fits 12 bits.
+  EXPECT_EQ(p.instrs[0].imm, 0x108);
+  EXPECT_EQ(p.instrs[1].imm, 0xF7);
+  EXPECT_EQ(p.instrs.back().imm, 12);
+}
+
+TEST(AsmExpr, EquReferencingEqu) {
+  const Program p = ok(R"(
+    .equ a, 5
+    .equ b, a + 5
+    li t0, b
+  )");
+  EXPECT_EQ(p.instrs[0].imm, 10);
+}
+
+TEST(AsmExpr, LabelInDataExpression) {
+  const Program p = ok(R"(
+    .data
+arr: .zero 16
+ptr: .word arr
+ptr2: .word arr + 8
+    .text
+    nop
+  )");
+  u32 v0 = 0, v1 = 0;
+  std::memcpy(&v0, p.data.data() + 16, 4);
+  std::memcpy(&v1, p.data.data() + 20, 4);
+  EXPECT_EQ(v0, memmap::kTcdmBase);
+  EXPECT_EQ(v1, memmap::kTcdmBase + 8);
+}
+
+TEST(AsmDirectives, BalignAndAlign) {
+  const Program p = ok(R"(
+    .data
+    .byte 1, 2, 3
+    .balign 4
+w: .word 5
+    .byte 9
+    .align 4
+q: .dword 7
+  )");
+  EXPECT_EQ(p.symbol("w") % 4, 0u);
+  EXPECT_EQ(p.symbol("q") % 16, 0u);
+}
+
+TEST(AsmDirectives, SpaceAndNegativeFloats) {
+  const Program p = ok(R"(
+    .data
+    .space 3
+f: .float -2.5
+d: .double -1e3
+  )");
+  float fv;
+  std::memcpy(&fv, p.data.data() + p.symbol("f") - memmap::kTcdmBase, 4);
+  double dv;
+  std::memcpy(&dv, p.data.data() + p.symbol("d") - memmap::kTcdmBase, 8);
+  EXPECT_EQ(fv, -2.5f);
+  EXPECT_EQ(dv, -1000.0);
+}
+
+TEST(AsmPseudo, JumpAndBranchFamilies) {
+  const Program p = ok(R"(
+start:
+    j fwd
+    jr ra
+    call fn
+    not a0, a1
+    neg a2, a3
+    bgt a0, a1, fwd
+    ble a0, a1, fwd
+    bgtu a0, a1, fwd
+    bleu a0, a1, fwd
+    bltz a0, fwd
+    bgez a0, fwd
+    blez a0, fwd
+    bgtz a0, fwd
+fwd:
+fn: ret
+  )");
+  EXPECT_EQ(p.instrs[0].mn, isa::Mnemonic::kJal);
+  EXPECT_EQ(p.instrs[0].rd, 0);
+  EXPECT_EQ(p.instrs[1].mn, isa::Mnemonic::kJalr);
+  EXPECT_EQ(p.instrs[2].mn, isa::Mnemonic::kJal);
+  EXPECT_EQ(p.instrs[2].rd, isa::kRa);
+  EXPECT_EQ(p.instrs[3].mn, isa::Mnemonic::kXori);
+  EXPECT_EQ(p.instrs[3].imm, -1);
+  EXPECT_EQ(p.instrs[4].mn, isa::Mnemonic::kSub);
+  // bgt swaps operands into blt.
+  EXPECT_EQ(p.instrs[5].mn, isa::Mnemonic::kBlt);
+  EXPECT_EQ(p.instrs[5].rs1, isa::kA1);
+  EXPECT_EQ(p.instrs[5].rs2, isa::kA0);
+  EXPECT_EQ(p.instrs[9].mn, isa::Mnemonic::kBlt);  // bltz
+  EXPECT_EQ(p.instrs[12].mn, isa::Mnemonic::kBlt); // bgtz -> blt zero, rs
+  EXPECT_EQ(p.instrs[12].rs1, 0);
+}
+
+TEST(AsmPseudo, JalrMemOperandForm) {
+  const Program p = ok(R"(
+    jalr ra, 16(t0)
+    jalr ra, t0, 16
+    jalr x0, 0(ra)
+  )");
+  EXPECT_EQ(p.instrs[0].imm, 16);
+  EXPECT_EQ(p.instrs[0].rs1, isa::kT0);
+  EXPECT_EQ(p.instrs[0].raw, p.instrs[1].raw);
+}
+
+TEST(AsmPseudo, JalOptionalRd) {
+  const Program p = ok(R"(
+t:  jal t
+    jal t1, t
+  )");
+  EXPECT_EQ(p.instrs[0].rd, isa::kRa); // default link register
+  EXPECT_EQ(p.instrs[1].rd, isa::kT1);
+}
+
+TEST(AsmErrors, DiagnosticsCarryLineNumbers) {
+  EXPECT_NE(err("nop\nnop\nbogus\n").find("line 3"), std::string::npos);
+  EXPECT_NE(err("addi a0, a1, 99999\n").find("line 1"), std::string::npos);
+}
+
+TEST(AsmErrors, RangeChecks) {
+  EXPECT_NE(err("slli a0, a1, 32\n"), "");
+  EXPECT_NE(err("csrwi 0x7C0, 32\n"), "");      // zimm > 31
+  EXPECT_NE(err("lui a0, 0x100000\n"), "");     // 20-bit overflow
+  EXPECT_NE(err(".data\n.align 44\n"), "");
+  EXPECT_NE(err(".data\n.zero -4\n"), "");
+}
+
+TEST(AsmErrors, MalformedTokens) {
+  EXPECT_NE(err("addi a0, a1, 0x\n"), "");        // bare hex prefix is empty
+  EXPECT_NE(err("lw a0, 4(a1\n"), "");            // missing paren
+  EXPECT_NE(err("fadd.d ft0, ft1\n"), "");        // missing operand
+  EXPECT_NE(err("fadd.d ft0, ft1, a0\n"), "");    // int reg in FP slot
+  EXPECT_NE(err("\"unterminated\n"), "");
+}
+
+TEST(AsmErrors, EquUsesBeforeDefinitionFail) {
+  EXPECT_NE(err("li a0, later\n.equ later, 5\n"), "");
+}
+
+TEST(AsmRoundTrip, WholeKernelThroughDisasm) {
+  // Assemble a kernel, disassemble every instruction, reassemble, compare.
+  const Program p1 = ok(R"(
+    .equ n, 16
+    li t0, n - 1
+    scfgw t0, 8
+    li t0, 8
+    scfgw t0, 24
+    csrwi ssr_enable, 1
+    li t2, n - 1
+    frep.o t2, 2
+    fmadd.d ft3, ft0, ft1, ft3
+    fsgnjx.d ft4, ft3, ft3
+    csrwi ssr_enable, 0
+    ecall
+  )");
+  std::string text;
+  for (const auto& in : p1.instrs) text += isa::disassemble(in) + "\n";
+  const Program p2 = ok(text);
+  ASSERT_EQ(p1.words.size(), p2.words.size());
+  for (usize i = 0; i < p1.words.size(); ++i) {
+    EXPECT_EQ(p1.words[i], p2.words[i]) << i << ": " << isa::disassemble(p1.instrs[i]);
+  }
+}
+
+} // namespace
+} // namespace sch

@@ -1,0 +1,190 @@
+// Chaining-contribution tests: CSR mask semantics, architectural FIFO file,
+// timing-level chain unit protocol (valid bits, backpressure, handoff modes),
+// cost model, plus a randomized property test against a std::deque model.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <random>
+
+#include "core/arch_chain.hpp"
+#include "core/chain_config.hpp"
+#include "core/chain_unit.hpp"
+#include "core/cost_model.hpp"
+
+namespace sch::chain {
+namespace {
+
+TEST(ChainMask, BitAccessors) {
+  ChainMask m;
+  EXPECT_FALSE(m.any());
+  m.enable(3);
+  EXPECT_TRUE(m.enabled(3));
+  EXPECT_FALSE(m.enabled(4));
+  EXPECT_EQ(m.value(), 8u); // the paper's Fig. 1c mask: li mask, 8
+  m.disable(3);
+  EXPECT_FALSE(m.any());
+  m.set_value(0xFFFF'FFFF);
+  for (u8 r = 0; r < 32; ++r) EXPECT_TRUE(m.enabled(r));
+}
+
+TEST(ArchChain, FifoOrder) {
+  ArchChainFile f;
+  f.set_mask(1u << 3);
+  f.push(3, 10);
+  f.push(3, 20);
+  f.push(3, 30);
+  EXPECT_EQ(f.pop(3), 10u);
+  EXPECT_EQ(f.pop(3), 20u);
+  EXPECT_EQ(f.pop(3), 30u);
+  EXPECT_EQ(f.pop(3), std::nullopt); // underflow
+}
+
+TEST(ArchChain, EnableClearsStaleState) {
+  ArchChainFile f;
+  f.set_mask(1u << 5);
+  f.push(5, 77);
+  f.set_mask(0);        // disable: latches 77
+  f.set_mask(1u << 5);  // re-enable: FIFO fresh
+  EXPECT_TRUE(f.empty(5));
+  EXPECT_EQ(f.pop(5), std::nullopt);
+}
+
+TEST(ArchChain, DisableLatchesOldestElement) {
+  ArchChainFile f;
+  f.set_mask(1u << 3);
+  f.push(3, 111);
+  f.push(3, 222);
+  const auto effects = f.set_mask(0);
+  ASSERT_EQ(effects.size(), 1u);
+  EXPECT_EQ(effects[0].reg, 3);
+  ASSERT_TRUE(effects[0].latched_value.has_value());
+  EXPECT_EQ(*effects[0].latched_value, 111u);
+}
+
+TEST(ArchChain, DisableEmptyFifoNoLatch) {
+  ArchChainFile f;
+  f.set_mask(1u << 3);
+  const auto effects = f.set_mask(0);
+  ASSERT_EQ(effects.size(), 1u);
+  EXPECT_FALSE(effects[0].latched_value.has_value());
+}
+
+TEST(ArchChain, IndependentRegisters) {
+  ArchChainFile f;
+  f.set_mask((1u << 3) | (1u << 7));
+  f.push(3, 1);
+  f.push(7, 2);
+  f.push(3, 3);
+  EXPECT_EQ(f.pop(7), 2u);
+  EXPECT_EQ(f.pop(3), 1u);
+  EXPECT_EQ(f.pop(3), 3u);
+}
+
+TEST(ChainUnit, PopThenPushSameCycleAllowedByDefault) {
+  ChainUnit u(/*strict_handoff=*/false);
+  u.set_mask(1u << 3);
+  u.begin_cycle();
+  u.push(3, 42);
+  u.begin_cycle();
+  ASSERT_TRUE(u.can_pop(3));
+  EXPECT_EQ(u.pop(3), 42u);
+  // Same cycle: producer may hand off into the freed slot.
+  EXPECT_TRUE(u.can_push(3));
+  u.push(3, 43);
+  u.begin_cycle();
+  EXPECT_EQ(u.pop(3), 43u);
+}
+
+TEST(ChainUnit, StrictHandoffBlocksSameCyclePush) {
+  ChainUnit u(/*strict_handoff=*/true);
+  u.set_mask(1u << 3);
+  u.begin_cycle();
+  u.push(3, 42);
+  u.begin_cycle();
+  EXPECT_EQ(u.pop(3), 42u);
+  EXPECT_FALSE(u.can_push(3)); // freed this cycle, but strict mode blocks
+  u.begin_cycle();
+  EXPECT_TRUE(u.can_push(3));  // next cycle the slot is usable
+}
+
+TEST(ChainUnit, BackpressureWhenOccupied) {
+  ChainUnit u;
+  u.set_mask(1u << 3);
+  u.begin_cycle();
+  u.push(3, 1);
+  u.begin_cycle();
+  EXPECT_FALSE(u.can_push(3)); // occupied, nothing popped this cycle
+}
+
+TEST(ChainUnit, EnableClearsValidBit) {
+  ChainUnit u;
+  u.set_mask(1u << 4);
+  u.begin_cycle();
+  u.push(4, 9);
+  u.set_mask(0);        // disable: value 9 stays architectural
+  EXPECT_EQ(u.value(4), 9u);
+  u.set_mask(1u << 4);  // re-enable: stale value is not an element
+  EXPECT_FALSE(u.can_pop(4));
+}
+
+TEST(ChainUnit, StatsCountPushesAndPops) {
+  ChainUnit u;
+  u.set_mask(1u << 0);
+  for (int i = 0; i < 5; ++i) {
+    u.begin_cycle();
+    u.push(0, static_cast<u64>(i));
+    u.begin_cycle();
+    u.pop(0);
+  }
+  EXPECT_EQ(u.stats().pushes, 5u);
+  EXPECT_EQ(u.stats().pops, 5u);
+}
+
+// Property: the arch chain file behaves exactly like a deque under a random
+// push/pop interleaving per register.
+TEST(ArchChainProperty, MatchesDequeModel) {
+  std::mt19937 rng(12345);
+  for (int trial = 0; trial < 50; ++trial) {
+    ArchChainFile f;
+    f.set_mask(0xFFFF'FFFF);
+    std::array<std::deque<u64>, 32> model;
+    for (int op = 0; op < 400; ++op) {
+      const u8 reg = static_cast<u8>(rng() % 32);
+      if (rng() % 2 == 0) {
+        const u64 v = rng();
+        f.push(reg, v);
+        model[reg].push_back(v);
+      } else if (!model[reg].empty()) {
+        const u64 expect = model[reg].front();
+        model[reg].pop_front();
+        const auto got = f.pop(reg);
+        ASSERT_TRUE(got.has_value());
+        ASSERT_EQ(*got, expect);
+      } else {
+        ASSERT_EQ(f.pop(reg), std::nullopt);
+      }
+    }
+  }
+}
+
+TEST(CostModel, UnderTwoPercentOverhead) {
+  const CostBreakdown b = estimate_cost();
+  // Paper, Section III: "<2% cell area increase".
+  EXPECT_LT(b.overhead_fraction, 0.02);
+  EXPECT_GT(b.overhead_fraction, 0.0);
+  EXPECT_GT(b.total_extension_ge, 0.0);
+  EXPECT_DOUBLE_EQ(b.total_extension_ge,
+                   b.valid_bits_ge + b.csr_ge + b.control_ge);
+}
+
+TEST(CostModel, RegisterPressure) {
+  // Fig. 1b uses 4 architectural registers (ft3..ft6) for the software FIFO;
+  // chaining needs 1 (ft3), freeing 3.
+  const RegisterPressure rp = register_pressure(4);
+  EXPECT_EQ(rp.without_chaining, 4u);
+  EXPECT_EQ(rp.with_chaining, 1u);
+  EXPECT_EQ(rp.freed, 3u);
+}
+
+} // namespace
+} // namespace sch::chain

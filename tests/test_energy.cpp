@@ -1,0 +1,115 @@
+// Energy-model unit tests: accounting arithmetic, breakdown consistency,
+// calibration band, and activity collection from finished runs.
+#include <gtest/gtest.h>
+
+#include "energy/activity.hpp"
+#include "energy/energy_model.hpp"
+#include "kernels/runner.hpp"
+#include "kernels/stencil.hpp"
+#include "kernels/vecop.hpp"
+
+namespace sch::energy {
+namespace {
+
+TEST(EnergyModel, ZeroActivityGivesBaseAndStaticOnly) {
+  sim::PerfCounters perf;
+  perf.cycles = 1000;
+  const EnergyReport r = evaluate(perf, {});
+  EXPECT_GT(r.breakdown.base_pj, 0.0);
+  EXPECT_GT(r.breakdown.static_pj, 0.0);
+  EXPECT_EQ(r.breakdown.fpu_pj, 0.0);
+  EXPECT_EQ(r.breakdown.tcdm_pj, 0.0);
+  EXPECT_DOUBLE_EQ(r.breakdown.total_pj,
+                   r.breakdown.base_pj + r.breakdown.static_pj);
+  // Idle power = base + static.
+  EnergyConfig cfg;
+  EXPECT_NEAR(r.power_mw, cfg.e_cycle_base_pj + cfg.p_static_mw, 1e-9);
+}
+
+TEST(EnergyModel, BreakdownSumsToTotal) {
+  sim::PerfCounters perf;
+  perf.cycles = 5000;
+  perf.fpu_ops = 4000;
+  perf.fp_mac_ops = 4000;
+  perf.fp_instrs = 4200;
+  perf.int_instrs = 700;
+  perf.offloads = 4200;
+  perf.int_alu_ops = 500;
+  perf.branches = 100;
+  perf.rf_fp_reads = 8000;
+  perf.rf_fp_writes = 4000;
+  ActivityCounts act;
+  act.tcdm_reads = 4500;
+  act.tcdm_writes = 300;
+  act.ssr_elements = 9000;
+  act.chain_ops = 8000;
+  act.seq_replays = 3000;
+  const EnergyReport r = evaluate(perf, act);
+  const EnergyBreakdown& b = r.breakdown;
+  EXPECT_NEAR(b.total_pj,
+              b.base_pj + b.static_pj + b.int_core_pj + b.fpu_pj + b.tcdm_pj +
+                  b.rf_pj + b.ssr_pj + b.chain_pj,
+              1e-6);
+  EXPECT_GT(r.fpu_ops_per_joule, 0.0);
+}
+
+TEST(EnergyModel, PowerScalesWithFrequency) {
+  sim::PerfCounters perf;
+  perf.cycles = 1000;
+  perf.fp_mac_ops = 900;
+  EnergyConfig base_cfg;
+  EnergyConfig half = base_cfg;
+  half.f_clk_hz = 5e8;
+  const EnergyReport full = evaluate(perf, {}, base_cfg);
+  const EnergyReport slow = evaluate(perf, {}, half);
+  // Exact relation: dynamic power scales with frequency; static power is a
+  // constant floor.
+  EXPECT_NEAR(slow.power_mw - half.p_static_mw,
+              (full.power_mw - base_cfg.p_static_mw) / 2.0, 1e-9);
+}
+
+TEST(EnergyModel, ChainOpsCheaperThanRfTraffic) {
+  // The extension's selling point: a chain pop+push must cost less than the
+  // RF read+write pair it replaces.
+  const EnergyConfig cfg;
+  EXPECT_LT(2 * cfg.e_chain_op_pj,
+            cfg.e_rf_fp_read_pj + cfg.e_rf_fp_write_pj);
+}
+
+TEST(EnergyModel, CalibrationBand) {
+  // Any stencil variant must land in the paper's measured power envelope
+  // (58-64 mW) at the default operating point.
+  const auto k = kernels::build_stencil(kernels::StencilKind::kBox3d1r,
+                                        kernels::StencilVariant::kChaining, {});
+  const auto r = kernels::run_on_simulator(k);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_GT(r.energy.power_mw, 55.0);
+  EXPECT_LT(r.energy.power_mw, 67.0);
+}
+
+TEST(EnergyModel, ActivityCollectionMatchesStats) {
+  const auto k = kernels::build_vecop(kernels::VecopVariant::kChained, {.n = 64});
+  Memory mem;
+  sim::Simulator s(k.program, mem);
+  ASSERT_EQ(s.run(), HaltReason::kEcall) << s.error();
+  const ActivityCounts a = collect_activity(s);
+  EXPECT_EQ(a.tcdm_reads, s.tcdm().stats().reads);
+  EXPECT_EQ(a.tcdm_writes, s.tcdm().stats().writes);
+  EXPECT_EQ(a.chain_ops,
+            s.fp().chain().stats().pushes + s.fp().chain().stats().pops);
+  // 64 elements: 64 pushes + 64 pops.
+  EXPECT_EQ(a.chain_ops, 128u);
+}
+
+TEST(EnergyModel, ReportFormatsAllCategories) {
+  sim::PerfCounters perf;
+  perf.cycles = 100;
+  const std::string text = format_report(evaluate(perf, {}));
+  for (const char* needle : {"base/clock", "static", "int core", "fpu", "tcdm",
+                             "reg files", "ssr", "chain/seq", "total", "power"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
+} // namespace
+} // namespace sch::energy

@@ -1,0 +1,61 @@
+// GEMV extension-workload tests: both variants validate bit-exactly on both
+// engines; chaining collapses the register cost and the FREP body.
+#include <gtest/gtest.h>
+
+#include "kernels/gemv.hpp"
+#include "kernels/runner.hpp"
+
+namespace sch::kernels {
+namespace {
+
+class GemvVariants : public ::testing::TestWithParam<GemvVariant> {};
+
+TEST_P(GemvVariants, ValidatesOnBothEngines) {
+  for (const GemvParams p : {GemvParams{.m = 8, .n = 5},
+                             GemvParams{.m = 32, .n = 24},
+                             GemvParams{.m = 4, .n = 1}}) {
+    const BuiltKernel k = build_gemv(GetParam(), p);
+    const IssRunResult ir = run_on_iss(k);
+    EXPECT_TRUE(ir.ok) << p.m << "x" << p.n << ": " << ir.error;
+    const RunResult sr = run_on_simulator(k);
+    EXPECT_TRUE(sr.ok) << p.m << "x" << p.n << ": " << sr.error;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, GemvVariants,
+                         ::testing::Values(GemvVariant::kUnrolledAcc,
+                                           GemvVariant::kChained),
+                         [](const auto& info) {
+                           return info.param == GemvVariant::kUnrolledAcc
+                                      ? std::string("unrolled")
+                                      : std::string("chained");
+                         });
+
+TEST(Gemv, ChainingSavesRegistersAtEqualThroughput) {
+  const GemvParams p{.m = 64, .n = 32};
+  const BuiltKernel ku = build_gemv(GemvVariant::kUnrolledAcc, p);
+  const BuiltKernel kc = build_gemv(GemvVariant::kChained, p);
+  const RunResult ru = run_on_simulator(ku);
+  const RunResult rc = run_on_simulator(kc);
+  ASSERT_TRUE(ru.ok) << ru.error;
+  ASSERT_TRUE(rc.ok) << rc.error;
+  // Same throughput within 2%...
+  const double ratio = static_cast<double>(rc.cycles) / static_cast<double>(ru.cycles);
+  EXPECT_LT(ratio, 1.02);
+  EXPECT_GT(ratio, 0.98);
+  // ...at a quarter of the accumulator registers.
+  EXPECT_EQ(ku.regs.accumulator_regs, 4u);
+  EXPECT_EQ(kc.regs.accumulator_regs, 1u);
+  EXPECT_EQ(ku.regs.fp_regs_used - kc.regs.fp_regs_used, 3u);
+  EXPECT_GT(rc.fpu_utilization, 0.9);
+}
+
+TEST(Gemv, RejectsBadShapes) {
+  EXPECT_THROW(build_gemv(GemvVariant::kChained, {.m = 6, .n = 4}),
+               std::invalid_argument);
+  EXPECT_THROW(build_gemv(GemvVariant::kChained, {.m = 8, .n = 0}),
+               std::invalid_argument);
+}
+
+} // namespace
+} // namespace sch::kernels

@@ -1,0 +1,195 @@
+// ISA layer tests: encode/decode round-trips across the whole mnemonic space,
+// immediate field boundaries, and disassembly spot checks.
+#include <gtest/gtest.h>
+
+#include "isa/decode.hpp"
+#include "isa/disasm.hpp"
+#include "isa/encode.hpp"
+#include "isa/reg.hpp"
+
+namespace sch::isa {
+namespace {
+
+TEST(RegNames, IntRoundTrip) {
+  for (u8 r = 0; r < kNumIntRegs; ++r) {
+    const auto name = int_reg_name(r);
+    const auto parsed = parse_int_reg(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, r);
+  }
+}
+
+TEST(RegNames, FpRoundTrip) {
+  for (u8 r = 0; r < kNumFpRegs; ++r) {
+    const auto name = fp_reg_name(r);
+    const auto parsed = parse_fp_reg(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, r);
+  }
+}
+
+TEST(RegNames, NumericForms) {
+  EXPECT_EQ(parse_int_reg("x0"), 0);
+  EXPECT_EQ(parse_int_reg("x31"), 31);
+  EXPECT_EQ(parse_int_reg("x32"), std::nullopt);
+  EXPECT_EQ(parse_fp_reg("f3"), 3);
+  EXPECT_EQ(parse_int_reg("fp"), 8);
+  EXPECT_EQ(parse_int_reg("bogus"), std::nullopt);
+}
+
+TEST(Encode, PaperListingInstructions) {
+  // Instructions from Fig. 1 of the paper.
+  const Instr fadd = make_r(Mnemonic::kFaddD, kFt3, kFt0, kFt1);
+  const Instr fmul = make_r(Mnemonic::kFmulD, kFt2, kFt3, kFa0);
+  const Instr addi = make_i(Mnemonic::kAddi, kA1, kA1, 1);
+  const Instr bne = make_b(Mnemonic::kBne, kA1, kA2, -12);
+
+  EXPECT_EQ(decode(fadd.raw), fadd);
+  EXPECT_EQ(decode(fmul.raw), fmul);
+  EXPECT_EQ(decode(addi.raw), addi);
+  EXPECT_EQ(decode(bne.raw), bne);
+}
+
+TEST(Decode, InvalidEncodings) {
+  EXPECT_FALSE(decode(0x0000'0000).valid());
+  EXPECT_FALSE(decode(0xFFFF'FFFF).valid());
+  // OP-FP with fmt=2 (reserved).
+  EXPECT_FALSE(decode(0x0400'0053 | (2u << 25)).valid());
+}
+
+// Round-trip over every R-type / R4 / I / S / B / U / J instruction with a
+// sweep of operand values.
+class RoundTrip : public ::testing::TestWithParam<u16> {};
+
+TEST_P(RoundTrip, EncodeDecodeIdentity) {
+  const auto mn = static_cast<Mnemonic>(GetParam());
+  const MnemonicInfo& mi = info(mn);
+  if (mn == Mnemonic::kInvalid) return;
+
+  auto check = [&](const Instr& in) {
+    const Instr out = decode(in.raw);
+    ASSERT_TRUE(out.valid()) << name(mn) << " raw=0x" << std::hex << in.raw;
+    EXPECT_EQ(out.mn, in.mn) << name(mn);
+    EXPECT_EQ(encode(out), in.raw) << name(mn);
+  };
+
+  switch (mi.fmt) {
+    case Format::kR:
+      for (u8 rd : {0, 1, 31}) {
+        for (u8 rs1 : {0, 7, 31}) {
+          for (u8 rs2 : {0, 15, 31}) {
+            if (mi.rs2 == RegClass::kNone) {
+              check(make_r(mn, rd, rs1, 0));
+            } else {
+              check(make_r(mn, rd, rs1, rs2));
+            }
+          }
+        }
+      }
+      break;
+    case Format::kR4:
+      for (u8 r : {0, 3, 31}) check(make_r4(mn, r, r, r, r, 0));
+      check(make_r4(mn, 1, 2, 3, 4, 7));
+      break;
+    case Format::kI:
+      for (i32 imm : {-2048, -1, 0, 1, 2047}) {
+        const bool shift = mn == Mnemonic::kSlli || mn == Mnemonic::kSrli ||
+                           mn == Mnemonic::kSrai;
+        const bool custom = mi.exec == ExecClass::kFrep || mi.exec == ExecClass::kScfg;
+        const i32 v = shift ? (imm & 31) : custom ? (imm & 2047) : imm;
+        // Custom instructions hard-wire the unused register field to zero.
+        u8 rd = 5, rs1 = 6;
+        if (mi.exec == ExecClass::kFrep || mn == Mnemonic::kScfgw) rd = 0;
+        if (mn == Mnemonic::kScfgr) rs1 = 0;
+        check(make_i(mn, rd, rs1, v));
+      }
+      break;
+    case Format::kS:
+      for (i32 imm : {-2048, -4, 0, 8, 2047}) check(make_s(mn, 10, 11, imm));
+      break;
+    case Format::kB:
+      for (i32 off : {-4096, -12, 0, 36, 4094}) check(make_b(mn, 1, 2, off));
+      break;
+    case Format::kU:
+      for (i32 imm : {0, 1, 0xFFFFF}) check(make_u(mn, 7, imm));
+      break;
+    case Format::kJ:
+      for (i32 off : {-1048576, -4, 0, 1048574}) check(make_j(mn, 1, off));
+      break;
+    case Format::kCsr:
+      for (u32 csr : {0x001u, 0x7C0u, 0x7C3u, 0xC00u}) check(make_csr(mn, 3, 4, csr));
+      break;
+    case Format::kCsrI:
+      for (u8 z : {0, 8, 31}) check(make_csr(mn, 3, z, 0x7C3));
+      break;
+    case Format::kNone: {
+      Instr in;
+      in.mn = mn;
+      in.raw = encode(in);
+      check(in);
+      break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMnemonics, RoundTrip,
+                         ::testing::Range<u16>(1, static_cast<u16>(Mnemonic::kCount)),
+                         [](const ::testing::TestParamInfo<u16>& pi) {
+                           std::string n{name(static_cast<Mnemonic>(pi.param))};
+                           for (char& c : n) {
+                             if (c == '.') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Disasm, CanonicalSpellings) {
+  EXPECT_EQ(disassemble(make_r(Mnemonic::kFaddD, kFt3, kFt0, kFt1)),
+            "fadd.d ft3, ft0, ft1");
+  EXPECT_EQ(disassemble(make_r4(Mnemonic::kFmaddD, kFt3, kFt0, kFt1, kFt3)),
+            "fmadd.d ft3, ft0, ft1, ft3");
+  EXPECT_EQ(disassemble(make_i(Mnemonic::kAddi, kA0, kA0, -1)),
+            "addi a0, a0, -1");
+  EXPECT_EQ(disassemble(make_i(Mnemonic::kFld, kFt4, kSp, 16)),
+            "fld ft4, 16(sp)");
+  EXPECT_EQ(disassemble(make_s(Mnemonic::kFsd, kSp, kFt4, -8)),
+            "fsd ft4, -8(sp)");
+  EXPECT_EQ(disassemble(make_b(Mnemonic::kBne, kA1, kA2, -12)),
+            "bne a1, a2, -12");
+  EXPECT_EQ(disassemble(make_i(Mnemonic::kFrepO, 0, kT0, 4)), "frep.o t0, 4");
+  EXPECT_EQ(disassemble(make_i(Mnemonic::kScfgw, 0, kT1, 9)), "scfgw t1, 9");
+}
+
+TEST(Disasm, InvalidRendersPlaceholder) {
+  EXPECT_EQ(disassemble(u32{0}), "<invalid>");
+}
+
+TEST(Metadata, FpDomainFlags) {
+  EXPECT_TRUE(info(Mnemonic::kFmaddD).fp_domain);
+  EXPECT_TRUE(info(Mnemonic::kFld).fp_domain);
+  EXPECT_TRUE(info(Mnemonic::kFsd).fp_domain);
+  EXPECT_TRUE(info(Mnemonic::kFrepO).fp_domain);
+  EXPECT_FALSE(info(Mnemonic::kAddi).fp_domain);
+  EXPECT_FALSE(info(Mnemonic::kScfgw).fp_domain);
+  EXPECT_FALSE(info(Mnemonic::kCsrrs).fp_domain);
+}
+
+TEST(Metadata, OperandClasses) {
+  EXPECT_EQ(info(Mnemonic::kFmaddD).rs3, RegClass::kFp);
+  EXPECT_EQ(info(Mnemonic::kFld).rs1, RegClass::kInt);
+  EXPECT_EQ(info(Mnemonic::kFld).rd, RegClass::kFp);
+  EXPECT_EQ(info(Mnemonic::kFsd).rs2, RegClass::kFp);
+  EXPECT_EQ(info(Mnemonic::kFeqD).rd, RegClass::kInt);
+  EXPECT_EQ(info(Mnemonic::kFcvtDW).rs1, RegClass::kInt);
+  EXPECT_EQ(info(Mnemonic::kFcvtWD).rd, RegClass::kInt);
+}
+
+TEST(Metadata, MemBytes) {
+  EXPECT_EQ(info(Mnemonic::kFld).mem_bytes, 8);
+  EXPECT_EQ(info(Mnemonic::kFlw).mem_bytes, 4);
+  EXPECT_EQ(info(Mnemonic::kLw).mem_bytes, 4);
+  EXPECT_EQ(info(Mnemonic::kLh).mem_bytes, 2);
+  EXPECT_EQ(info(Mnemonic::kSb).mem_bytes, 1);
+}
+
+} // namespace
+} // namespace sch::isa

@@ -1,0 +1,531 @@
+// Functional ISS tests: RV32IM semantics, FP semantics (incl. NaN boxing,
+// min/max, conversions), CSRs, SSR streams, FREP hardware loops, and scalar
+// chaining architectural behaviour, all through assembled programs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "asm/assembler.hpp"
+#include "asm/builder.hpp"
+#include "iss/exec_semantics.hpp"
+#include "iss/iss.hpp"
+#include "mem/memory.hpp"
+
+namespace sch {
+namespace {
+
+constexpr Addr kD = memmap::kTcdmBase;
+
+Program prog(std::string_view src) {
+  auto r = assembler::assemble(src);
+  EXPECT_TRUE(r.ok()) << r.status().message();
+  return std::move(r).value();
+}
+
+struct RunResult {
+  HaltReason halt;
+  ArchState state;
+  std::string error;
+  u64 instret;
+};
+
+RunResult run_src(std::string_view src, Memory& mem) {
+  const Program p = prog(src);
+  Iss iss(p, mem);
+  const HaltReason h = iss.run();
+  return {h, iss.state(), iss.error(), iss.instret()};
+}
+
+RunResult run_src(std::string_view src) {
+  Memory mem;
+  return run_src(src, mem);
+}
+
+TEST(IssInt, ArithmeticAndHalt) {
+  const auto r = run_src(R"(
+    li a0, 20
+    li a1, 22
+    add a2, a0, a1
+    ecall
+  )");
+  EXPECT_EQ(r.halt, HaltReason::kEcall);
+  EXPECT_EQ(r.state.x[isa::kA2], 42u);
+}
+
+TEST(IssInt, LoopSum) {
+  const auto r = run_src(R"(
+    li a0, 0
+    li a1, 10
+loop:
+    add a0, a0, a1
+    addi a1, a1, -1
+    bnez a1, loop
+    ecall
+  )");
+  EXPECT_EQ(r.state.x[isa::kA0], 55u);
+}
+
+TEST(IssInt, MulDivEdgeCases) {
+  const auto r = run_src(R"(
+    li a0, -7
+    li a1, 2
+    div a2, a0, a1      # -3
+    rem a3, a0, a1      # -1
+    li a4, 0
+    div a5, a0, a4      # div by zero -> -1
+    rem a6, a0, a4      # rem by zero -> a0
+    li t0, 0x80000000
+    li t1, -1
+    div t2, t0, t1      # overflow -> dividend
+    mulhu t3, t0, t0
+    ecall
+  )");
+  EXPECT_EQ(static_cast<i32>(r.state.x[isa::kA2]), -3);
+  EXPECT_EQ(static_cast<i32>(r.state.x[isa::kA3]), -1);
+  EXPECT_EQ(r.state.x[isa::kA5], 0xFFFF'FFFFu);
+  EXPECT_EQ(r.state.x[isa::kA6], static_cast<u32>(-7));
+  EXPECT_EQ(r.state.x[isa::kT2], 0x8000'0000u);
+  EXPECT_EQ(r.state.x[isa::kT3], 0x4000'0000u);
+}
+
+TEST(IssInt, ShiftsAndCompares) {
+  const auto r = run_src(R"(
+    li a0, -8
+    srai a1, a0, 2      # -2
+    srli a2, a0, 28     # 0xF
+    slli a3, a0, 1      # -16
+    slti a4, a0, 0      # 1
+    sltiu a5, a0, 1     # 0 (unsigned huge)
+    ecall
+  )");
+  EXPECT_EQ(static_cast<i32>(r.state.x[isa::kA1]), -2);
+  EXPECT_EQ(r.state.x[isa::kA2], 0xFu);
+  EXPECT_EQ(static_cast<i32>(r.state.x[isa::kA3]), -16);
+  EXPECT_EQ(r.state.x[isa::kA4], 1u);
+  EXPECT_EQ(r.state.x[isa::kA5], 0u);
+}
+
+TEST(IssInt, X0StaysZero) {
+  const auto r = run_src(R"(
+    li t0, 99
+    addi x0, t0, 1
+    mv a0, x0
+    ecall
+  )");
+  EXPECT_EQ(r.state.x[0], 0u);
+  EXPECT_EQ(r.state.x[isa::kA0], 0u);
+}
+
+TEST(IssInt, MemoryByteHalfWord) {
+  const auto r = run_src(R"(
+    .data
+buf: .zero 16
+    .text
+    la a0, buf
+    li t0, -2
+    sb t0, 0(a0)
+    lb t1, 0(a0)        # sign-extended
+    lbu t2, 0(a0)       # zero-extended
+    li t0, -3
+    sh t0, 4(a0)
+    lh t3, 4(a0)
+    lhu t4, 4(a0)
+    ecall
+  )");
+  EXPECT_EQ(static_cast<i32>(r.state.x[isa::kT1]), -2);
+  EXPECT_EQ(r.state.x[isa::kT2], 0xFEu);
+  EXPECT_EQ(static_cast<i32>(r.state.x[isa::kT3]), -3);
+  EXPECT_EQ(r.state.x[isa::kT4], 0xFFFDu);
+}
+
+TEST(IssInt, JalJalrLink) {
+  const auto r = run_src(R"(
+    li a0, 1
+    jal ra, fn
+    addi a0, a0, 100
+    ecall
+fn:
+    addi a0, a0, 10
+    ret
+  )");
+  EXPECT_EQ(r.state.x[isa::kA0], 111u);
+}
+
+TEST(IssFp, BasicDoubleArithmetic) {
+  Memory mem;
+  const auto r = run_src(R"(
+    .data
+a: .double 1.5
+b: .double 2.25
+out: .zero 8
+    .text
+    la a0, a
+    fld ft0, 0(a0)
+    fld ft1, 8(a0)
+    fadd.d ft2, ft0, ft1
+    fmul.d ft3, ft2, ft1
+    fsd ft3, 16(a0)
+    ecall
+  )", mem);
+  EXPECT_EQ(r.halt, HaltReason::kEcall);
+  EXPECT_EQ(mem.load_f64(kD + 16), (1.5 + 2.25) * 2.25);
+}
+
+TEST(IssFp, FmaFamilies) {
+  Memory mem;
+  const auto r = run_src(R"(
+    .data
+v: .double 2.0, 3.0, 10.0
+out: .zero 32
+    .text
+    la a0, v
+    fld ft0, 0(a0)
+    fld ft1, 8(a0)
+    fld ft2, 16(a0)
+    fmadd.d ft3, ft0, ft1, ft2    # 16
+    fmsub.d ft4, ft0, ft1, ft2    # -4
+    fnmsub.d ft5, ft0, ft1, ft2   # 4
+    fnmadd.d ft6, ft0, ft1, ft2   # -16
+    fsd ft3, 24(a0)
+    fsd ft4, 32(a0)
+    fsd ft5, 40(a0)
+    fsd ft6, 48(a0)
+    ecall
+  )", mem);
+  ASSERT_EQ(r.halt, HaltReason::kEcall);
+  EXPECT_EQ(mem.load_f64(kD + 24), 16.0);
+  EXPECT_EQ(mem.load_f64(kD + 32), -4.0);
+  EXPECT_EQ(mem.load_f64(kD + 40), 4.0);
+  EXPECT_EQ(mem.load_f64(kD + 48), -16.0);
+}
+
+TEST(IssFp, ConversionsAndMoves) {
+  const auto r = run_src(R"(
+    li a0, -5
+    fcvt.d.w ft0, a0
+    fcvt.w.d a1, ft0
+    li a2, 0x40490FDB        # pi as f32 bits
+    fmv.w.x ft1, a2
+    fmv.x.w a3, ft1
+    fcvt.d.s ft2, ft1
+    fcvt.w.d a4, ft2         # round(pi) = 3
+    ecall
+  )");
+  EXPECT_EQ(static_cast<i32>(r.state.x[isa::kA1]), -5);
+  EXPECT_EQ(r.state.x[isa::kA3], 0x40490FDBu);
+  EXPECT_EQ(static_cast<i32>(r.state.x[isa::kA4]), 3);
+}
+
+TEST(IssFp, CompareAndClass) {
+  Memory mem;
+  const auto r = run_src(R"(
+    .data
+v: .double 1.0, 2.0
+    .text
+    la a0, v
+    fld ft0, 0(a0)
+    fld ft1, 8(a0)
+    flt.d a1, ft0, ft1     # 1
+    fle.d a2, ft1, ft0     # 0
+    feq.d a3, ft0, ft0     # 1
+    fclass.d a4, ft0       # positive normal: bit 6
+    ecall
+  )", mem);
+  EXPECT_EQ(r.state.x[isa::kA1], 1u);
+  EXPECT_EQ(r.state.x[isa::kA2], 0u);
+  EXPECT_EQ(r.state.x[isa::kA3], 1u);
+  EXPECT_EQ(r.state.x[isa::kA4], 1u << 6);
+}
+
+TEST(IssCsr, ReadWriteSetClear) {
+  const auto r = run_src(R"(
+    li t0, 8
+    csrw chain_mask, t0
+    csrr a0, chain_mask    # 8
+    csrsi chain_mask, 2
+    csrr a1, chain_mask    # 10
+    csrci chain_mask, 8
+    csrr a2, chain_mask    # 2
+    csrrw a3, chain_mask, x0
+    csrr a4, chain_mask    # 0
+    ecall
+  )");
+  EXPECT_EQ(r.state.x[isa::kA0], 8u);
+  EXPECT_EQ(r.state.x[isa::kA1], 10u);
+  EXPECT_EQ(r.state.x[isa::kA2], 2u);
+  EXPECT_EQ(r.state.x[isa::kA3], 2u);
+  EXPECT_EQ(r.state.x[isa::kA4], 0u);
+}
+
+TEST(IssSsr, StreamedVectorAdd) {
+  Memory mem;
+  // a[i] = b[i] + c[i] over 8 elements using SSR0/SSR1 reads and SSR2 write.
+  const auto r = run_src(R"(
+    .data
+b: .double 1, 2, 3, 4, 5, 6, 7, 8
+c: .double 10, 20, 30, 40, 50, 60, 70, 80
+a: .zero 64
+    .text
+    li t0, 7
+    scfgw t0, 8         # ssr0 bound0 = 7   (idx 2*4+0)
+    li t0, 8
+    scfgw t0, 24        # ssr0 stride0 = 8  (idx 6*4+0)
+    li t0, 7
+    scfgw t0, 9         # ssr1 bound0
+    li t0, 8
+    scfgw t0, 25        # ssr1 stride0
+    li t0, 7
+    scfgw t0, 10        # ssr2 bound0
+    li t0, 8
+    scfgw t0, 26        # ssr2 stride0
+    la t1, b
+    scfgw t1, 48        # ssr0 rptr0 (idx 12*4+0)
+    la t1, c
+    scfgw t1, 49        # ssr1 rptr0
+    la t1, a
+    scfgw t1, 66        # ssr2 wptr0 (idx 16*4+2)
+    csrwi ssr_enable, 1
+    li t2, 7
+    frep.o t2, 1
+    fadd.d ft2, ft0, ft1
+    csrwi ssr_enable, 0
+    ecall
+  )", mem);
+  ASSERT_EQ(r.halt, HaltReason::kEcall) << r.error;
+  for (u32 i = 0; i < 8; ++i) {
+    EXPECT_EQ(mem.load_f64(kD + 128 + 8 * i), (i + 1) * 11.0) << i;
+  }
+}
+
+TEST(IssSsr, ExhaustedStreamIsError) {
+  Memory mem;
+  const auto r = run_src(R"(
+    .data
+b: .double 1
+    .text
+    li t0, 0
+    scfgw t0, 8
+    li t0, 8
+    scfgw t0, 24
+    la t1, b
+    scfgw t1, 48
+    csrwi ssr_enable, 1
+    fmv.d ft3, ft0      # ok: one element
+    fmv.d ft4, ft0      # error: stream exhausted
+    ecall
+  )", mem);
+  EXPECT_EQ(r.halt, HaltReason::kError);
+  EXPECT_NE(r.error.find("SSR"), std::string::npos) << r.error;
+}
+
+TEST(IssFrep, OuterRepetition) {
+  const auto r = run_src(R"(
+    li t0, 3            # 4 repetitions
+    fcvt.d.w ft1, x0
+    li t1, 1
+    fcvt.d.w ft2, t1
+    frep.o t0, 1
+    fadd.d ft1, ft1, ft2
+    fcvt.w.d a0, ft1
+    ecall
+  )");
+  ASSERT_EQ(r.halt, HaltReason::kEcall) << r.error;
+  EXPECT_EQ(r.state.x[isa::kA0], 4u);
+}
+
+TEST(IssFrep, InnerVsOuterOrdering) {
+  // Body: [a += b; a *= 2] with 2 reps.
+  // frep.o: ((0+1)*2 +1)*2 = 6 ; frep.i: ((0+1+1)*2*2) = 8.
+  const auto outer = run_src(R"(
+    li t0, 1
+    fcvt.d.w ft1, x0
+    li t1, 1
+    fcvt.d.w ft2, t1
+    frep.o t0, 2
+    fadd.d ft1, ft1, ft2
+    fadd.d ft1, ft1, ft1
+    fcvt.w.d a0, ft1
+    ecall
+  )");
+  EXPECT_EQ(outer.state.x[isa::kA0], 6u);
+  const auto inner = run_src(R"(
+    li t0, 1
+    fcvt.d.w ft1, x0
+    li t1, 1
+    fcvt.d.w ft2, t1
+    frep.i t0, 2
+    fadd.d ft1, ft1, ft2
+    fadd.d ft1, ft1, ft1
+    fcvt.w.d a0, ft1
+    ecall
+  )");
+  EXPECT_EQ(inner.state.x[isa::kA0], 8u);
+}
+
+TEST(IssFrep, NonFpBodyIsError) {
+  const auto r = run_src(R"(
+    li t0, 1
+    frep.o t0, 1
+    addi a0, a0, 1
+    ecall
+  )");
+  EXPECT_EQ(r.halt, HaltReason::kError);
+  EXPECT_NE(r.error.find("frep"), std::string::npos);
+}
+
+TEST(IssChain, Fig1cChainedLoopArchitecturalResult) {
+  Memory mem;
+  // The paper's running example a = b*(c+d) with chaining on ft3, b = 2.0.
+  const auto r = run_src(R"(
+    .data
+c: .double 1, 2, 3, 4, 5, 6, 7, 8
+d: .double 10, 20, 30, 40, 50, 60, 70, 80
+a: .zero 64
+konst: .double 2.0
+    .text
+    la t0, konst
+    fld fa0, 0(t0)
+    li t0, 7
+    scfgw t0, 8
+    li t0, 8
+    scfgw t0, 24
+    li t0, 7
+    scfgw t0, 9
+    li t0, 8
+    scfgw t0, 25
+    li t0, 7
+    scfgw t0, 10
+    li t0, 8
+    scfgw t0, 26
+    la t1, c
+    scfgw t1, 48
+    la t1, d
+    scfgw t1, 49
+    la t1, a
+    scfgw t1, 66
+    csrwi ssr_enable, 1
+    li t2, 8
+    csrs chain_mask, t2     # enable chaining on ft3
+    fadd.d ft3, ft0, ft1
+    fadd.d ft3, ft0, ft1
+    fadd.d ft3, ft0, ft1
+    fadd.d ft3, ft0, ft1
+    fmul.d ft2, ft3, fa0
+    fmul.d ft2, ft3, fa0
+    fmul.d ft2, ft3, fa0
+    fmul.d ft2, ft3, fa0
+    fadd.d ft3, ft0, ft1
+    fadd.d ft3, ft0, ft1
+    fadd.d ft3, ft0, ft1
+    fadd.d ft3, ft0, ft1
+    fmul.d ft2, ft3, fa0
+    fmul.d ft2, ft3, fa0
+    fmul.d ft2, ft3, fa0
+    fmul.d ft2, ft3, fa0
+    csrs chain_mask, x0
+    csrwi ssr_enable, 0
+    ecall
+  )", mem);
+  ASSERT_EQ(r.halt, HaltReason::kEcall) << r.error;
+  const double c[] = {1, 2, 3, 4, 5, 6, 7, 8};
+  const double d[] = {10, 20, 30, 40, 50, 60, 70, 80};
+  for (u32 i = 0; i < 8; ++i) {
+    EXPECT_EQ(mem.load_f64(kD + 128 + 8 * i), 2.0 * (c[i] + d[i])) << i;
+  }
+}
+
+TEST(IssChain, UnderflowIsError) {
+  const auto r = run_src(R"(
+    li t0, 8
+    csrw chain_mask, t0
+    fmv.d ft4, ft3       # pop of empty chain FIFO
+    ecall
+  )");
+  EXPECT_EQ(r.halt, HaltReason::kError);
+  EXPECT_NE(r.error.find("underflow"), std::string::npos) << r.error;
+}
+
+TEST(IssChain, DisableLatchesOldest) {
+  const auto r = run_src(R"(
+    li t0, 8
+    csrw chain_mask, t0
+    li t1, 3
+    fcvt.d.w ft3, t1     # push 3.0
+    li t1, 4
+    fcvt.d.w ft3, t1     # push 4.0
+    csrw chain_mask, x0  # disable: ft3 latches oldest (3.0)
+    fcvt.w.d a0, ft3
+    ecall
+  )");
+  ASSERT_EQ(r.halt, HaltReason::kEcall) << r.error;
+  EXPECT_EQ(r.state.x[isa::kA0], 3u);
+}
+
+TEST(IssChain, WawNotOrderedButFifoIs) {
+  // Without chaining, two writes to ft3 leave the last one; with chaining
+  // both values are retained in FIFO order.
+  const auto r = run_src(R"(
+    li t0, 8
+    csrw chain_mask, t0
+    li t1, 7
+    fcvt.d.w ft3, t1
+    li t1, 9
+    fcvt.d.w ft3, t1
+    fcvt.w.d a0, ft3     # pops 7
+    fcvt.w.d a1, ft3     # pops 9
+    ecall
+  )");
+  ASSERT_EQ(r.halt, HaltReason::kEcall) << r.error;
+  EXPECT_EQ(r.state.x[isa::kA0], 7u);
+  EXPECT_EQ(r.state.x[isa::kA1], 9u);
+}
+
+TEST(IssHalt, OffTextAndMaxSteps) {
+  {
+    Memory mem;
+    const Program p = prog("nop\n");
+    Iss iss(p, mem);
+    EXPECT_EQ(iss.run(), HaltReason::kOffText);
+  }
+  {
+    Memory mem;
+    const Program p = prog("loop: j loop\n");
+    Iss iss(p, mem, IssConfig{.max_steps = 1000});
+    EXPECT_EQ(iss.run(), HaltReason::kMaxSteps);
+  }
+}
+
+TEST(ExecSemantics, NanBoxing) {
+  EXPECT_EQ(exec::unbox32(exec::box32(0x3F80'0000)), 0x3F80'0000u);
+  // Improperly boxed single reads as canonical NaN.
+  EXPECT_EQ(exec::unbox32(0x0000'0000'3F80'0000ull), exec::kCanonicalNan32);
+}
+
+TEST(ExecSemantics, MinMaxNanAndSignedZero) {
+  using exec::bits_of_f64;
+  using isa::Mnemonic;
+  const u64 nan = exec::kCanonicalNan64;
+  const u64 one = bits_of_f64(1.0);
+  EXPECT_EQ(exec::fp_compute(Mnemonic::kFminD, nan, one, 0), one);
+  EXPECT_EQ(exec::fp_compute(Mnemonic::kFmaxD, one, nan, 0), one);
+  EXPECT_EQ(exec::fp_compute(Mnemonic::kFminD, nan, nan, 0), nan);
+  const u64 pz = bits_of_f64(0.0);
+  const u64 nz = bits_of_f64(-0.0);
+  EXPECT_EQ(exec::fp_compute(Mnemonic::kFminD, pz, nz, 0), nz);
+  EXPECT_EQ(exec::fp_compute(Mnemonic::kFmaxD, nz, pz, 0), pz);
+}
+
+TEST(ExecSemantics, CvtSaturation) {
+  using exec::bits_of_f64;
+  using isa::Mnemonic;
+  EXPECT_EQ(exec::fp_to_int(Mnemonic::kFcvtWD, bits_of_f64(3e10), 0),
+            0x7FFF'FFFFu);
+  EXPECT_EQ(exec::fp_to_int(Mnemonic::kFcvtWD, bits_of_f64(-3e10), 0),
+            0x8000'0000u);
+  EXPECT_EQ(exec::fp_to_int(Mnemonic::kFcvtWuD, bits_of_f64(-1.0), 0), 0u);
+  EXPECT_EQ(exec::fp_to_int(Mnemonic::kFcvtWD, exec::kCanonicalNan64, 0),
+            0x7FFF'FFFFu);
+}
+
+} // namespace
+} // namespace sch

@@ -1,0 +1,233 @@
+// Extended ISS coverage: single-precision arithmetic with NaN boxing,
+// float<->double conversions, SSR config readback, CSR side-effect corner
+// cases, and frep validation paths.
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "iss/exec_semantics.hpp"
+#include "iss/iss.hpp"
+#include "mem/memory.hpp"
+
+namespace sch {
+namespace {
+
+constexpr Addr kD = memmap::kTcdmBase;
+
+Program prog(std::string_view src) {
+  auto r = assembler::assemble(src);
+  EXPECT_TRUE(r.ok()) << r.status().message();
+  return std::move(r).value();
+}
+
+struct R {
+  HaltReason halt;
+  ArchState state;
+  std::string error;
+};
+
+R run(std::string_view src, Memory& mem) {
+  Iss iss(prog(src), mem);
+  const HaltReason h = iss.run();
+  return {h, iss.state(), iss.error()};
+}
+
+TEST(IssF32, ArithmeticAndBoxing) {
+  Memory mem;
+  const auto r = run(R"(
+    .data
+v: .float 1.5, 2.5, -4.0
+out: .zero 16
+    .text
+    la a0, v
+    flw ft0, 0(a0)
+    flw ft1, 4(a0)
+    flw ft2, 8(a0)
+    fadd.s ft3, ft0, ft1       # 4.0
+    fmul.s ft4, ft3, ft2       # -16.0
+    fmadd.s ft5, ft0, ft1, ft2 # -0.25
+    fsw ft4, 12(a0)
+    fsw ft5, 16(a0)
+    ecall
+  )", mem);
+  ASSERT_EQ(r.halt, HaltReason::kEcall) << r.error;
+  EXPECT_EQ(mem.load_f32(kD + 12), -16.0f);
+  EXPECT_EQ(mem.load_f32(kD + 16), -0.25f);
+  // Register values must be NaN-boxed.
+  EXPECT_EQ(r.state.f[isa::kFt3] >> 32, 0xFFFF'FFFFull);
+}
+
+TEST(IssF32, ImproperBoxReadsAsNan) {
+  Memory mem;
+  const auto r = run(R"(
+    .data
+v: .double 1.0
+    .text
+    la a0, v
+    fld ft0, 0(a0)        # f64 pattern: NOT a boxed f32
+    fadd.s ft1, ft0, ft0  # must treat operand as canonical NaN
+    feq.s a1, ft1, ft1    # NaN != NaN -> 0
+    ecall
+  )", mem);
+  ASSERT_EQ(r.halt, HaltReason::kEcall) << r.error;
+  EXPECT_EQ(r.state.x[isa::kA1], 0u);
+}
+
+TEST(IssF32, ConversionChain) {
+  Memory mem;
+  const auto r = run(R"(
+    .data
+v: .double 2.75
+    .text
+    la a0, v
+    fld ft0, 0(a0)
+    fcvt.s.d ft1, ft0       # 2.75f
+    fcvt.d.s ft2, ft1       # 2.75
+    feq.d a1, ft0, ft2      # exact in f32 -> equal
+    fcvt.w.s a2, ft1        # round-to-nearest-even -> 3
+    fcvt.s.w ft3, a2
+    fcvt.wu.s a3, ft3
+    ecall
+  )", mem);
+  ASSERT_EQ(r.halt, HaltReason::kEcall) << r.error;
+  EXPECT_EQ(r.state.x[isa::kA1], 1u);
+  EXPECT_EQ(static_cast<i32>(r.state.x[isa::kA2]), 3);
+  EXPECT_EQ(r.state.x[isa::kA3], 3u);
+}
+
+TEST(IssScfg, ConfigReadback) {
+  Memory mem;
+  const auto r = run(R"(
+    li t0, 26
+    scfgw t0, 8        # ssr0 bound0
+    scfgr a0, 8        # read it back
+    li t0, -216
+    scfgw t0, 28       # ssr0 stride1 (negative)
+    scfgr a1, 28
+    scfgr a2, 0        # ssr0 status: not armed -> 0
+    ecall
+  )", mem);
+  ASSERT_EQ(r.halt, HaltReason::kEcall) << r.error;
+  EXPECT_EQ(r.state.x[isa::kA0], 26u);
+  EXPECT_EQ(static_cast<i32>(r.state.x[isa::kA1]), -216);
+  EXPECT_EQ(r.state.x[isa::kA2], 0u);
+}
+
+TEST(IssScfg, OutOfRangeIndexIsError) {
+  Memory mem;
+  const auto r = run(R"(
+    li t0, 1
+    scfgw t0, 2000
+    ecall
+  )", mem);
+  EXPECT_EQ(r.halt, HaltReason::kError);
+  EXPECT_NE(r.error.find("scfgw"), std::string::npos);
+}
+
+TEST(IssCsr, CsrrsWithX0DoesNotWrite) {
+  Memory mem;
+  // csrr (csrrs rd, csr, x0) must not clear side-effecting CSR state.
+  const auto r = run(R"(
+    li t0, 12
+    csrw chain_mask, t0
+    csrr a0, chain_mask
+    csrr a1, chain_mask     # still 12
+    csrrci a2, chain_mask, 0 # zimm 0: read-only, no clear
+    csrr a3, chain_mask
+    ecall
+  )", mem);
+  ASSERT_EQ(r.halt, HaltReason::kEcall) << r.error;
+  EXPECT_EQ(r.state.x[isa::kA0], 12u);
+  EXPECT_EQ(r.state.x[isa::kA1], 12u);
+  EXPECT_EQ(r.state.x[isa::kA3], 12u);
+}
+
+TEST(IssCsr, FcsrFields) {
+  Memory mem;
+  const auto r = run(R"(
+    li t0, 0xE5
+    csrw fcsr, t0
+    csrr a0, fflags      # low 5 bits: 0x05
+    csrr a1, frm         # bits 7:5 -> 0x7
+    csrwi fflags, 0x1F
+    csrr a2, fcsr        # frm kept, fflags replaced
+    ecall
+  )", mem);
+  ASSERT_EQ(r.halt, HaltReason::kEcall) << r.error;
+  EXPECT_EQ(r.state.x[isa::kA0], 0x05u);
+  EXPECT_EQ(r.state.x[isa::kA1], 0x7u);
+  EXPECT_EQ(r.state.x[isa::kA2], 0xFFu);
+}
+
+TEST(IssFrep, BodyCrossingTextEndIsError) {
+  Memory mem;
+  const auto r = run(R"(
+    li t0, 1
+    frep.o t0, 3
+    fadd.d ft1, ft1, ft1
+  )", mem);
+  EXPECT_EQ(r.halt, HaltReason::kError);
+  EXPECT_NE(r.error.find("frep"), std::string::npos) << r.error;
+}
+
+TEST(IssFrep, ZeroRepetitionsRunsOnce) {
+  Memory mem;
+  // rs1 = 0 -> body executes once (reps = rs1 + 1).
+  const auto r = run(R"(
+    li t0, 0
+    li t1, 1
+    fcvt.d.w ft1, x0
+    fcvt.d.w ft2, t1
+    frep.o t0, 1
+    fadd.d ft1, ft1, ft2
+    fcvt.w.d a0, ft1
+    ecall
+  )", mem);
+  ASSERT_EQ(r.halt, HaltReason::kEcall) << r.error;
+  EXPECT_EQ(r.state.x[isa::kA0], 1u);
+}
+
+TEST(IssMisc, FenceIsNoOp) {
+  Memory mem;
+  const auto r = run(R"(
+    li a0, 1
+    fence
+    addi a0, a0, 1
+    ecall
+  )", mem);
+  ASSERT_EQ(r.halt, HaltReason::kEcall) << r.error;
+  EXPECT_EQ(r.state.x[isa::kA0], 2u);
+}
+
+TEST(IssMisc, EbreakHalts) {
+  Memory mem;
+  const auto r = run(R"(
+    li a0, 9
+    ebreak
+    li a0, 1
+  )", mem);
+  EXPECT_EQ(r.halt, HaltReason::kEbreak);
+  EXPECT_EQ(r.state.x[isa::kA0], 9u);
+}
+
+TEST(IssMisc, MulhVariantsAgainstWideMath) {
+  Memory mem;
+  const auto r = run(R"(
+    li a0, 0x80000000
+    li a1, 0xFFFFFFFF
+    mulh a2, a0, a1      # signed x signed
+    mulhu a3, a0, a1     # unsigned x unsigned
+    mulhsu a4, a0, a1    # signed x unsigned
+    ecall
+  )", mem);
+  ASSERT_EQ(r.halt, HaltReason::kEcall) << r.error;
+  const i64 sa = static_cast<i32>(0x8000'0000);
+  const i64 sb = static_cast<i32>(0xFFFF'FFFF);
+  EXPECT_EQ(r.state.x[isa::kA2], static_cast<u32>((sa * sb) >> 32));
+  EXPECT_EQ(r.state.x[isa::kA3],
+            static_cast<u32>((0x8000'0000ull * 0xFFFF'FFFFull) >> 32));
+  EXPECT_EQ(r.state.x[isa::kA4],
+            static_cast<u32>((sa * static_cast<i64>(0xFFFF'FFFFull)) >> 32));
+}
+
+} // namespace
+} // namespace sch

@@ -1,0 +1,410 @@
+// SSR tests: affine address generation (Snitch relative-stride semantics),
+// element repetition, indirect translation, functional streams against
+// reference enumerations (property-style sweeps), config decode, and the
+// cycle-level streamer's FIFO/latency behaviour.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "mem/memory.hpp"
+#include "mem/tcdm.hpp"
+#include "ssr/addr_gen.hpp"
+#include "ssr/functional_stream.hpp"
+#include "ssr/ssr_file.hpp"
+#include "ssr/streamer.hpp"
+
+namespace sch::ssr {
+namespace {
+
+constexpr Addr kBase = memmap::kTcdmBase;
+
+double exec_bits_to_f64(u64 bits) {
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+std::vector<Addr> drain(AddrGen& g) {
+  std::vector<Addr> out;
+  while (!g.done()) {
+    out.push_back(g.peek());
+    g.advance();
+  }
+  return out;
+}
+
+/// Reference enumeration with relative-stride semantics.
+std::vector<Addr> reference_affine(Addr base, u32 dims,
+                                   const std::array<u32, kMaxDims>& bounds,
+                                   const std::array<i32, kMaxDims>& strides,
+                                   u32 repeat) {
+  std::vector<Addr> out;
+  std::array<u32, kMaxDims> idx{};
+  Addr ptr = base;
+  while (true) {
+    for (u32 r = 0; r <= repeat; ++r) out.push_back(ptr);
+    u32 d = 0;
+    for (; d < dims; ++d) {
+      if (idx[d] < bounds[d]) {
+        ++idx[d];
+        ptr = static_cast<Addr>(static_cast<i64>(ptr) + strides[d]);
+        break;
+      }
+      idx[d] = 0;
+    }
+    if (d == dims) break;
+  }
+  return out;
+}
+
+TEST(AddrGen, Linear1D) {
+  AddrGen g;
+  g.arm(kBase, 1, {3, 0, 0, 0}, {8, 0, 0, 0}, 0);
+  EXPECT_EQ(g.total(), 4u);
+  EXPECT_EQ(drain(g), (std::vector<Addr>{kBase, kBase + 8, kBase + 16, kBase + 24}));
+}
+
+TEST(AddrGen, RelativeStride2D) {
+  // 2x3 row-major matrix of f64 with a row gap: inner bound 2 (3 elems,
+  // stride 8), outer stride jumps from row end to next row start (+16).
+  AddrGen g;
+  g.arm(kBase, 2, {2, 1, 0, 0}, {8, 16, 0, 0}, 0);
+  EXPECT_EQ(drain(g),
+            (std::vector<Addr>{kBase, kBase + 8, kBase + 16, kBase + 32,
+                               kBase + 40, kBase + 48}));
+}
+
+TEST(AddrGen, NegativeStride) {
+  AddrGen g;
+  g.arm(kBase + 24, 1, {3, 0, 0, 0}, {-8, 0, 0, 0}, 0);
+  EXPECT_EQ(drain(g),
+            (std::vector<Addr>{kBase + 24, kBase + 16, kBase + 8, kBase}));
+}
+
+TEST(AddrGen, Repetition) {
+  AddrGen g;
+  g.arm(kBase, 1, {1, 0, 0, 0}, {8, 0, 0, 0}, 2);
+  EXPECT_EQ(g.total(), 6u);
+  EXPECT_EQ(drain(g), (std::vector<Addr>{kBase, kBase, kBase, kBase + 8,
+                                         kBase + 8, kBase + 8}));
+}
+
+TEST(AddrGen, InnerContiguityProbe) {
+  AddrGen g;
+  g.arm(kBase, 2, {3, 1, 0, 0}, {2, 100, 0, 0}, 0);
+  EXPECT_TRUE(g.inner_contiguous(2));
+  EXPECT_FALSE(g.inner_contiguous(8));
+  EXPECT_EQ(g.inner_remaining(), 4u);
+  g.advance();
+  EXPECT_EQ(g.inner_remaining(), 3u);
+}
+
+// Property sweep: random affine configs match the reference enumeration.
+class AffineProperty : public ::testing::TestWithParam<u32> {};
+
+TEST_P(AffineProperty, MatchesReference) {
+  std::mt19937 rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const u32 dims = 1 + rng() % kMaxDims;
+    std::array<u32, kMaxDims> bounds{};
+    std::array<i32, kMaxDims> strides{};
+    for (u32 d = 0; d < dims; ++d) {
+      bounds[d] = rng() % 4;
+      strides[d] = static_cast<i32>(rng() % 64) - 32;
+    }
+    const u32 repeat = rng() % 3;
+    const Addr base = kBase + 4096 + (rng() % 256) * 8;
+
+    AddrGen g;
+    g.arm(base, dims, bounds, strides, repeat);
+    const auto expect = reference_affine(base, dims, bounds, strides, repeat);
+    EXPECT_EQ(g.total(), expect.size());
+    EXPECT_EQ(drain(g), expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AffineProperty, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(CfgIndex, EncodingRoundTrip) {
+  for (u32 ssr = 0; ssr < kNumSsrs; ++ssr) {
+    for (u32 reg = 0; reg < kNumCfgRegs; ++reg) {
+      const i32 idx = cfg_index(ssr, static_cast<CfgReg>(reg));
+      EXPECT_EQ(cfg_ssr_of(idx), ssr);
+      EXPECT_EQ(cfg_reg_of(idx), reg);
+    }
+  }
+}
+
+TEST(CfgWrite, ArmEventsAndPlainWrites) {
+  std::array<SsrRawConfig, kNumSsrs> cfgs{};
+  auto r1 = apply_cfg_write(cfgs, cfg_index(1, CfgReg::kBound0), 26);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_FALSE(r1.value().has_value());
+  EXPECT_EQ(cfgs[1].bounds[0], 26u);
+
+  const auto rptr1 = static_cast<CfgReg>(static_cast<u32>(CfgReg::kRptr0) + 1);
+  auto r2 = apply_cfg_write(cfgs, cfg_index(1, rptr1), kBase);
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(r2.value().has_value());
+  EXPECT_EQ(r2.value()->ssr, 1u);
+  EXPECT_EQ(r2.value()->dims, 2u);
+  EXPECT_EQ(r2.value()->dir, StreamDir::kRead);
+
+  auto r3 = apply_cfg_write(cfgs, cfg_index(2, CfgReg::kWptr0), kBase + 64);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3.value()->dir, StreamDir::kWrite);
+  EXPECT_EQ(r3.value()->dims, 1u);
+
+  EXPECT_FALSE(apply_cfg_write(cfgs, 4000, 0).ok());
+  EXPECT_FALSE(apply_cfg_write(cfgs, cfg_index(0, CfgReg::kStatus), 1).ok());
+}
+
+TEST(FunctionalStream, AffineRead) {
+  Memory mem;
+  for (u32 i = 0; i < 8; ++i) mem.store_f64(kBase + 8 * i, 1.5 * i);
+  SsrRawConfig cfg;
+  cfg.bounds[0] = 7;
+  cfg.strides[0] = 8;
+  FunctionalStream s;
+  s.arm(cfg, kBase, 1, StreamDir::kRead);
+  EXPECT_EQ(s.total(), 8u);
+  for (u32 i = 0; i < 8; ++i) {
+    auto v = s.read_next(mem);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(exec_bits_to_f64(*v), 1.5 * i);
+  }
+  EXPECT_TRUE(s.done());
+  EXPECT_EQ(s.read_next(mem), std::nullopt);
+}
+
+TEST(FunctionalStream, RepetitionReplaysWithoutRefetch) {
+  Memory mem;
+  mem.store_f64(kBase, 7.0);
+  mem.store_f64(kBase + 8, 9.0);
+  SsrRawConfig cfg;
+  cfg.bounds[0] = 1;
+  cfg.strides[0] = 8;
+  cfg.repeat = 3; // each element delivered 4x
+  FunctionalStream s;
+  s.arm(cfg, kBase, 1, StreamDir::kRead);
+  EXPECT_EQ(s.total(), 8u);
+  std::vector<double> got;
+  while (auto v = s.read_next(mem)) got.push_back(exec_bits_to_f64(*v));
+  EXPECT_EQ(got, (std::vector<double>{7, 7, 7, 7, 9, 9, 9, 9}));
+}
+
+TEST(FunctionalStream, AffineWrite) {
+  Memory mem;
+  SsrRawConfig cfg;
+  cfg.bounds[0] = 3;
+  cfg.strides[0] = 16; // strided scatter
+  FunctionalStream s;
+  s.arm(cfg, kBase, 1, StreamDir::kWrite);
+  for (u32 i = 0; i < 4; ++i) {
+    u64 bits;
+    const double v = 2.0 + i;
+    std::memcpy(&bits, &v, 8);
+    EXPECT_TRUE(s.write_next(mem, bits));
+  }
+  EXPECT_TRUE(s.done());
+  EXPECT_FALSE(s.write_next(mem, 0));
+  for (u32 i = 0; i < 4; ++i) EXPECT_EQ(mem.load_f64(kBase + 16 * i), 2.0 + i);
+}
+
+TEST(FunctionalStream, IndirectGather) {
+  Memory mem;
+  // Data window: 16 doubles; index array: u16 offsets in element units.
+  for (u32 i = 0; i < 16; ++i) mem.store_f64(kBase + 8 * i, 100.0 + i);
+  const Addr idx_addr = kBase + 1024;
+  const std::vector<u16> idx = {0, 3, 3, 15, 7};
+  for (u32 i = 0; i < idx.size(); ++i) mem.store(idx_addr + 2 * i, idx[i], 2);
+
+  SsrRawConfig cfg;
+  cfg.bounds[0] = 4;    // 5 indices
+  cfg.strides[0] = 2;   // u16 index array
+  cfg.idx_cfg = (1u << 16) | (3u << 4) | 1u; // enable, shift=3, idx size=2B
+  cfg.idx_base = kBase;
+  FunctionalStream s;
+  s.arm(cfg, idx_addr, 1, StreamDir::kRead);
+  std::vector<double> got;
+  while (auto v = s.read_next(mem)) got.push_back(exec_bits_to_f64(*v));
+  EXPECT_EQ(got, (std::vector<double>{100, 103, 103, 115, 107}));
+}
+
+TEST(FunctionalStream, IndirectScatter) {
+  Memory mem;
+  const Addr idx_addr = kBase + 512;
+  const std::vector<u16> idx = {4, 0, 2};
+  for (u32 i = 0; i < idx.size(); ++i) mem.store(idx_addr + 2 * i, idx[i], 2);
+  SsrRawConfig cfg;
+  cfg.bounds[0] = 2;
+  cfg.strides[0] = 2;
+  cfg.idx_cfg = (1u << 16) | (3u << 4) | 1u;
+  cfg.idx_base = kBase;
+  FunctionalStream s;
+  s.arm(cfg, idx_addr, 1, StreamDir::kWrite);
+  for (u32 i = 0; i < 3; ++i) {
+    const double v = 50.0 + i;
+    u64 bits;
+    std::memcpy(&bits, &v, 8);
+    ASSERT_TRUE(s.write_next(mem, bits));
+  }
+  EXPECT_EQ(mem.load_f64(kBase + 8 * 4), 50.0);
+  EXPECT_EQ(mem.load_f64(kBase + 8 * 0), 51.0);
+  EXPECT_EQ(mem.load_f64(kBase + 8 * 2), 52.0);
+}
+
+TEST(FunctionalSsrFile, MapsOnlyWhenEnabled) {
+  Memory mem;
+  mem.store_f64(kBase, 42.0);
+  FunctionalSsrFile f;
+  ASSERT_TRUE(f.cfg_write(cfg_index(0, CfgReg::kBound0), 0).is_ok());
+  ASSERT_TRUE(f.cfg_write(cfg_index(0, CfgReg::kStride0), 8).is_ok());
+  ASSERT_TRUE(f.cfg_write(cfg_index(0, CfgReg::kRptr0), kBase).is_ok());
+  EXPECT_FALSE(f.maps(0)); // not yet enabled
+  f.set_enabled(true);
+  EXPECT_TRUE(f.maps(0));
+  EXPECT_FALSE(f.maps(3)); // ft3 is never stream-mapped
+  auto v = f.read(0, mem);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(exec_bits_to_f64(*v), 42.0);
+  EXPECT_EQ(f.read(0, mem), std::nullopt); // exhausted
+}
+
+// --- cycle-level streamer -------------------------------------------------
+
+TEST(Streamer, PrefetchLatencyOneCycle) {
+  Memory mem;
+  Tcdm tcdm;
+  for (u32 i = 0; i < 4; ++i) mem.store_f64(kBase + 8 * i, 10.0 + i);
+  SsrRawConfig cfg;
+  cfg.bounds[0] = 3;
+  cfg.strides[0] = 8;
+  Streamer s;
+  s.arm(cfg, kBase, 1, StreamDir::kRead);
+
+  Cycle now = 1;
+  s.begin_cycle(now);
+  EXPECT_FALSE(s.can_pop());
+  tcdm.begin_cycle();
+  s.tick_fetch(now, tcdm, mem, TcdmPortId::kSsr0); // fetch granted at cycle 1
+  EXPECT_FALSE(s.can_pop()); // data lands next cycle
+
+  ++now;
+  s.begin_cycle(now);
+  EXPECT_TRUE(s.can_pop());
+  EXPECT_EQ(exec_bits_to_f64(s.pop()), 10.0);
+}
+
+TEST(Streamer, FifoFillsToDepthAndStops) {
+  Memory mem;
+  Tcdm tcdm;
+  for (u32 i = 0; i < 32; ++i) mem.store_f64(kBase + 8 * i, i);
+  SsrRawConfig cfg;
+  cfg.bounds[0] = 31;
+  cfg.strides[0] = 8;
+  Streamer s(StreamerConfig{.data_fifo_depth = 4});
+  s.arm(cfg, kBase, 1, StreamDir::kRead);
+  for (Cycle now = 1; now <= 10; ++now) {
+    s.begin_cycle(now);
+    tcdm.begin_cycle();
+    s.tick_fetch(now, tcdm, mem, TcdmPortId::kSsr0);
+  }
+  // Only 4 fetches should have been granted (FIFO depth).
+  EXPECT_EQ(s.stats().data_reads, 4u);
+}
+
+TEST(Streamer, WriteDrainsInOrder) {
+  Memory mem;
+  Tcdm tcdm;
+  SsrRawConfig cfg;
+  cfg.bounds[0] = 2;
+  cfg.strides[0] = 8;
+  Streamer s;
+  s.arm(cfg, kBase, 1, StreamDir::kWrite);
+  for (u32 i = 0; i < 3; ++i) {
+    ASSERT_TRUE(s.can_push());
+    const double v = 5.0 + i;
+    u64 bits;
+    std::memcpy(&bits, &v, 8);
+    s.push(bits);
+  }
+  Cycle now = 1;
+  while (!s.idle() && now < 20) {
+    s.begin_cycle(now);
+    tcdm.begin_cycle();
+    s.tick_fetch(now, tcdm, mem, TcdmPortId::kSsr2);
+    ++now;
+  }
+  EXPECT_TRUE(s.idle());
+  for (u32 i = 0; i < 3; ++i) EXPECT_EQ(mem.load_f64(kBase + 8 * i), 5.0 + i);
+}
+
+TEST(Streamer, WriteFifoBackpressure) {
+  SsrRawConfig cfg;
+  cfg.bounds[0] = 31;
+  cfg.strides[0] = 8;
+  Streamer s(StreamerConfig{.write_fifo_depth = 2});
+  s.arm(cfg, kBase, 1, StreamDir::kWrite);
+  s.push(1);
+  s.push(2);
+  EXPECT_FALSE(s.can_push());
+}
+
+TEST(Streamer, IndirectPackedIndexFetch) {
+  Memory mem;
+  Tcdm tcdm;
+  for (u32 i = 0; i < 32; ++i) mem.store_f64(kBase + 8 * i, 100.0 + i);
+  const Addr idx_addr = kBase + 2048; // 8B aligned
+  const std::vector<u16> idx = {3, 1, 4, 1, 5, 9, 2, 6};
+  for (u32 i = 0; i < idx.size(); ++i) mem.store(idx_addr + 2 * i, idx[i], 2);
+
+  SsrRawConfig cfg;
+  cfg.bounds[0] = 7;
+  cfg.strides[0] = 2;
+  cfg.idx_cfg = (1u << 16) | (3u << 4) | 1u;
+  cfg.idx_base = kBase;
+  Streamer s;
+  s.arm(cfg, idx_addr, 1, StreamDir::kRead);
+
+  std::vector<double> got;
+  for (Cycle now = 1; now < 40 && got.size() < idx.size(); ++now) {
+    s.begin_cycle(now);
+    tcdm.begin_cycle();
+    while (s.can_pop()) got.push_back(exec_bits_to_f64(s.pop()));
+    s.tick_fetch(now, tcdm, mem, TcdmPortId::kSsr0);
+  }
+  ASSERT_EQ(got.size(), idx.size());
+  for (u32 i = 0; i < idx.size(); ++i) EXPECT_EQ(got[i], 100.0 + idx[i]);
+  // 8 u16 indices span two 8-byte words (4 per word): two index fetches.
+  EXPECT_EQ(s.stats().idx_reads, 2u);
+  EXPECT_EQ(s.stats().data_reads, 8u);
+}
+
+TEST(Streamer, ConflictDelaysFetch) {
+  Memory mem;
+  Tcdm tcdm;
+  SsrRawConfig cfg;
+  cfg.bounds[0] = 0;
+  cfg.strides[0] = 8;
+  Streamer s;
+  s.arm(cfg, kBase, 1, StreamDir::kRead);
+  Cycle now = 1;
+  s.begin_cycle(now);
+  tcdm.begin_cycle();
+  // Core occupies bank 0 first.
+  ASSERT_TRUE(tcdm.request(TcdmPortId::kCoreLsu, kBase, false));
+  s.tick_fetch(now, tcdm, mem, TcdmPortId::kSsr0);
+  EXPECT_EQ(s.stats().conflict_retries, 1u);
+  EXPECT_EQ(s.stats().data_reads, 0u);
+  ++now;
+  s.begin_cycle(now);
+  tcdm.begin_cycle();
+  s.tick_fetch(now, tcdm, mem, TcdmPortId::kSsr0);
+  EXPECT_EQ(s.stats().data_reads, 1u);
+}
+
+} // namespace
+} // namespace sch::ssr

@@ -1,0 +1,163 @@
+// schsim: command-line driver for the scalar-chaining core model.
+// Assembles a RISC-V source file (with the Xssr/Xfrep/Xchain extensions) and
+// runs it on the cycle-level simulator (default) or the functional ISS.
+//
+//   schsim [options] program.s
+//     --iss                 run on the functional ISS instead
+//     --trace               print the per-cycle issue trace
+//     --dataflow            print the FPU-pipeline/chain-FIFO occupancy
+//     --energy              print the energy/power report
+//     --banks N             TCDM banks (default 32)
+//     --fpu-depth N         FPU pipeline depth (default 3)
+//     --strict-handoff      forbid same-cycle chain pop->push handoff
+//     --max-cycles N        simulation budget
+//     --dump ADDR COUNT     print COUNT f64 words at ADDR after the run
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scalarchain.hpp"
+
+namespace {
+
+using namespace sch;
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: schsim [--iss] [--trace] [--dataflow] [--energy]\n"
+               "              [--banks N] [--fpu-depth N] [--strict-handoff]\n"
+               "              [--max-cycles N] [--dump ADDR COUNT] program.s\n");
+}
+
+void print_perf(const sim::PerfCounters& p) {
+  std::printf("cycles:            %llu\n", static_cast<unsigned long long>(p.cycles));
+  std::printf("instructions:      %llu int, %llu fp (%llu offloaded)\n",
+              static_cast<unsigned long long>(p.int_instrs),
+              static_cast<unsigned long long>(p.fp_instrs),
+              static_cast<unsigned long long>(p.offloads));
+  std::printf("fpu ops:           %llu (utilization %.3f)\n",
+              static_cast<unsigned long long>(p.fpu_ops), p.fpu_utilization());
+  std::printf("stalls:            raw=%llu waw=%llu chain-empty=%llu "
+              "chain-full=%llu ssr-empty=%llu ssr-wfull=%llu lsu=%llu\n",
+              static_cast<unsigned long long>(p.stall_fp_raw),
+              static_cast<unsigned long long>(p.stall_fp_waw),
+              static_cast<unsigned long long>(p.stall_chain_empty),
+              static_cast<unsigned long long>(p.stall_chain_full),
+              static_cast<unsigned long long>(p.stall_ssr_empty),
+              static_cast<unsigned long long>(p.stall_ssr_wfull),
+              static_cast<unsigned long long>(p.stall_fp_lsu));
+  std::printf("int-core stalls:   offload-full=%llu raw=%llu lsu=%llu "
+              "csr-barrier=%llu branch-bubbles=%llu\n",
+              static_cast<unsigned long long>(p.stall_offload_full),
+              static_cast<unsigned long long>(p.stall_int_raw),
+              static_cast<unsigned long long>(p.stall_int_lsu),
+              static_cast<unsigned long long>(p.stall_csr_barrier),
+              static_cast<unsigned long long>(p.branch_bubbles));
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  bool use_iss = false, want_trace = false, want_dataflow = false,
+       want_energy = false;
+  sim::SimConfig cfg;
+  std::string path;
+  Addr dump_addr = 0;
+  u32 dump_count = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing argument for %s\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--iss") use_iss = true;
+    else if (arg == "--trace") { want_trace = true; cfg.trace = true; }
+    else if (arg == "--dataflow") { want_dataflow = true; cfg.trace = true; }
+    else if (arg == "--energy") want_energy = true;
+    else if (arg == "--strict-handoff") cfg.strict_chain_handoff = true;
+    else if (arg == "--banks") cfg.tcdm.num_banks = static_cast<u32>(std::atoi(next("--banks")));
+    else if (arg == "--fpu-depth") cfg.fpu_depth = static_cast<u32>(std::atoi(next("--fpu-depth")));
+    else if (arg == "--max-cycles") cfg.max_cycles = static_cast<u64>(std::atoll(next("--max-cycles")));
+    else if (arg == "--dump") {
+      dump_addr = static_cast<Addr>(std::strtoul(next("--dump"), nullptr, 0));
+      dump_count = static_cast<u32>(std::atoi(next("--dump COUNT")));
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage();
+      return 2;
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::stringstream ss;
+  ss << file.rdbuf();
+
+  auto assembled = assembler::assemble(ss.str());
+  if (!assembled.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 assembled.status().message().c_str());
+    return 1;
+  }
+  const Program program = std::move(assembled).value();
+  std::printf("%s: %zu instructions, %zu data bytes\n", path.c_str(),
+              program.num_instrs(), program.data.size());
+
+  Memory memory;
+  int status = 0;
+  if (use_iss) {
+    Iss iss(program, memory);
+    const HaltReason halt = iss.run();
+    if (halt != HaltReason::kEcall && halt != HaltReason::kEbreak) {
+      std::fprintf(stderr, "abnormal halt: %s\n", iss.error().c_str());
+      status = 1;
+    }
+    std::printf("ISS: %llu instructions retired\n",
+                static_cast<unsigned long long>(iss.instret()));
+  } else {
+    sim::Simulator simulator(program, memory, cfg);
+    const HaltReason halt = simulator.run();
+    if (halt != HaltReason::kEcall && halt != HaltReason::kEbreak) {
+      std::fprintf(stderr, "abnormal halt: %s\n", simulator.error().c_str());
+      status = 1;
+    }
+    print_perf(simulator.perf());
+    if (want_energy) {
+      std::printf("%s", energy::format_report(energy::evaluate_run(simulator)).c_str());
+    }
+    if (want_trace) {
+      std::printf("\n%s", simulator.trace().format_issue_table().c_str());
+    }
+    if (want_dataflow) {
+      std::printf("\n%s", simulator.trace().format_dataflow(128).c_str());
+    }
+  }
+
+  if (dump_count > 0) {
+    std::printf("\nmemory dump @ 0x%x:\n", dump_addr);
+    for (u32 i = 0; i < dump_count; ++i) {
+      std::printf("  [%3u] %g\n", i, memory.load_f64(dump_addr + 8 * i));
+    }
+  }
+  return status;
+}
