@@ -1,26 +1,66 @@
 #include "bench_common.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 namespace sch::bench {
+
+u32 sweep_worker_count(u32 jobs) {
+  if (const char* env = std::getenv("SCH_SWEEP_THREADS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n >= 1) return static_cast<u32>(n) < jobs ? static_cast<u32>(n) : jobs;
+  }
+  u32 hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return hw < jobs ? hw : jobs;
+}
 
 std::vector<SweepEntry> run_stencil_sweep(const kernels::StencilParams& params,
                                           const sim::SimConfig& sim_config,
                                           const energy::EnergyConfig& energy_config) {
-  std::vector<SweepEntry> out;
+  struct Job {
+    StencilKind kind;
+    StencilVariant variant;
+  };
+  std::vector<Job> jobs;
   for (StencilKind kind : kKinds) {
-    for (StencilVariant variant : kVariants) {
-      const kernels::BuiltKernel k = kernels::build_stencil(kind, variant, params);
-      SweepEntry e{kind, variant, kernels::run_on_simulator(k, sim_config, energy_config),
+    for (StencilVariant variant : kVariants) jobs.push_back({kind, variant});
+  }
+
+  // Each configuration is self-contained (own Memory/Simulator/PerfCounters),
+  // so the sweep fans out across threads; results land in deterministic
+  // per-job slots, keeping output order identical to the serial sweep.
+  std::vector<SweepEntry> out(jobs.size());
+  std::vector<std::string> errors(jobs.size());
+  std::atomic<usize> next{0};
+  auto work = [&] {
+    for (usize i = next.fetch_add(1); i < jobs.size(); i = next.fetch_add(1)) {
+      const kernels::BuiltKernel k =
+          kernels::build_stencil(jobs[i].kind, jobs[i].variant, params);
+      SweepEntry e{jobs[i].kind, jobs[i].variant,
+                   kernels::run_on_simulator(k, sim_config, energy_config),
                    k.regs, k.useful_flops};
-      if (!e.run.ok) {
-        std::fprintf(stderr, "FATAL: %s failed validation: %s\n",
-                     k.name.c_str(), e.run.error.c_str());
-        std::exit(1);
-      }
-      out.push_back(std::move(e));
+      if (!e.run.ok) errors[i] = k.name + " failed validation: " + e.run.error;
+      out[i] = std::move(e);
+    }
+  };
+
+  const u32 workers = sweep_worker_count(static_cast<u32>(jobs.size()));
+  std::vector<std::thread> pool;
+  for (u32 t = 1; t < workers; ++t) pool.emplace_back(work);
+  work();
+  for (std::thread& t : pool) t.join();
+
+  for (const std::string& err : errors) {
+    // Benches must never report numbers from a run whose output did not
+    // match the golden reference.
+    if (!err.empty()) {
+      std::fprintf(stderr, "FATAL: %s\n", err.c_str());
+      std::exit(1);
     }
   }
   return out;

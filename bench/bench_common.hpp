@@ -22,6 +22,11 @@ inline constexpr StencilVariant kVariants[] = {
     StencilVariant::kBaseMM, StencilVariant::kBaseM, StencilVariant::kBase,
     StencilVariant::kChaining, StencilVariant::kChainingPlus};
 
+/// Number of configurations in the Fig. 3 sweep (kKinds x kVariants).
+inline constexpr u32 kSweepJobs =
+    static_cast<u32>(sizeof(kKinds) / sizeof(kKinds[0])) *
+    static_cast<u32>(sizeof(kVariants) / sizeof(kVariants[0]));
+
 /// Fig. 3 reference values decoded from the paper (see DESIGN.md §3):
 /// per variant (Base--, Base-, Base, Chaining, Chaining+).
 struct PaperRef {
@@ -46,9 +51,16 @@ struct SweepEntry {
   u64 useful_flops = 0;
 };
 
-/// Run all 2x5 stencil configurations. Aborts (exit 1) with a message when a
-/// kernel fails validation -- benches must never report numbers from a run
-/// whose output did not match the golden reference.
+/// Worker threads the sweep will use for `jobs` configurations: the
+/// SCH_SWEEP_THREADS env var when set, else hardware concurrency, capped at
+/// the job count.
+u32 sweep_worker_count(u32 jobs);
+
+/// Run all 2x5 stencil configurations, fanned out across worker threads
+/// (each simulation is self-contained); entry order matches the serial
+/// kKinds x kVariants nesting. Aborts (exit 1) with a message when a kernel
+/// fails validation -- benches must never report numbers from a run whose
+/// output did not match the golden reference.
 std::vector<SweepEntry> run_stencil_sweep(
     const kernels::StencilParams& params = {.nx = 12, .ny = 12, .nz = 12},
     const sim::SimConfig& sim_config = {},

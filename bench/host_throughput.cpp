@@ -1,0 +1,167 @@
+// Host-side throughput harness: how fast does the simulator itself run?
+// Executes every kernel family on both engines and reports simulated
+// cycles/sec (cycle-level model) and simulated instrs/sec (MIPS, both
+// engines), plus the wall-clock of the full Fig. 3 stencil sweep. Emits
+// machine-readable JSON (BENCH_host_throughput.json by default) so the
+// numbers form a trajectory across commits.
+//
+// Usage: host_throughput [--json PATH] [--repeat N]
+//   --repeat N   best-of-N timing for the per-kernel runs (default 3)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "kernels/gemv.hpp"
+#include "kernels/runner.hpp"
+#include "kernels/stencil.hpp"
+#include "kernels/vecop.hpp"
+
+namespace {
+
+using namespace sch;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct KernelResult {
+  std::string name;
+  u64 sim_cycles = 0;
+  u64 sim_instrs = 0;     // retired on the cycle-level model
+  u64 iss_instrs = 0;
+  double sim_wall_s = 0;  // best-of-N
+  double iss_wall_s = 0;
+
+  [[nodiscard]] double sim_cps() const { return sim_cycles / sim_wall_s; }
+  [[nodiscard]] double sim_mips() const { return sim_instrs / sim_wall_s / 1e6; }
+  [[nodiscard]] double iss_mips() const { return iss_instrs / iss_wall_s / 1e6; }
+};
+
+KernelResult time_kernel(const std::string& name, const kernels::BuiltKernel& k,
+                         int repeat) {
+  KernelResult r;
+  r.name = name;
+  r.sim_wall_s = 1e100;
+  r.iss_wall_s = 1e100;
+  for (int i = 0; i < repeat; ++i) {
+    const auto t0 = Clock::now();
+    const kernels::RunResult run = kernels::run_on_simulator(k);
+    const double s = seconds_since(t0);
+    if (!run.ok) {
+      std::fprintf(stderr, "FATAL: %s failed validation: %s\n", name.c_str(),
+                   run.error.c_str());
+      std::exit(1);
+    }
+    r.sim_cycles = run.cycles;
+    r.sim_instrs = run.perf.total_retired();
+    if (s < r.sim_wall_s) r.sim_wall_s = s;
+
+    const auto t1 = Clock::now();
+    const kernels::IssRunResult iss = kernels::run_on_iss(k);
+    const double si = seconds_since(t1);
+    if (!iss.ok) {
+      std::fprintf(stderr, "FATAL: %s ISS run failed: %s\n", name.c_str(),
+                   iss.error.c_str());
+      std::exit(1);
+    }
+    r.iss_instrs = iss.instructions;
+    if (si < r.iss_wall_s) r.iss_wall_s = si;
+  }
+  return r;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_host_throughput.json";
+  int repeat = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = std::atoi(argv[++i]);
+      if (repeat < 1) repeat = 1;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json PATH] [--repeat N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  using kernels::GemvVariant;
+  using kernels::StencilKind;
+  using kernels::StencilVariant;
+  using kernels::VecopVariant;
+
+  // One representative per workload family, larger-than-paper sizes so each
+  // timing window is dominated by steady-state simulation.
+  std::vector<KernelResult> results;
+  results.push_back(time_kernel(
+      "vecop_baseline",
+      kernels::build_vecop(VecopVariant::kBaseline, {.n = 4096}), repeat));
+  results.push_back(time_kernel(
+      "vecop_chained_frep",
+      kernels::build_vecop(VecopVariant::kChainedFrep, {.n = 4096}), repeat));
+  results.push_back(time_kernel(
+      "gemv_chained",
+      kernels::build_gemv(GemvVariant::kChained, {.m = 64, .n = 48}), repeat));
+  results.push_back(time_kernel(
+      "box3d1r_chaining_plus",
+      kernels::build_stencil(StencilKind::kBox3d1r, StencilVariant::kChainingPlus),
+      repeat));
+  results.push_back(time_kernel(
+      "j3d27pt_chaining_plus",
+      kernels::build_stencil(StencilKind::kJ3d27pt, StencilVariant::kChainingPlus),
+      repeat));
+
+  // Full Fig. 3 sweep wall-clock (build + simulate + validate, all 10
+  // configurations), as shipped: parallel workers over self-contained runs.
+  const auto t0 = Clock::now();
+  const auto sweep = sch::bench::run_stencil_sweep();
+  const double sweep_wall_s = seconds_since(t0);
+  u64 sweep_cycles = 0;
+  for (const auto& e : sweep) sweep_cycles += e.run.cycles;
+
+  bench::print_header("host throughput (best of " + std::to_string(repeat) + ")",
+                      {"kernel", "cycles", "cyc/sec", "sim MIPS", "iss MIPS"});
+  for (const auto& r : results) {
+    bench::print_row({r.name, std::to_string(r.sim_cycles),
+                      bench::fmt(r.sim_cps(), 0), bench::fmt(r.sim_mips(), 3),
+                      bench::fmt(r.iss_mips(), 3)});
+  }
+  std::printf("\nstencil sweep (%u configs, %u workers): %.1f ms, %.0f simulated cycles/sec\n",
+              bench::kSweepJobs, bench::sweep_worker_count(bench::kSweepJobs),
+              sweep_wall_s * 1e3, sweep_cycles / sweep_wall_s);
+
+  std::ofstream os(json_path);
+  if (!os) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  os << "{\n  \"bench\": \"host_throughput\",\n  \"repeat\": " << repeat
+     << ",\n  \"kernels\": [\n";
+  for (usize i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    os << "    {\"name\": \"" << r.name << "\", \"sim_cycles\": " << r.sim_cycles
+       << ", \"sim_instrs\": " << r.sim_instrs
+       << ", \"sim_wall_s\": " << r.sim_wall_s
+       << ", \"sim_cycles_per_sec\": " << static_cast<u64>(r.sim_cps())
+       << ", \"sim_mips\": " << r.sim_mips()
+       << ", \"iss_instrs\": " << r.iss_instrs
+       << ", \"iss_wall_s\": " << r.iss_wall_s
+       << ", \"iss_mips\": " << r.iss_mips() << "}"
+       << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"stencil_sweep\": {\"configs\": " << sweep.size()
+     << ", \"workers\": " << bench::sweep_worker_count(bench::kSweepJobs)
+     << ", \"wall_s\": " << sweep_wall_s
+     << ", \"simulated_cycles\": " << sweep_cycles
+     << ", \"simulated_cycles_per_sec\": "
+     << static_cast<u64>(sweep_cycles / sweep_wall_s) << "}\n}\n";
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

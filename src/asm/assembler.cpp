@@ -230,6 +230,7 @@ class AssemblerImpl {
   Program run(std::string_view source) {
     pass1(source);
     pass2();
+    prog_.predecode();
     return std::move(prog_);
   }
 

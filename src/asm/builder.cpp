@@ -243,6 +243,7 @@ Program ProgramBuilder::build() {
     prog_.words[fx.word_index] = in.raw;
   }
   fixups_.clear();
+  prog_.predecode();
   return prog_;
 }
 

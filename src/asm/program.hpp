@@ -9,6 +9,7 @@
 
 #include "common/types.hpp"
 #include "isa/instr.hpp"
+#include "isa/predecode.hpp"
 
 namespace sch {
 
@@ -33,6 +34,10 @@ class Program {
   std::vector<u32> words;
   /// Decoded mirror of `words` (kept in sync; fast path for simulation).
   std::vector<isa::Instr> instrs;
+  /// Predecoded execution records, parallel to `instrs`. Built once by
+  /// predecode(); the execution engines dispatch through these instead of
+  /// re-deriving metadata per step.
+  std::vector<isa::PredecodedInstr> pre;
   /// Initial data image, data_base-relative.
   std::vector<u8> data;
   /// Label/symbol table (both text and data symbols).
@@ -55,6 +60,29 @@ class Program {
     if (pc < text_base || (pc - text_base) % 4 != 0) return nullptr;
     const usize idx = (pc - text_base) / 4;
     return idx < instrs.size() ? &instrs[idx] : nullptr;
+  }
+
+  /// Sentinel returned by text_index() for addresses outside the text
+  /// segment (or misaligned ones).
+  static constexpr u32 kNoIndex = 0xFFFF'FFFF;
+
+  /// Instruction index of `pc`, or kNoIndex when off-text/misaligned.
+  [[nodiscard]] u32 text_index(Addr pc) const {
+    if (pc < text_base) return kNoIndex;
+    const Addr off = pc - text_base;
+    if ((off & 3u) != 0) return kNoIndex;
+    const usize idx = off >> 2;
+    return idx < instrs.size() ? static_cast<u32>(idx) : kNoIndex;
+  }
+
+  /// Rebuild the predecoded execution stream from `instrs`. Always a full
+  /// rebuild (linear, off the hot path) so in-place instruction edits can
+  /// never leave stale records; the ISS and simulator call this on
+  /// construction so hand-assembled Programs work too.
+  void predecode() {
+    pre.clear();
+    pre.reserve(instrs.size());
+    for (const isa::Instr& in : instrs) pre.push_back(isa::predecode(in));
   }
 };
 

@@ -1,0 +1,67 @@
+#include "isa/predecode.hpp"
+
+namespace sch::isa {
+namespace {
+
+ExecHandler classify(const Instr& in, const MnemonicInfo& mi) {
+  switch (mi.exec) {
+    case ExecClass::kIntAlu:
+      if (in.mn == Mnemonic::kLui) return ExecHandler::kLui;
+      if (in.mn == Mnemonic::kAuipc) return ExecHandler::kAuipc;
+      return mi.fmt == Format::kI ? ExecHandler::kIntAluImm
+                                  : ExecHandler::kIntAluReg;
+    case ExecClass::kIntMul: return ExecHandler::kIntMul;
+    case ExecClass::kIntDiv: return ExecHandler::kIntDiv;
+    case ExecClass::kJump:
+      return in.mn == Mnemonic::kJal ? ExecHandler::kJal : ExecHandler::kJalr;
+    case ExecClass::kBranch: return ExecHandler::kBranch;
+    case ExecClass::kLoad:
+      if (in.mn == Mnemonic::kLb) return ExecHandler::kLoadSext8;
+      if (in.mn == Mnemonic::kLh) return ExecHandler::kLoadSext16;
+      return ExecHandler::kLoad;
+    case ExecClass::kStore: return ExecHandler::kStore;
+    case ExecClass::kCsr: return ExecHandler::kCsr;
+    case ExecClass::kSystem:
+      if (in.mn == Mnemonic::kEcall) return ExecHandler::kEcall;
+      if (in.mn == Mnemonic::kEbreak) return ExecHandler::kEbreak;
+      return ExecHandler::kFence;
+    case ExecClass::kFpLoad: return ExecHandler::kFpLoad;
+    case ExecClass::kFpStore: return ExecHandler::kFpStore;
+    case ExecClass::kFpMac: return ExecHandler::kFpMac;
+    case ExecClass::kFpDiv: return ExecHandler::kFpDiv;
+    case ExecClass::kFpSqrt: return ExecHandler::kFpSqrt;
+    case ExecClass::kFpCmp: return ExecHandler::kFpCmp;
+    case ExecClass::kFpCvtF2I: return ExecHandler::kFpCvtF2I;
+    case ExecClass::kFpCvtI2F: return ExecHandler::kFpCvtI2F;
+    case ExecClass::kFrep: return ExecHandler::kFrep;
+    case ExecClass::kScfg:
+      return in.mn == Mnemonic::kScfgw ? ExecHandler::kScfgW
+                                       : ExecHandler::kScfgR;
+  }
+  return ExecHandler::kInvalid;
+}
+
+i32 precompute_aux(const Instr& in, ExecHandler h) {
+  switch (h) {
+    case ExecHandler::kLui:
+    case ExecHandler::kAuipc:
+      return static_cast<i32>(static_cast<u32>(in.imm) << 12);
+    default:
+      return in.imm;
+  }
+}
+
+} // namespace
+
+PredecodedInstr predecode(const Instr& in) {
+  PredecodedInstr p;
+  p.mi = &info(in.mn);
+  if (!in.valid()) return p; // kInvalid handler, sentinel metadata
+  p.handler = classify(in, *p.mi);
+  p.aux = precompute_aux(in, p.handler);
+  p.fp_domain = p.mi->fp_domain;
+  p.mem_bytes = p.mi->mem_bytes;
+  return p;
+}
+
+} // namespace sch::isa

@@ -1,0 +1,67 @@
+// Predecoded execution records. Decoding resolves each instruction's static
+// properties once at program-load time -- metadata pointer, a pre-classified
+// execution handler id (mnemonic specials like lui/jal/lb folded in), and
+// the precomputed immediate/target the handler needs -- so the per-step hot
+// paths of the ISS and the cycle-level core dispatch through a handler table
+// instead of re-deriving everything from the mnemonic on every execution.
+#pragma once
+
+#include "isa/instr.hpp"
+#include "isa/opcode.hpp"
+
+namespace sch::isa {
+
+/// Hot-path dispatch classes. Unlike ExecClass, mnemonic special cases that
+/// the execution engines would otherwise re-test per step (lui vs auipc,
+/// jal vs jalr, I- vs R-format ALU, load sign-extension width, scfgw vs
+/// scfgr, ecall/ebreak/fence) are distinct handlers.
+enum class ExecHandler : u8 {
+  kInvalid = 0,
+  kLui,
+  kAuipc,
+  kIntAluImm,   // I-format ALU (addi/slti/../shift-immediates)
+  kIntAluReg,   // R-format ALU
+  kIntMul,
+  kIntDiv,
+  kJal,
+  kJalr,
+  kBranch,
+  kLoad,        // lw/lbu/lhu (no sign extension)
+  kLoadSext8,   // lb
+  kLoadSext16,  // lh
+  kStore,
+  kCsr,
+  kEcall,
+  kEbreak,
+  kFence,
+  kFpLoad,
+  kFpStore,
+  kFpMac,
+  kFpDiv,
+  kFpSqrt,
+  kFpCmp,
+  kFpCvtF2I,
+  kFpCvtI2F,
+  kFrep,
+  kScfgW,
+  kScfgR,
+  kCount,
+};
+
+/// Per-instruction record resolved once at load.
+struct PredecodedInstr {
+  /// Cached metadata (never null; kInvalid's sentinel entry for bad words).
+  const MnemonicInfo* mi = nullptr;
+  ExecHandler handler = ExecHandler::kInvalid;
+  /// Handler-specific precomputed immediate: the full upper-immediate value
+  /// for lui/auipc (imm << 12), the PC-relative delta for branches/jal, the
+  /// CSR address for CSR ops, otherwise the sign-extended immediate.
+  i32 aux = 0;
+  bool fp_domain = false;
+  u8 mem_bytes = 0;
+};
+
+/// Resolve the execution record for one decoded instruction.
+[[nodiscard]] PredecodedInstr predecode(const Instr& in);
+
+} // namespace sch::isa

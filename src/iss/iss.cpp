@@ -1,5 +1,6 @@
 #include "iss/iss.hpp"
 
+#include <cassert>
 #include <sstream>
 
 #include "isa/csr.hpp"
@@ -8,12 +9,15 @@
 
 namespace sch {
 
-using isa::ExecClass;
+using isa::ExecHandler;
 using isa::Instr;
 using isa::Mnemonic;
+using isa::PredecodedInstr;
 
 Iss::Iss(Program program, Memory& memory, const IssConfig& config)
     : prog_(std::move(program)), mem_(memory), cfg_(config) {
+  prog_.predecode();
+  frep_validated_.assign(prog_.instrs.size(), 0);
   state_.pc = prog_.text_base;
   mem_.load_image(prog_.data_base, prog_.data);
 }
@@ -106,6 +110,229 @@ void Iss::csr_write(u32 addr, u32 value) {
   }
 }
 
+// --- handler-table targets --------------------------------------------------
+
+void Iss::h_invalid(const Instr& in, const PredecodedInstr&) {
+  halt_error("unhandled instruction: " + isa::disassemble(in));
+}
+
+void Iss::h_lui(const Instr& in, const PredecodedInstr& pre) {
+  state_.write_x(in.rd, static_cast<u32>(pre.aux));
+}
+
+void Iss::h_auipc(const Instr& in, const PredecodedInstr& pre) {
+  state_.write_x(in.rd, state_.pc + static_cast<u32>(pre.aux));
+}
+
+void Iss::h_alu_imm(const Instr& in, const PredecodedInstr& pre) {
+  state_.write_x(in.rd, exec::int_op(in.mn, state_.read_x(in.rs1),
+                                     static_cast<u32>(pre.aux)));
+}
+
+void Iss::h_alu_reg(const Instr& in, const PredecodedInstr&) {
+  state_.write_x(in.rd, exec::int_op(in.mn, state_.read_x(in.rs1),
+                                     state_.read_x(in.rs2)));
+}
+
+void Iss::h_mul_div(const Instr& in, const PredecodedInstr&) {
+  state_.write_x(in.rd, exec::int_op(in.mn, state_.read_x(in.rs1),
+                                     state_.read_x(in.rs2)));
+}
+
+void Iss::h_jal(const Instr& in, const PredecodedInstr& pre) {
+  const u32 link = state_.pc + 4;
+  state_.pc = state_.pc + static_cast<u32>(pre.aux) - 4;
+  state_.write_x(in.rd, link);
+}
+
+void Iss::h_jalr(const Instr& in, const PredecodedInstr& pre) {
+  const u32 link = state_.pc + 4;
+  const u32 target = (state_.read_x(in.rs1) + static_cast<u32>(pre.aux)) & ~1u;
+  state_.pc = target - 4;
+  state_.write_x(in.rd, link);
+}
+
+void Iss::h_branch(const Instr& in, const PredecodedInstr& pre) {
+  if (exec::branch_taken(in.mn, state_.read_x(in.rs1), state_.read_x(in.rs2))) {
+    state_.pc = state_.pc + static_cast<u32>(pre.aux) - 4;
+  }
+}
+
+void Iss::h_load(const Instr& in, const PredecodedInstr& pre) {
+  const Addr addr = state_.read_x(in.rs1) + static_cast<u32>(pre.aux);
+  if (!mem_.valid(addr, pre.mem_bytes)) {
+    halt_error("load from unmapped address");
+    return;
+  }
+  state_.write_x(in.rd, static_cast<u32>(mem_.load(addr, pre.mem_bytes)));
+}
+
+void Iss::h_load_s8(const Instr& in, const PredecodedInstr& pre) {
+  const Addr addr = state_.read_x(in.rs1) + static_cast<u32>(pre.aux);
+  if (!mem_.valid(addr, 1)) {
+    halt_error("load from unmapped address");
+    return;
+  }
+  const auto v = static_cast<i8>(mem_.load(addr, 1));
+  state_.write_x(in.rd, static_cast<u32>(static_cast<i32>(v)));
+}
+
+void Iss::h_load_s16(const Instr& in, const PredecodedInstr& pre) {
+  const Addr addr = state_.read_x(in.rs1) + static_cast<u32>(pre.aux);
+  if (!mem_.valid(addr, 2)) {
+    halt_error("load from unmapped address");
+    return;
+  }
+  const auto v = static_cast<i16>(mem_.load(addr, 2));
+  state_.write_x(in.rd, static_cast<u32>(static_cast<i32>(v)));
+}
+
+void Iss::h_store(const Instr& in, const PredecodedInstr& pre) {
+  const Addr addr = state_.read_x(in.rs1) + static_cast<u32>(pre.aux);
+  if (!mem_.valid(addr, pre.mem_bytes)) {
+    halt_error("store to unmapped address");
+    return;
+  }
+  mem_.store(addr, state_.read_x(in.rs2), pre.mem_bytes);
+}
+
+void Iss::h_csr(const Instr& in, const PredecodedInstr& pre) {
+  const u32 addr = static_cast<u32>(pre.aux);
+  const u32 old = csr_read(addr);
+  u32 operand = 0;
+  switch (in.mn) {
+    case Mnemonic::kCsrrw: case Mnemonic::kCsrrs: case Mnemonic::kCsrrc:
+      operand = state_.read_x(in.rs1);
+      break;
+    default:
+      operand = in.rs1; // zimm
+  }
+  switch (in.mn) {
+    case Mnemonic::kCsrrw: case Mnemonic::kCsrrwi:
+      csr_write(addr, operand);
+      break;
+    case Mnemonic::kCsrrs: case Mnemonic::kCsrrsi:
+      if (operand != 0) csr_write(addr, old | operand);
+      break;
+    default:
+      if (operand != 0) csr_write(addr, old & ~operand);
+  }
+  state_.write_x(in.rd, old);
+}
+
+void Iss::h_ecall(const Instr&, const PredecodedInstr&) {
+  halt_ = HaltReason::kEcall;
+}
+
+void Iss::h_ebreak(const Instr&, const PredecodedInstr&) {
+  halt_ = HaltReason::kEbreak;
+}
+
+void Iss::h_fence(const Instr&, const PredecodedInstr&) {
+  // fence: no-op in a single-hart model
+}
+
+void Iss::h_fp_load(const Instr& in, const PredecodedInstr& pre) {
+  const Addr addr = state_.read_x(in.rs1) + static_cast<u32>(pre.aux);
+  if (!mem_.valid(addr, pre.mem_bytes)) {
+    halt_error("fp load from unmapped address");
+    return;
+  }
+  const u64 raw = mem_.load(addr, pre.mem_bytes);
+  write_fp(in.rd, pre.mem_bytes == 4 ? exec::box32(static_cast<u32>(raw)) : raw);
+}
+
+void Iss::h_fp_store(const Instr& in, const PredecodedInstr& pre) {
+  const Addr addr = state_.read_x(in.rs1) + static_cast<u32>(pre.aux);
+  if (!mem_.valid(addr, pre.mem_bytes)) {
+    halt_error("fp store to unmapped address");
+    return;
+  }
+  const u64 v = read_fp(in.rs2);
+  mem_.store(addr, pre.mem_bytes == 4 ? exec::unbox32(v) : v, pre.mem_bytes);
+}
+
+void Iss::h_fp_compute(const Instr& in, const PredecodedInstr& pre) {
+  // An instruction naming the same stream/chain register in several operand
+  // slots pops it once and feeds all slots (Snitch semantics; matches the
+  // cycle-level model).
+  const isa::MnemonicInfo& mi = *pre.mi;
+  u8 seen[3];
+  u64 vals[3];
+  u32 n = 0;
+  auto read_once = [&](u8 r) -> u64 {
+    for (u32 i = 0; i < n; ++i) {
+      if (seen[i] == r) return vals[i];
+    }
+    seen[n] = r;
+    vals[n] = read_fp(r);
+    return vals[n++];
+  };
+  const u64 a = read_once(in.rs1);
+  const u64 b = mi.rs2 == isa::RegClass::kFp ? read_once(in.rs2) : 0;
+  const u64 c = mi.rs3 == isa::RegClass::kFp ? read_once(in.rs3) : 0;
+  if (halt_ != HaltReason::kNone) return;
+  write_fp(in.rd, exec::fp_compute(in.mn, a, b, c));
+}
+
+void Iss::h_fp_to_int(const Instr& in, const PredecodedInstr& pre) {
+  const u64 a = read_fp(in.rs1);
+  const u64 b = pre.mi->rs2 == isa::RegClass::kFp
+                    ? (in.rs2 == in.rs1 ? a : read_fp(in.rs2))
+                    : 0;
+  if (halt_ != HaltReason::kNone) return;
+  state_.write_x(in.rd, exec::fp_to_int(in.mn, a, b));
+}
+
+void Iss::h_fp_from_int(const Instr& in, const PredecodedInstr&) {
+  write_fp(in.rd, exec::int_to_fp(in.mn, state_.read_x(in.rs1)));
+}
+
+void Iss::h_frep(const Instr& in, const PredecodedInstr&) {
+  exec_frep(in);
+}
+
+void Iss::h_scfg_w(const Instr& in, const PredecodedInstr&) {
+  const Status s = ssrs_.cfg_write(in.imm, state_.read_x(in.rs1));
+  if (!s.is_ok()) halt_error(s.message());
+}
+
+void Iss::h_scfg_r(const Instr& in, const PredecodedInstr&) {
+  state_.write_x(in.rd, ssrs_.cfg_read(in.imm));
+}
+
+const Iss::Handler Iss::kHandlers[static_cast<usize>(ExecHandler::kCount)] = {
+    &Iss::h_invalid,     // kInvalid
+    &Iss::h_lui,         // kLui
+    &Iss::h_auipc,       // kAuipc
+    &Iss::h_alu_imm,     // kIntAluImm
+    &Iss::h_alu_reg,     // kIntAluReg
+    &Iss::h_mul_div,     // kIntMul
+    &Iss::h_mul_div,     // kIntDiv
+    &Iss::h_jal,         // kJal
+    &Iss::h_jalr,        // kJalr
+    &Iss::h_branch,      // kBranch
+    &Iss::h_load,        // kLoad
+    &Iss::h_load_s8,     // kLoadSext8
+    &Iss::h_load_s16,    // kLoadSext16
+    &Iss::h_store,       // kStore
+    &Iss::h_csr,         // kCsr
+    &Iss::h_ecall,       // kEcall
+    &Iss::h_ebreak,      // kEbreak
+    &Iss::h_fence,       // kFence
+    &Iss::h_fp_load,     // kFpLoad
+    &Iss::h_fp_store,    // kFpStore
+    &Iss::h_fp_compute,  // kFpMac
+    &Iss::h_fp_compute,  // kFpDiv
+    &Iss::h_fp_compute,  // kFpSqrt
+    &Iss::h_fp_to_int,   // kFpCmp
+    &Iss::h_fp_to_int,   // kFpCvtF2I
+    &Iss::h_fp_from_int, // kFpCvtI2F
+    &Iss::h_frep,        // kFrep
+    &Iss::h_scfg_w,      // kScfgW
+    &Iss::h_scfg_r,      // kScfgR
+};
+
 void Iss::exec_frep(const Instr& in) {
   if (in_frep_) {
     halt_error("nested frep");
@@ -117,27 +344,36 @@ void Iss::exec_frep(const Instr& in) {
     halt_error("frep with empty body");
     return;
   }
-  const Addr body_base = state_.pc + 4;
-  // Validate the body: FP-domain instructions only.
-  for (u32 i = 0; i < body; ++i) {
-    const Instr* bi = prog_.fetch(body_base + 4 * i);
-    if (bi == nullptr || !bi->valid() || !bi->meta().fp_domain) {
-      halt_error("frep body contains a non-FP instruction at offset " +
-                 std::to_string(i));
-      return;
+  // Only reachable through dispatch on a fetched instruction, so the pc is
+  // always a valid text index.
+  const u32 site = prog_.text_index(state_.pc);
+  assert(site != Program::kNoIndex);
+  const u32 body_idx = site + 1;
+  // Validate the body (FP-domain instructions only, no nesting) once per
+  // static frep site; repeated dynamic executions hit the cache.
+  if (!frep_validated_[site]) {
+    for (u32 i = 0; i < body; ++i) {
+      const u32 idx = body_idx + i;
+      if (idx >= prog_.instrs.size() || !prog_.pre[idx].fp_domain) {
+        halt_error("frep body contains a non-FP instruction at offset " +
+                   std::to_string(i));
+        return;
+      }
+      if (prog_.pre[idx].handler == ExecHandler::kFrep) {
+        halt_error("nested frep");
+        return;
+      }
     }
-    if (bi->mn == Mnemonic::kFrepO || bi->mn == Mnemonic::kFrepI) {
-      halt_error("nested frep");
-      return;
-    }
+    frep_validated_[site] = 1;
   }
   in_frep_ = true;
+  const Addr body_base = state_.pc + 4;
   const Addr saved_next = body_base + 4 * body;
   if (in.mn == Mnemonic::kFrepO) {
     for (u32 r = 0; r < reps && halt_ == HaltReason::kNone; ++r) {
       for (u32 i = 0; i < body && halt_ == HaltReason::kNone; ++i) {
         state_.pc = body_base + 4 * i;
-        exec(*prog_.fetch(state_.pc));
+        exec(body_idx + i);
         ++instret_;
       }
     }
@@ -145,7 +381,7 @@ void Iss::exec_frep(const Instr& in) {
     for (u32 i = 0; i < body && halt_ == HaltReason::kNone; ++i) {
       state_.pc = body_base + 4 * i;
       for (u32 r = 0; r < reps && halt_ == HaltReason::kNone; ++r) {
-        exec(*prog_.fetch(state_.pc));
+        exec(body_idx + i);
         ++instret_;
       }
     }
@@ -154,179 +390,20 @@ void Iss::exec_frep(const Instr& in) {
   state_.pc = saved_next - 4; // step() adds 4
 }
 
-void Iss::exec(const Instr& in) {
-  const isa::MnemonicInfo& mi = in.meta();
-  switch (mi.exec) {
-    case ExecClass::kIntAlu: {
-      if (in.mn == Mnemonic::kLui) {
-        state_.write_x(in.rd, static_cast<u32>(in.imm) << 12);
-        return;
-      }
-      if (in.mn == Mnemonic::kAuipc) {
-        state_.write_x(in.rd, state_.pc + (static_cast<u32>(in.imm) << 12));
-        return;
-      }
-      const u32 a = state_.read_x(in.rs1);
-      const u32 b = mi.fmt == isa::Format::kI ? static_cast<u32>(in.imm)
-                                              : state_.read_x(in.rs2);
-      state_.write_x(in.rd, exec::int_op(in.mn, a, b));
-      return;
-    }
-    case ExecClass::kIntMul:
-    case ExecClass::kIntDiv:
-      state_.write_x(in.rd, exec::int_op(in.mn, state_.read_x(in.rs1),
-                                         state_.read_x(in.rs2)));
-      return;
-    case ExecClass::kJump: {
-      const u32 link = state_.pc + 4;
-      if (in.mn == Mnemonic::kJal) {
-        state_.pc = state_.pc + static_cast<u32>(in.imm) - 4;
-      } else {
-        const u32 target = (state_.read_x(in.rs1) + static_cast<u32>(in.imm)) & ~1u;
-        state_.pc = target - 4;
-      }
-      state_.write_x(in.rd, link);
-      return;
-    }
-    case ExecClass::kBranch:
-      if (exec::branch_taken(in.mn, state_.read_x(in.rs1), state_.read_x(in.rs2))) {
-        state_.pc = state_.pc + static_cast<u32>(in.imm) - 4;
-      }
-      return;
-    case ExecClass::kLoad: {
-      const Addr addr = state_.read_x(in.rs1) + static_cast<u32>(in.imm);
-      if (!mem_.valid(addr, mi.mem_bytes)) {
-        halt_error("load from unmapped address");
-        return;
-      }
-      u64 v = mem_.load(addr, mi.mem_bytes);
-      if (in.mn == Mnemonic::kLb) v = static_cast<u32>(static_cast<i32>(static_cast<i8>(v)));
-      if (in.mn == Mnemonic::kLh) v = static_cast<u32>(static_cast<i32>(static_cast<i16>(v)));
-      state_.write_x(in.rd, static_cast<u32>(v));
-      return;
-    }
-    case ExecClass::kStore: {
-      const Addr addr = state_.read_x(in.rs1) + static_cast<u32>(in.imm);
-      if (!mem_.valid(addr, mi.mem_bytes)) {
-        halt_error("store to unmapped address");
-        return;
-      }
-      mem_.store(addr, state_.read_x(in.rs2), mi.mem_bytes);
-      return;
-    }
-    case ExecClass::kFpLoad: {
-      const Addr addr = state_.read_x(in.rs1) + static_cast<u32>(in.imm);
-      if (!mem_.valid(addr, mi.mem_bytes)) {
-        halt_error("fp load from unmapped address");
-        return;
-      }
-      const u64 raw = mem_.load(addr, mi.mem_bytes);
-      write_fp(in.rd, mi.mem_bytes == 4 ? exec::box32(static_cast<u32>(raw)) : raw);
-      return;
-    }
-    case ExecClass::kFpStore: {
-      const Addr addr = state_.read_x(in.rs1) + static_cast<u32>(in.imm);
-      if (!mem_.valid(addr, mi.mem_bytes)) {
-        halt_error("fp store to unmapped address");
-        return;
-      }
-      const u64 v = read_fp(in.rs2);
-      mem_.store(addr, mi.mem_bytes == 4 ? exec::unbox32(v) : v, mi.mem_bytes);
-      return;
-    }
-    case ExecClass::kFpMac:
-    case ExecClass::kFpDiv:
-    case ExecClass::kFpSqrt: {
-      // An instruction naming the same stream/chain register in several
-      // operand slots pops it once and feeds all slots (Snitch semantics;
-      // matches the cycle-level model).
-      u8 seen[3];
-      u64 vals[3];
-      u32 n = 0;
-      auto read_once = [&](u8 r) -> u64 {
-        for (u32 i = 0; i < n; ++i) {
-          if (seen[i] == r) return vals[i];
-        }
-        seen[n] = r;
-        vals[n] = read_fp(r);
-        return vals[n++];
-      };
-      const u64 a = read_once(in.rs1);
-      const u64 b = mi.rs2 == isa::RegClass::kFp ? read_once(in.rs2) : 0;
-      const u64 c = mi.rs3 == isa::RegClass::kFp ? read_once(in.rs3) : 0;
-      if (halt_ != HaltReason::kNone) return;
-      write_fp(in.rd, exec::fp_compute(in.mn, a, b, c));
-      return;
-    }
-    case ExecClass::kFpCmp:
-    case ExecClass::kFpCvtF2I: {
-      const u64 a = read_fp(in.rs1);
-      const u64 b = mi.rs2 == isa::RegClass::kFp
-                        ? (in.rs2 == in.rs1 ? a : read_fp(in.rs2))
-                        : 0;
-      if (halt_ != HaltReason::kNone) return;
-      state_.write_x(in.rd, exec::fp_to_int(in.mn, a, b));
-      return;
-    }
-    case ExecClass::kFpCvtI2F:
-      write_fp(in.rd, exec::int_to_fp(in.mn, state_.read_x(in.rs1)));
-      return;
-    case ExecClass::kCsr: {
-      const u32 addr = static_cast<u32>(in.imm);
-      const u32 old = csr_read(addr);
-      u32 operand = 0;
-      switch (in.mn) {
-        case Mnemonic::kCsrrw: case Mnemonic::kCsrrs: case Mnemonic::kCsrrc:
-          operand = state_.read_x(in.rs1);
-          break;
-        default:
-          operand = in.rs1; // zimm
-      }
-      switch (in.mn) {
-        case Mnemonic::kCsrrw: case Mnemonic::kCsrrwi:
-          csr_write(addr, operand);
-          break;
-        case Mnemonic::kCsrrs: case Mnemonic::kCsrrsi:
-          if (operand != 0) csr_write(addr, old | operand);
-          break;
-        default:
-          if (operand != 0) csr_write(addr, old & ~operand);
-      }
-      state_.write_x(in.rd, old);
-      return;
-    }
-    case ExecClass::kSystem:
-      if (in.mn == Mnemonic::kEcall) { halt_ = HaltReason::kEcall; return; }
-      if (in.mn == Mnemonic::kEbreak) { halt_ = HaltReason::kEbreak; return; }
-      return; // fence: no-op in a single-hart model
-    case ExecClass::kFrep:
-      exec_frep(in);
-      return;
-    case ExecClass::kScfg: {
-      if (in.mn == Mnemonic::kScfgw) {
-        const Status s = ssrs_.cfg_write(in.imm, state_.read_x(in.rs1));
-        if (!s.is_ok()) halt_error(s.message());
-      } else {
-        state_.write_x(in.rd, ssrs_.cfg_read(in.imm));
-      }
-      return;
-    }
-  }
-  halt_error("unhandled instruction: " + isa::disassemble(in));
-}
-
 bool Iss::step() {
   if (halt_ != HaltReason::kNone) return false;
-  const Instr* in = prog_.fetch(state_.pc);
-  if (in == nullptr) {
+  const u32 idx = prog_.text_index(state_.pc);
+  if (idx == Program::kNoIndex) {
     halt_ = HaltReason::kOffText;
     return false;
   }
-  if (!in->valid()) {
-    halt_error("illegal instruction encoding 0x" + std::to_string(in->raw));
+  const PredecodedInstr& pre = prog_.pre[idx];
+  if (pre.handler == ExecHandler::kInvalid && !prog_.instrs[idx].valid()) {
+    halt_error("illegal instruction encoding 0x" +
+               std::to_string(prog_.instrs[idx].raw));
     return false;
   }
-  exec(*in);
+  exec(idx);
   ++instret_;
   if (halt_ != HaltReason::kNone) return false;
   state_.pc += 4;

@@ -2,9 +2,14 @@
 // Executes one instruction per step with full architectural semantics of the
 // custom extensions (SSR streams, FREP hardware loops, scalar chaining), but
 // no timing. The cycle-level simulator is cross-validated against it.
+//
+// Execution dispatches through the program's predecoded handler records
+// (isa::PredecodedInstr): mnemonic specials, metadata lookups and immediate
+// shifts are resolved once at load instead of on every dynamic instruction.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "asm/program.hpp"
 #include "common/types.hpp"
@@ -40,7 +45,15 @@ class Iss {
   [[nodiscard]] const chain::ArchChainFile& chains() const { return chains_; }
 
  private:
-  void exec(const isa::Instr& in);
+  using Handler = void (Iss::*)(const isa::Instr&, const isa::PredecodedInstr&);
+  static const Handler kHandlers[static_cast<usize>(isa::ExecHandler::kCount)];
+
+  /// Dispatch one predecoded instruction through the handler table.
+  void exec(u32 idx) {
+    const isa::PredecodedInstr& pre = prog_.pre[idx];
+    (this->*kHandlers[static_cast<usize>(pre.handler)])(prog_.instrs[idx], pre);
+  }
+
   void halt_error(const std::string& message);
 
   /// Operand read honoring SSR mapping and chaining FIFO semantics.
@@ -51,6 +64,34 @@ class Iss {
   u32 csr_read(u32 addr);
   void csr_write(u32 addr, u32 value);
 
+  // Handler-table targets (one per isa::ExecHandler, specials pre-resolved).
+  void h_invalid(const isa::Instr& in, const isa::PredecodedInstr& pre);
+  void h_lui(const isa::Instr& in, const isa::PredecodedInstr& pre);
+  void h_auipc(const isa::Instr& in, const isa::PredecodedInstr& pre);
+  void h_alu_imm(const isa::Instr& in, const isa::PredecodedInstr& pre);
+  void h_alu_reg(const isa::Instr& in, const isa::PredecodedInstr& pre);
+  void h_mul_div(const isa::Instr& in, const isa::PredecodedInstr& pre);
+  void h_jal(const isa::Instr& in, const isa::PredecodedInstr& pre);
+  void h_jalr(const isa::Instr& in, const isa::PredecodedInstr& pre);
+  void h_branch(const isa::Instr& in, const isa::PredecodedInstr& pre);
+  void h_load(const isa::Instr& in, const isa::PredecodedInstr& pre);
+  void h_load_s8(const isa::Instr& in, const isa::PredecodedInstr& pre);
+  void h_load_s16(const isa::Instr& in, const isa::PredecodedInstr& pre);
+  void h_store(const isa::Instr& in, const isa::PredecodedInstr& pre);
+  void h_csr(const isa::Instr& in, const isa::PredecodedInstr& pre);
+  void h_ecall(const isa::Instr& in, const isa::PredecodedInstr& pre);
+  void h_ebreak(const isa::Instr& in, const isa::PredecodedInstr& pre);
+  void h_fence(const isa::Instr& in, const isa::PredecodedInstr& pre);
+  void h_fp_load(const isa::Instr& in, const isa::PredecodedInstr& pre);
+  void h_fp_store(const isa::Instr& in, const isa::PredecodedInstr& pre);
+  void h_fp_compute(const isa::Instr& in, const isa::PredecodedInstr& pre);
+  void h_fp_to_int(const isa::Instr& in, const isa::PredecodedInstr& pre);
+  void h_fp_from_int(const isa::Instr& in, const isa::PredecodedInstr& pre);
+  void h_frep(const isa::Instr& in, const isa::PredecodedInstr& pre);
+  void h_scfg_w(const isa::Instr& in, const isa::PredecodedInstr& pre);
+  void h_scfg_r(const isa::Instr& in, const isa::PredecodedInstr& pre);
+
+  /// Validate a frep body once per static frep site (cached), then run it.
   void exec_frep(const isa::Instr& in);
 
   Program prog_;
@@ -63,6 +104,9 @@ class Iss {
   std::string error_;
   u64 instret_ = 0;
   bool in_frep_ = false;
+  /// Per-static-frep-site "body already validated" cache, indexed by the
+  /// frep instruction's text index. A frep executed N times validates once.
+  std::vector<u8> frep_validated_;
 };
 
 } // namespace sch

@@ -20,7 +20,12 @@ FpSubsystem::FpSubsystem(const SimConfig& cfg, Memory& mem, Tcdm& tcdm,
       pipe_(cfg.fpu_depth),
       chain_(cfg.strict_chain_handoff),
       streamers_{ssr::Streamer(cfg.ssr), ssr::Streamer(cfg.ssr),
-                 ssr::Streamer(cfg.ssr)} {}
+                 ssr::Streamer(cfg.ssr)},
+      trace_(cfg.trace) {}
+
+void FpSubsystem::note_issue(const isa::Instr& in) {
+  if (trace_) last_issue_ = isa::disassemble(in);
+}
 
 bool FpSubsystem::quiescent() const {
   if (!seq_.idle() || latch_.has_value() || !pipe_.empty() || div_.busy ||
@@ -62,8 +67,8 @@ u32 FpSubsystem::cfg_read(i32 index) const {
 void FpSubsystem::begin_cycle(Cycle now) {
   chain_.begin_cycle();
   for (ssr::Streamer& s : streamers_) s.begin_cycle(now);
-  last_issue_.clear();
-  last_stall_.clear();
+  if (trace_) last_issue_.clear();
+  last_stall_ = "";
 }
 
 FpSubsystem::SrcKind FpSubsystem::classify_src(u8 reg) const {
@@ -143,7 +148,7 @@ std::optional<DestKind> FpSubsystem::resolve_dest(u8 rd) {
 
 void FpSubsystem::fill_compute(const FpOp& op, [[maybe_unused]] Cycle now) {
   const Instr& in = op.in;
-  const isa::MnemonicInfo& mi = in.meta();
+  const isa::MnemonicInfo& mi = op.meta();
   const bool is_div = mi.exec == ExecClass::kFpDiv || mi.exec == ExecClass::kFpSqrt;
   if (is_div && div_.busy) {
     ++perf_.stall_fpu_busy;
@@ -219,6 +224,7 @@ void FpSubsystem::fill_compute(const FpOp& op, [[maybe_unused]] Cycle now) {
   if (dest == DestKind::kFpReg) ++busy_f_[in.rd];
 
   latch_ = LatchEntry{slot, is_div ? ExecClass::kFpDiv : ExecClass::kFpMac};
+  note_issue(in);
   seq_.pop_front();
   ++perf_.fp_instrs;
   if (is_div) {
@@ -226,11 +232,11 @@ void FpSubsystem::fill_compute(const FpOp& op, [[maybe_unused]] Cycle now) {
   } else {
     ++perf_.fp_mac_ops;
   }
-  last_issue_ = isa::disassemble(in);
 }
 
 void FpSubsystem::fill_load(const FpOp& op, Cycle now, CorePort& port) {
   const Instr& in = op.in;
+  const isa::MnemonicInfo& mi = op.meta();
   if (lsu_.busy) {
     ++perf_.stall_fp_lsu;
     last_stall_ = "lsu-busy";
@@ -239,7 +245,7 @@ void FpSubsystem::fill_load(const FpOp& op, Cycle now, CorePort& port) {
   const auto d = resolve_dest(in.rd);
   if (!d) return;
   const Addr ea = op.int_operand;
-  if (!mem_.valid(ea, in.meta().mem_bytes)) {
+  if (!mem_.valid(ea, mi.mem_bytes)) {
     fail("fp load from unmapped address");
     return;
   }
@@ -260,24 +266,25 @@ void FpSubsystem::fill_load(const FpOp& op, Cycle now, CorePort& port) {
   } else {
     ready_at = now + cfg_.main_mem_latency;
   }
-  const u64 raw = mem_.load(ea, in.meta().mem_bytes);
+  const u64 raw = mem_.load(ea, mi.mem_bytes);
   lsu_.busy = true;
   lsu_.rd = in.rd;
   lsu_.dest = *d;
-  lsu_.value = in.meta().mem_bytes == 4 ? exec::box32(static_cast<u32>(raw)) : raw;
+  lsu_.value = mi.mem_bytes == 4 ? exec::box32(static_cast<u32>(raw)) : raw;
   lsu_.ready_at = ready_at;
   if (*d == DestKind::kFpReg) ++busy_f_[in.rd];
+  note_issue(in);
   seq_.pop_front();
   ++perf_.fp_instrs;
   ++perf_.fp_loads;
-  last_issue_ = isa::disassemble(in);
 }
 
 void FpSubsystem::fill_store(const FpOp& op, Cycle now, CorePort& port) {
   const Instr& in = op.in;
+  const isa::MnemonicInfo& mi = op.meta();
   if (!src_ready(in.rs2)) return;
   const Addr ea = op.int_operand;
-  if (!mem_.valid(ea, in.meta().mem_bytes)) {
+  if (!mem_.valid(ea, mi.mem_bytes)) {
     fail("fp store to unmapped address");
     return;
   }
@@ -295,27 +302,26 @@ void FpSubsystem::fill_store(const FpOp& op, Cycle now, CorePort& port) {
     port.used = true;
   }
   const u64 v = read_src(in.rs2);
-  mem_.store(ea, in.meta().mem_bytes == 4 ? exec::unbox32(v) : v,
-             in.meta().mem_bytes);
+  mem_.store(ea, mi.mem_bytes == 4 ? exec::unbox32(v) : v, mi.mem_bytes);
+  note_issue(in);
   seq_.pop_front();
   ++perf_.fp_instrs;
   ++perf_.fp_stores;
-  last_issue_ = isa::disassemble(in);
   (void)now;
 }
 
 void FpSubsystem::try_fill_latch(Cycle now, CorePort& port) {
   if (latch_.has_value()) return;
-  const auto op = seq_.front();
+  const FpOp* op = seq_.peek();
   if (seq_.has_error()) {
     fail(seq_.error());
     return;
   }
-  if (!op.has_value()) {
+  if (op == nullptr) {
     ++perf_.fp_queue_empty;
     return;
   }
-  switch (op->in.meta().exec) {
+  switch (op->meta().exec) {
     case ExecClass::kFpMac:
     case ExecClass::kFpDiv:
     case ExecClass::kFpSqrt:
@@ -391,7 +397,7 @@ void FpSubsystem::drain_latch(Cycle now) {
     return;
   }
   if (!pipe_.stage0_free()) {
-    if (last_stall_.empty()) last_stall_ = "pipe-frozen";
+    if (last_stall_[0] == '\0') last_stall_ = "pipe-frozen";
     ++perf_.stall_fpu_busy;
     return;
   }

@@ -1,6 +1,6 @@
 #include "sim/int_core.hpp"
 
-#include <algorithm>
+#include <cassert>
 #include <sstream>
 
 #include "isa/csr.hpp"
@@ -9,14 +9,15 @@
 
 namespace sch::sim {
 
-using isa::ExecClass;
+using isa::ExecHandler;
 using isa::Instr;
 using isa::Mnemonic;
+using isa::PredecodedInstr;
 
 IntCore::IntCore(const Program& prog, Memory& mem, Tcdm& tcdm,
                  const SimConfig& cfg, PerfCounters& perf, FpSubsystem& fp)
     : prog_(prog), mem_(mem), tcdm_(tcdm), cfg_(cfg), perf_(perf), fp_(fp),
-      pc_(prog.text_base) {}
+      trace_(cfg.trace), pc_(prog.text_base) {}
 
 void IntCore::fail(const std::string& message) {
   if (halt_ != HaltReason::kNone) return;
@@ -26,21 +27,28 @@ void IntCore::fail(const std::string& message) {
   error_ = os.str();
 }
 
+void IntCore::note_issue(const Instr& in) {
+  if (trace_) last_issue_ = isa::disassemble(in);
+}
+
 void IntCore::schedule_write(u8 rd, u32 value, Cycle ready_at) {
   if (rd == 0) return;
   busy_x_[rd] = true;
-  pending_.push_back({rd, value, ready_at});
+  assert(pending_size_ < pending_.size() &&
+         "pending writeback queue exceeds one in-flight write per register");
+  pending_[pending_size_++] = {rd, value, ready_at};
 }
 
 void IntCore::commit_pending(Cycle now) {
-  for (auto it = pending_.begin(); it != pending_.end();) {
-    if (it->ready_at <= now) {
-      write_x(it->rd, it->value);
-      busy_x_[it->rd] = false;
+  u32 i = 0;
+  while (i < pending_size_) {
+    if (pending_[i].ready_at <= now) {
+      write_x(pending_[i].rd, pending_[i].value);
+      busy_x_[pending_[i].rd] = false;
       ++perf_.rf_int_writes;
-      it = pending_.erase(it);
+      pending_[i] = pending_[--pending_size_]; // swap-remove; order is free
     } else {
-      ++it;
+      ++i;
     }
   }
 }
@@ -77,8 +85,9 @@ void IntCore::csr_apply(u32 addr, u32 value) {
   }
 }
 
-void IntCore::exec_offload(const Instr& in, [[maybe_unused]] Cycle now) {
-  const isa::MnemonicInfo& mi = in.meta();
+void IntCore::exec_offload(const Instr& in, const PredecodedInstr& pre,
+                           [[maybe_unused]] Cycle now) {
+  const isa::MnemonicInfo& mi = *pre.mi;
   // Integer operands are captured at offload time.
   const bool needs_rs1 = mi.rs1 == isa::RegClass::kInt;
   if (needs_rs1 && !ready_x(in.rs1)) {
@@ -98,288 +107,415 @@ void IntCore::exec_offload(const Instr& in, [[maybe_unused]] Cycle now) {
 
   FpOp op;
   op.in = in;
+  op.mi = pre.mi;
   if (needs_rs1) {
     ++perf_.rf_int_reads;
     const u32 rs1 = read_x(in.rs1);
-    op.int_operand = (mi.exec == ExecClass::kFpLoad || mi.exec == ExecClass::kFpStore)
-                         ? rs1 + static_cast<u32>(in.imm)
+    op.int_operand = (pre.handler == ExecHandler::kFpLoad ||
+                      pre.handler == ExecHandler::kFpStore)
+                         ? rs1 + static_cast<u32>(pre.aux)
                          : rs1;
   }
-  if (writes_int) busy_x_[in.rd] = true; // released by the FP writeback
+  // Released by the FP writeback; x0 is exempt (the writeback drops it, so
+  // marking it busy would wedge every later x0-reading instruction).
+  if (writes_int && in.rd != 0) busy_x_[in.rd] = true;
   fp_.offload(op);
   ++perf_.offloads;
-  last_issue_ = "offload " + isa::disassemble(in);
+  if (trace_) last_issue_ = "offload " + isa::disassemble(in);
   pc_ += 4;
 }
 
-void IntCore::exec_int(const Instr& in, Cycle now, CorePort& port) {
-  const isa::MnemonicInfo& mi = in.meta();
-  switch (mi.exec) {
-    case ExecClass::kIntAlu: {
-      u32 result;
-      if (in.mn == Mnemonic::kLui) {
-        result = static_cast<u32>(in.imm) << 12;
-      } else if (in.mn == Mnemonic::kAuipc) {
-        result = pc_ + (static_cast<u32>(in.imm) << 12);
-      } else {
-        if (!ready_x(in.rs1) ||
-            (mi.rs2 == isa::RegClass::kInt && !ready_x(in.rs2))) {
-          ++perf_.stall_int_raw;
-          return;
-        }
-        ++perf_.rf_int_reads;
-        const u32 a = read_x(in.rs1);
-        u32 b;
-        if (mi.fmt == isa::Format::kI) {
-          b = static_cast<u32>(in.imm);
-        } else {
-          ++perf_.rf_int_reads;
-          b = read_x(in.rs2);
-        }
-        result = exec::int_op(in.mn, a, b);
-      }
-      if (!ready_x(in.rd)) {
-        ++perf_.stall_int_raw;
-        return;
-      }
-      write_x(in.rd, result);
-      ++perf_.rf_int_writes;
-      ++perf_.int_alu_ops;
-      ++perf_.int_instrs;
-      last_issue_ = isa::disassemble(in);
-      pc_ += 4;
+// --- handler-table targets --------------------------------------------------
+
+void IntCore::h_unexpected(const Instr& in, const PredecodedInstr&, Cycle,
+                           CorePort&) {
+  fail("unhandled instruction on the integer core: " + isa::disassemble(in));
+}
+
+void IntCore::h_lui(const Instr& in, const PredecodedInstr& pre, Cycle,
+                    CorePort&) {
+  if (!ready_x(in.rd)) {
+    ++perf_.stall_int_raw;
+    return;
+  }
+  write_x(in.rd, static_cast<u32>(pre.aux));
+  ++perf_.rf_int_writes;
+  ++perf_.int_alu_ops;
+  ++perf_.int_instrs;
+  note_issue(in);
+  pc_ += 4;
+}
+
+void IntCore::h_auipc(const Instr& in, const PredecodedInstr& pre, Cycle,
+                      CorePort&) {
+  if (!ready_x(in.rd)) {
+    ++perf_.stall_int_raw;
+    return;
+  }
+  write_x(in.rd, pc_ + static_cast<u32>(pre.aux));
+  ++perf_.rf_int_writes;
+  ++perf_.int_alu_ops;
+  ++perf_.int_instrs;
+  note_issue(in);
+  pc_ += 4;
+}
+
+void IntCore::h_alu_imm(const Instr& in, const PredecodedInstr& pre, Cycle,
+                        CorePort&) {
+  if (!ready_x(in.rs1)) {
+    ++perf_.stall_int_raw;
+    return;
+  }
+  ++perf_.rf_int_reads;
+  const u32 result =
+      exec::int_op(in.mn, read_x(in.rs1), static_cast<u32>(pre.aux));
+  if (!ready_x(in.rd)) {
+    ++perf_.stall_int_raw;
+    return;
+  }
+  write_x(in.rd, result);
+  ++perf_.rf_int_writes;
+  ++perf_.int_alu_ops;
+  ++perf_.int_instrs;
+  note_issue(in);
+  pc_ += 4;
+}
+
+void IntCore::h_alu_reg(const Instr& in, const PredecodedInstr&, Cycle,
+                        CorePort&) {
+  if (!ready_x(in.rs1) || !ready_x(in.rs2)) {
+    ++perf_.stall_int_raw;
+    return;
+  }
+  perf_.rf_int_reads += 2;
+  const u32 result = exec::int_op(in.mn, read_x(in.rs1), read_x(in.rs2));
+  if (!ready_x(in.rd)) {
+    ++perf_.stall_int_raw;
+    return;
+  }
+  write_x(in.rd, result);
+  ++perf_.rf_int_writes;
+  ++perf_.int_alu_ops;
+  ++perf_.int_instrs;
+  note_issue(in);
+  pc_ += 4;
+}
+
+void IntCore::h_mul(const Instr& in, const PredecodedInstr&, Cycle now,
+                    CorePort&) {
+  if (!ready_x(in.rs1) || !ready_x(in.rs2) || !ready_x(in.rd)) {
+    ++perf_.stall_int_raw;
+    return;
+  }
+  perf_.rf_int_reads += 2;
+  const u32 result = exec::int_op(in.mn, read_x(in.rs1), read_x(in.rs2));
+  schedule_write(in.rd, result, now + cfg_.int_mul_latency);
+  ++perf_.int_mul_ops;
+  ++perf_.int_instrs;
+  note_issue(in);
+  pc_ += 4;
+}
+
+void IntCore::h_div(const Instr& in, const PredecodedInstr&, Cycle now,
+                    CorePort&) {
+  if (!ready_x(in.rs1) || !ready_x(in.rs2) || !ready_x(in.rd)) {
+    ++perf_.stall_int_raw;
+    return;
+  }
+  perf_.rf_int_reads += 2;
+  const u32 result = exec::int_op(in.mn, read_x(in.rs1), read_x(in.rs2));
+  write_x(in.rd, result);
+  ++perf_.rf_int_writes;
+  div_busy_until_ = now + cfg_.int_div_latency; // blocking divider
+  ++perf_.int_div_ops;
+  ++perf_.int_instrs;
+  note_issue(in);
+  pc_ += 4;
+}
+
+bool IntCore::load_issue(const Instr& in, const PredecodedInstr& pre,
+                         Cycle now, CorePort& port, Cycle& ready_at,
+                         u64& value) {
+  if (!ready_x(in.rs1) || !ready_x(in.rd)) {
+    ++perf_.stall_int_raw;
+    return false;
+  }
+  const Addr ea = read_x(in.rs1) + static_cast<u32>(pre.aux);
+  if (!mem_.valid(ea, pre.mem_bytes)) {
+    fail("load from unmapped address");
+    return false;
+  }
+  if (Memory::in_tcdm(ea)) {
+    if (port.used) {
+      ++perf_.stall_int_lsu;
+      return false;
+    }
+    if (!tcdm_.request(TcdmPortId::kCoreLsu, ea, false)) {
+      ++perf_.stall_int_lsu;
+      return false;
+    }
+    port.used = true;
+    ready_at = now + 1 + cfg_.load_latency;
+  } else {
+    ready_at = now + cfg_.main_mem_latency;
+  }
+  ++perf_.rf_int_reads;
+  value = mem_.load(ea, pre.mem_bytes);
+  return true;
+}
+
+void IntCore::h_load(const Instr& in, const PredecodedInstr& pre, Cycle now,
+                     CorePort& port) {
+  Cycle ready_at = 0;
+  u64 v = 0;
+  if (!load_issue(in, pre, now, port, ready_at, v)) return;
+  schedule_write(in.rd, static_cast<u32>(v), ready_at);
+  ++perf_.int_loads;
+  ++perf_.int_instrs;
+  note_issue(in);
+  pc_ += 4;
+}
+
+void IntCore::h_load_s8(const Instr& in, const PredecodedInstr& pre, Cycle now,
+                        CorePort& port) {
+  Cycle ready_at = 0;
+  u64 v = 0;
+  if (!load_issue(in, pre, now, port, ready_at, v)) return;
+  const u32 sext = static_cast<u32>(static_cast<i32>(static_cast<i8>(v)));
+  schedule_write(in.rd, sext, ready_at);
+  ++perf_.int_loads;
+  ++perf_.int_instrs;
+  note_issue(in);
+  pc_ += 4;
+}
+
+void IntCore::h_load_s16(const Instr& in, const PredecodedInstr& pre,
+                         Cycle now, CorePort& port) {
+  Cycle ready_at = 0;
+  u64 v = 0;
+  if (!load_issue(in, pre, now, port, ready_at, v)) return;
+  const u32 sext = static_cast<u32>(static_cast<i32>(static_cast<i16>(v)));
+  schedule_write(in.rd, sext, ready_at);
+  ++perf_.int_loads;
+  ++perf_.int_instrs;
+  note_issue(in);
+  pc_ += 4;
+}
+
+void IntCore::h_store(const Instr& in, const PredecodedInstr& pre, Cycle,
+                      CorePort& port) {
+  if (!ready_x(in.rs1) || !ready_x(in.rs2)) {
+    ++perf_.stall_int_raw;
+    return;
+  }
+  const Addr ea = read_x(in.rs1) + static_cast<u32>(pre.aux);
+  if (!mem_.valid(ea, pre.mem_bytes)) {
+    fail("store to unmapped address");
+    return;
+  }
+  if (Memory::in_tcdm(ea)) {
+    if (port.used) {
+      ++perf_.stall_int_lsu;
       return;
     }
-    case ExecClass::kIntMul: {
-      if (!ready_x(in.rs1) || !ready_x(in.rs2) || !ready_x(in.rd)) {
-        ++perf_.stall_int_raw;
-        return;
-      }
-      perf_.rf_int_reads += 2;
-      const u32 result = exec::int_op(in.mn, read_x(in.rs1), read_x(in.rs2));
-      schedule_write(in.rd, result, now + cfg_.int_mul_latency);
-      ++perf_.int_mul_ops;
-      ++perf_.int_instrs;
-      last_issue_ = isa::disassemble(in);
-      pc_ += 4;
+    if (!tcdm_.request(TcdmPortId::kCoreLsu, ea, true)) {
+      ++perf_.stall_int_lsu;
       return;
     }
-    case ExecClass::kIntDiv: {
-      if (!ready_x(in.rs1) || !ready_x(in.rs2) || !ready_x(in.rd)) {
-        ++perf_.stall_int_raw;
-        return;
-      }
-      perf_.rf_int_reads += 2;
-      const u32 result = exec::int_op(in.mn, read_x(in.rs1), read_x(in.rs2));
-      write_x(in.rd, result);
-      ++perf_.rf_int_writes;
-      div_busy_until_ = now + cfg_.int_div_latency; // blocking divider
-      ++perf_.int_div_ops;
-      ++perf_.int_instrs;
-      last_issue_ = isa::disassemble(in);
-      pc_ += 4;
-      return;
-    }
-    case ExecClass::kLoad: {
-      if (!ready_x(in.rs1) || !ready_x(in.rd)) {
-        ++perf_.stall_int_raw;
-        return;
-      }
-      const Addr ea = read_x(in.rs1) + static_cast<u32>(in.imm);
-      if (!mem_.valid(ea, mi.mem_bytes)) {
-        fail("load from unmapped address");
-        return;
-      }
-      Cycle ready_at;
-      if (Memory::in_tcdm(ea)) {
-        if (port.used) {
-          ++perf_.stall_int_lsu;
-          return;
-        }
-        if (!tcdm_.request(TcdmPortId::kCoreLsu, ea, false)) {
-          ++perf_.stall_int_lsu;
-          return;
-        }
-        port.used = true;
-        ready_at = now + 1 + cfg_.load_latency;
-      } else {
-        ready_at = now + cfg_.main_mem_latency;
-      }
-      ++perf_.rf_int_reads;
-      u64 v = mem_.load(ea, mi.mem_bytes);
-      if (in.mn == Mnemonic::kLb) v = static_cast<u32>(static_cast<i32>(static_cast<i8>(v)));
-      if (in.mn == Mnemonic::kLh) v = static_cast<u32>(static_cast<i32>(static_cast<i16>(v)));
-      schedule_write(in.rd, static_cast<u32>(v), ready_at);
-      ++perf_.int_loads;
-      ++perf_.int_instrs;
-      last_issue_ = isa::disassemble(in);
-      pc_ += 4;
-      return;
-    }
-    case ExecClass::kStore: {
-      if (!ready_x(in.rs1) || !ready_x(in.rs2)) {
-        ++perf_.stall_int_raw;
-        return;
-      }
-      const Addr ea = read_x(in.rs1) + static_cast<u32>(in.imm);
-      if (!mem_.valid(ea, mi.mem_bytes)) {
-        fail("store to unmapped address");
-        return;
-      }
-      if (Memory::in_tcdm(ea)) {
-        if (port.used) {
-          ++perf_.stall_int_lsu;
-          return;
-        }
-        if (!tcdm_.request(TcdmPortId::kCoreLsu, ea, true)) {
-          ++perf_.stall_int_lsu;
-          return;
-        }
-        port.used = true;
-      }
-      perf_.rf_int_reads += 2;
-      mem_.store(ea, read_x(in.rs2), mi.mem_bytes);
-      ++perf_.int_stores;
-      ++perf_.int_instrs;
-      last_issue_ = isa::disassemble(in);
-      pc_ += 4;
-      return;
-    }
-    case ExecClass::kBranch: {
-      if (!ready_x(in.rs1) || !ready_x(in.rs2)) {
-        ++perf_.stall_int_raw;
-        return;
-      }
-      perf_.rf_int_reads += 2;
-      ++perf_.branches;
-      ++perf_.int_instrs;
-      last_issue_ = isa::disassemble(in);
-      if (exec::branch_taken(in.mn, read_x(in.rs1), read_x(in.rs2))) {
-        pc_ += static_cast<u32>(in.imm);
-        bubbles_ = cfg_.taken_branch_penalty;
-      } else {
-        pc_ += 4;
-      }
-      return;
-    }
-    case ExecClass::kJump: {
-      if (in.mn == Mnemonic::kJalr && !ready_x(in.rs1)) {
-        ++perf_.stall_int_raw;
-        return;
-      }
-      if (!ready_x(in.rd)) {
-        ++perf_.stall_int_raw;
-        return;
-      }
-      const u32 link = pc_ + 4;
-      if (in.mn == Mnemonic::kJal) {
-        pc_ += static_cast<u32>(in.imm);
-      } else {
-        ++perf_.rf_int_reads;
-        pc_ = (read_x(in.rs1) + static_cast<u32>(in.imm)) & ~1u;
-      }
-      write_x(in.rd, link);
-      ++perf_.rf_int_writes;
-      bubbles_ = cfg_.taken_branch_penalty;
-      ++perf_.int_instrs;
-      last_issue_ = isa::disassemble(in);
-      return;
-    }
-    case ExecClass::kCsr: {
-      const u32 addr = static_cast<u32>(in.imm);
-      // Stream/chaining CSR writes serialize against in-flight FP work, so
-      // enabling/disabling SSRs or chaining never races the FPU pipeline.
-      if (isa::csr::is_stream_csr(addr) && !fp_.quiescent()) {
-        ++perf_.stall_csr_barrier;
-        return;
-      }
-      u32 operand = 0;
-      const bool reg_form = in.mn == Mnemonic::kCsrrw ||
-                            in.mn == Mnemonic::kCsrrs || in.mn == Mnemonic::kCsrrc;
-      if (reg_form) {
-        if (!ready_x(in.rs1)) {
-          ++perf_.stall_int_raw;
-          return;
-        }
-        ++perf_.rf_int_reads;
-        operand = read_x(in.rs1);
-      } else {
-        operand = in.rs1; // zimm
-      }
-      if (!ready_x(in.rd)) {
-        ++perf_.stall_int_raw;
-        return;
-      }
-      const u32 old = csr_read(addr, now);
-      switch (in.mn) {
-        case Mnemonic::kCsrrw: case Mnemonic::kCsrrwi:
-          csr_apply(addr, operand);
-          break;
-        case Mnemonic::kCsrrs: case Mnemonic::kCsrrsi:
-          if (operand != 0) csr_apply(addr, old | operand);
-          break;
-        default:
-          if (operand != 0) csr_apply(addr, old & ~operand);
-      }
-      write_x(in.rd, old);
-      ++perf_.csr_ops;
-      ++perf_.int_instrs;
-      last_issue_ = isa::disassemble(in);
-      pc_ += 4;
-      return;
-    }
-    case ExecClass::kScfg: {
-      if (in.mn == Mnemonic::kScfgw) {
-        if (!ready_x(in.rs1)) {
-          ++perf_.stall_int_raw;
-          return;
-        }
-        ++perf_.rf_int_reads;
-        const Status s = fp_.cfg_write(in.imm, read_x(in.rs1));
-        if (!s.is_ok()) {
-          fail(s.message());
-          return;
-        }
-      } else {
-        if (!ready_x(in.rd)) {
-          ++perf_.stall_int_raw;
-          return;
-        }
-        write_x(in.rd, fp_.cfg_read(in.imm));
-        ++perf_.rf_int_writes;
-      }
-      ++perf_.csr_ops;
-      ++perf_.int_instrs;
-      last_issue_ = isa::disassemble(in);
-      pc_ += 4;
-      return;
-    }
-    case ExecClass::kSystem: {
-      if (in.mn == Mnemonic::kEcall) {
-        halt_ = HaltReason::kEcall;
-        return;
-      }
-      if (in.mn == Mnemonic::kEbreak) {
-        halt_ = HaltReason::kEbreak;
-        return;
-      }
-      // fence: wait for FP-subsystem quiescence (memory ordering barrier).
-      if (!fp_.quiescent()) {
-        ++perf_.stall_csr_barrier;
-        return;
-      }
-      ++perf_.int_instrs;
-      last_issue_ = isa::disassemble(in);
-      pc_ += 4;
-      return;
-    }
-    default:
-      fail("unhandled instruction on the integer core: " + isa::disassemble(in));
+    port.used = true;
+  }
+  perf_.rf_int_reads += 2;
+  mem_.store(ea, read_x(in.rs2), pre.mem_bytes);
+  ++perf_.int_stores;
+  ++perf_.int_instrs;
+  note_issue(in);
+  pc_ += 4;
+}
+
+void IntCore::h_branch(const Instr& in, const PredecodedInstr& pre, Cycle,
+                       CorePort&) {
+  if (!ready_x(in.rs1) || !ready_x(in.rs2)) {
+    ++perf_.stall_int_raw;
+    return;
+  }
+  perf_.rf_int_reads += 2;
+  ++perf_.branches;
+  ++perf_.int_instrs;
+  note_issue(in);
+  if (exec::branch_taken(in.mn, read_x(in.rs1), read_x(in.rs2))) {
+    pc_ += static_cast<u32>(pre.aux);
+    bubbles_ = cfg_.taken_branch_penalty;
+  } else {
+    pc_ += 4;
   }
 }
 
+void IntCore::h_jal(const Instr& in, const PredecodedInstr& pre, Cycle,
+                    CorePort&) {
+  if (!ready_x(in.rd)) {
+    ++perf_.stall_int_raw;
+    return;
+  }
+  const u32 link = pc_ + 4;
+  pc_ += static_cast<u32>(pre.aux);
+  write_x(in.rd, link);
+  ++perf_.rf_int_writes;
+  bubbles_ = cfg_.taken_branch_penalty;
+  ++perf_.int_instrs;
+  note_issue(in);
+}
+
+void IntCore::h_jalr(const Instr& in, const PredecodedInstr& pre, Cycle,
+                     CorePort&) {
+  if (!ready_x(in.rs1)) {
+    ++perf_.stall_int_raw;
+    return;
+  }
+  if (!ready_x(in.rd)) {
+    ++perf_.stall_int_raw;
+    return;
+  }
+  const u32 link = pc_ + 4;
+  ++perf_.rf_int_reads;
+  pc_ = (read_x(in.rs1) + static_cast<u32>(pre.aux)) & ~1u;
+  write_x(in.rd, link);
+  ++perf_.rf_int_writes;
+  bubbles_ = cfg_.taken_branch_penalty;
+  ++perf_.int_instrs;
+  note_issue(in);
+}
+
+void IntCore::h_csr(const Instr& in, const PredecodedInstr& pre, Cycle now,
+                    CorePort&) {
+  const u32 addr = static_cast<u32>(pre.aux);
+  // Stream/chaining CSR writes serialize against in-flight FP work, so
+  // enabling/disabling SSRs or chaining never races the FPU pipeline.
+  if (isa::csr::is_stream_csr(addr) && !fp_.quiescent()) {
+    ++perf_.stall_csr_barrier;
+    return;
+  }
+  u32 operand = 0;
+  const bool reg_form = in.mn == Mnemonic::kCsrrw ||
+                        in.mn == Mnemonic::kCsrrs || in.mn == Mnemonic::kCsrrc;
+  if (reg_form) {
+    if (!ready_x(in.rs1)) {
+      ++perf_.stall_int_raw;
+      return;
+    }
+    ++perf_.rf_int_reads;
+    operand = read_x(in.rs1);
+  } else {
+    operand = in.rs1; // zimm
+  }
+  if (!ready_x(in.rd)) {
+    ++perf_.stall_int_raw;
+    return;
+  }
+  const u32 old = csr_read(addr, now);
+  switch (in.mn) {
+    case Mnemonic::kCsrrw: case Mnemonic::kCsrrwi:
+      csr_apply(addr, operand);
+      break;
+    case Mnemonic::kCsrrs: case Mnemonic::kCsrrsi:
+      if (operand != 0) csr_apply(addr, old | operand);
+      break;
+    default:
+      if (operand != 0) csr_apply(addr, old & ~operand);
+  }
+  write_x(in.rd, old);
+  ++perf_.csr_ops;
+  ++perf_.int_instrs;
+  note_issue(in);
+  pc_ += 4;
+}
+
+void IntCore::h_ecall(const Instr&, const PredecodedInstr&, Cycle, CorePort&) {
+  halt_ = HaltReason::kEcall;
+}
+
+void IntCore::h_ebreak(const Instr&, const PredecodedInstr&, Cycle, CorePort&) {
+  halt_ = HaltReason::kEbreak;
+}
+
+void IntCore::h_fence(const Instr& in, const PredecodedInstr&, Cycle,
+                      CorePort&) {
+  // fence: wait for FP-subsystem quiescence (memory ordering barrier).
+  if (!fp_.quiescent()) {
+    ++perf_.stall_csr_barrier;
+    return;
+  }
+  ++perf_.int_instrs;
+  note_issue(in);
+  pc_ += 4;
+}
+
+void IntCore::h_scfg_w(const Instr& in, const PredecodedInstr&, Cycle,
+                       CorePort&) {
+  if (!ready_x(in.rs1)) {
+    ++perf_.stall_int_raw;
+    return;
+  }
+  ++perf_.rf_int_reads;
+  const Status s = fp_.cfg_write(in.imm, read_x(in.rs1));
+  if (!s.is_ok()) {
+    fail(s.message());
+    return;
+  }
+  ++perf_.csr_ops;
+  ++perf_.int_instrs;
+  note_issue(in);
+  pc_ += 4;
+}
+
+void IntCore::h_scfg_r(const Instr& in, const PredecodedInstr&, Cycle,
+                       CorePort&) {
+  if (!ready_x(in.rd)) {
+    ++perf_.stall_int_raw;
+    return;
+  }
+  write_x(in.rd, fp_.cfg_read(in.imm));
+  ++perf_.rf_int_writes;
+  ++perf_.csr_ops;
+  ++perf_.int_instrs;
+  note_issue(in);
+  pc_ += 4;
+}
+
+const IntCore::Handler
+    IntCore::kHandlers[static_cast<usize>(ExecHandler::kCount)] = {
+        &IntCore::h_unexpected, // kInvalid (rejected before dispatch)
+        &IntCore::h_lui,        // kLui
+        &IntCore::h_auipc,      // kAuipc
+        &IntCore::h_alu_imm,    // kIntAluImm
+        &IntCore::h_alu_reg,    // kIntAluReg
+        &IntCore::h_mul,        // kIntMul
+        &IntCore::h_div,        // kIntDiv
+        &IntCore::h_jal,        // kJal
+        &IntCore::h_jalr,       // kJalr
+        &IntCore::h_branch,     // kBranch
+        &IntCore::h_load,       // kLoad
+        &IntCore::h_load_s8,    // kLoadSext8
+        &IntCore::h_load_s16,   // kLoadSext16
+        &IntCore::h_store,      // kStore
+        &IntCore::h_csr,        // kCsr
+        &IntCore::h_ecall,      // kEcall
+        &IntCore::h_ebreak,     // kEbreak
+        &IntCore::h_fence,      // kFence
+        &IntCore::h_unexpected, // kFpLoad (FP-domain: offloaded, not here)
+        &IntCore::h_unexpected, // kFpStore
+        &IntCore::h_unexpected, // kFpMac
+        &IntCore::h_unexpected, // kFpDiv
+        &IntCore::h_unexpected, // kFpSqrt
+        &IntCore::h_unexpected, // kFpCmp
+        &IntCore::h_unexpected, // kFpCvtF2I
+        &IntCore::h_unexpected, // kFpCvtI2F
+        &IntCore::h_unexpected, // kFrep
+        &IntCore::h_scfg_w,     // kScfgW
+        &IntCore::h_scfg_r,     // kScfgR
+};
+
 void IntCore::tick(Cycle now, CorePort& port) {
-  last_issue_.clear();
+  if (trace_) last_issue_.clear();
   if (halt_ != HaltReason::kNone) return;
   if (now < div_busy_until_) {
     ++perf_.int_div_busy;
@@ -390,19 +526,21 @@ void IntCore::tick(Cycle now, CorePort& port) {
     ++perf_.branch_bubbles;
     return;
   }
-  const Instr* in = prog_.fetch(pc_);
-  if (in == nullptr) {
+  const u32 idx = prog_.text_index(pc_);
+  if (idx == Program::kNoIndex) {
     halt_ = HaltReason::kOffText;
     return;
   }
-  if (!in->valid()) {
+  const PredecodedInstr& pre = prog_.pre[idx];
+  if (pre.handler == ExecHandler::kInvalid) {
     fail("illegal instruction encoding");
     return;
   }
-  if (in->meta().fp_domain) {
-    exec_offload(*in, now);
+  const Instr& in = prog_.instrs[idx];
+  if (pre.fp_domain) {
+    exec_offload(in, pre, now);
   } else {
-    exec_int(*in, now, port);
+    (this->*kHandlers[static_cast<usize>(pre.handler)])(in, pre, now, port);
   }
 }
 

@@ -3,10 +3,15 @@
 // subsystem's queue with their integer operands captured (addresses for
 // fld/fsd, rs1 values for int->FP ops and frep), after which the core moves
 // on -- FP stalls only reach the core through a full offload queue.
+//
+// Issue dispatches through the program's predecoded handler records; delayed
+// register writebacks live in a fixed-capacity array (bounded by one
+// outstanding write per architectural register), so the per-cycle loop is
+// allocation-free.
 #pragma once
 
+#include <array>
 #include <string>
-#include <vector>
 
 #include "asm/program.hpp"
 #include "iss/arch_state.hpp"
@@ -35,14 +40,15 @@ class IntCore {
 
   [[nodiscard]] bool halting() const { return halt_ != HaltReason::kNone; }
   /// No scheduled register writes outstanding (halt must wait for these).
-  [[nodiscard]] bool pending_empty() const { return pending_.empty(); }
+  [[nodiscard]] bool pending_empty() const { return pending_size_ == 0; }
   [[nodiscard]] HaltReason halt_reason() const { return halt_; }
   [[nodiscard]] bool has_error() const { return !error_.empty(); }
   [[nodiscard]] const std::string& error() const { return error_; }
 
   [[nodiscard]] const std::array<u32, isa::kNumIntRegs>& regs() const { return x_; }
   [[nodiscard]] Addr pc() const { return pc_; }
-  /// Disassembly of this cycle's integer-core action (trace support).
+  /// Disassembly of this cycle's integer-core action (trace support; only
+  /// maintained when SimConfig::trace is set).
   [[nodiscard]] const std::string& last_issue() const { return last_issue_; }
 
  private:
@@ -52,17 +58,50 @@ class IntCore {
     Cycle ready_at;
   };
 
+  using Handler = void (IntCore::*)(const isa::Instr&,
+                                    const isa::PredecodedInstr&, Cycle,
+                                    CorePort&);
+  static const Handler kHandlers[static_cast<usize>(isa::ExecHandler::kCount)];
+
   void fail(const std::string& message);
   [[nodiscard]] u32 read_x(u8 r) const { return x_[r]; }
   void write_x(u8 r, u32 v) {
     if (r != 0) x_[r] = v;
   }
   [[nodiscard]] bool ready_x(u8 r) const { return !busy_x_[r]; }
+  void note_issue(const isa::Instr& in);
 
-  void exec_offload(const isa::Instr& in, Cycle now);
-  void exec_int(const isa::Instr& in, Cycle now, CorePort& port);
+  void exec_offload(const isa::Instr& in, const isa::PredecodedInstr& pre,
+                    Cycle now);
   u32 csr_read(u32 addr, Cycle now) const;
   void csr_apply(u32 addr, u32 value);
+
+  // Handler-table targets (one per isa::ExecHandler, specials pre-resolved).
+  void h_unexpected(const isa::Instr&, const isa::PredecodedInstr&, Cycle,
+                    CorePort&);
+  void h_lui(const isa::Instr&, const isa::PredecodedInstr&, Cycle, CorePort&);
+  void h_auipc(const isa::Instr&, const isa::PredecodedInstr&, Cycle, CorePort&);
+  void h_alu_imm(const isa::Instr&, const isa::PredecodedInstr&, Cycle, CorePort&);
+  void h_alu_reg(const isa::Instr&, const isa::PredecodedInstr&, Cycle, CorePort&);
+  void h_mul(const isa::Instr&, const isa::PredecodedInstr&, Cycle, CorePort&);
+  void h_div(const isa::Instr&, const isa::PredecodedInstr&, Cycle, CorePort&);
+  void h_jal(const isa::Instr&, const isa::PredecodedInstr&, Cycle, CorePort&);
+  void h_jalr(const isa::Instr&, const isa::PredecodedInstr&, Cycle, CorePort&);
+  void h_branch(const isa::Instr&, const isa::PredecodedInstr&, Cycle, CorePort&);
+  void h_load(const isa::Instr&, const isa::PredecodedInstr&, Cycle, CorePort&);
+  void h_load_s8(const isa::Instr&, const isa::PredecodedInstr&, Cycle, CorePort&);
+  void h_load_s16(const isa::Instr&, const isa::PredecodedInstr&, Cycle, CorePort&);
+  void h_store(const isa::Instr&, const isa::PredecodedInstr&, Cycle, CorePort&);
+  void h_csr(const isa::Instr&, const isa::PredecodedInstr&, Cycle, CorePort&);
+  void h_ecall(const isa::Instr&, const isa::PredecodedInstr&, Cycle, CorePort&);
+  void h_ebreak(const isa::Instr&, const isa::PredecodedInstr&, Cycle, CorePort&);
+  void h_fence(const isa::Instr&, const isa::PredecodedInstr&, Cycle, CorePort&);
+  void h_scfg_w(const isa::Instr&, const isa::PredecodedInstr&, Cycle, CorePort&);
+  void h_scfg_r(const isa::Instr&, const isa::PredecodedInstr&, Cycle, CorePort&);
+
+  /// Shared tail of an integer load once the effective address is accepted.
+  bool load_issue(const isa::Instr& in, const isa::PredecodedInstr& pre,
+                  Cycle now, CorePort& port, Cycle& ready_at, u64& value);
 
   const Program& prog_;
   Memory& mem_;
@@ -70,11 +109,15 @@ class IntCore {
   const SimConfig& cfg_;
   PerfCounters& perf_;
   FpSubsystem& fp_;
+  const bool trace_;
 
   Addr pc_;
   std::array<u32, isa::kNumIntRegs> x_{};
   std::array<bool, isa::kNumIntRegs> busy_x_{};
-  std::vector<Pending> pending_;
+  /// Outstanding delayed writebacks. Bounded by kNumIntRegs: issue stalls on
+  /// a busy rd, so at most one write per register is in flight.
+  std::array<Pending, isa::kNumIntRegs> pending_{};
+  u32 pending_size_ = 0;
   u32 bubbles_ = 0;
   Cycle div_busy_until_ = 0;
   HaltReason halt_ = HaltReason::kNone;

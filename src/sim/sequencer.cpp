@@ -32,22 +32,22 @@ void Sequencer::start_frep(const FpOp& marker) {
   ++stats_.freps_executed;
 }
 
-std::optional<FpOp> Sequencer::front() {
-  if (has_error()) return std::nullopt;
-  if (state_ == State::kReplaying) return buffer_[replay_idx_];
+const FpOp* Sequencer::peek() {
+  if (has_error()) return nullptr;
+  if (state_ == State::kReplaying) return &buffer_[replay_idx_];
   // Consume frep markers at the queue head.
   while (!queue_.empty() && (queue_.front().in.mn == Mnemonic::kFrepO ||
                              queue_.front().in.mn == Mnemonic::kFrepI)) {
     const FpOp marker = queue_.pop();
     start_frep(marker);
-    if (has_error()) return std::nullopt;
+    if (has_error()) return nullptr;
   }
-  if (queue_.empty()) return std::nullopt;
-  if (state_ == State::kCapturing && !queue_.front().in.meta().fp_domain) {
+  if (queue_.empty()) return nullptr;
+  if (state_ == State::kCapturing && !queue_.front().meta().fp_domain) {
     error_ = "frep body contains a non-FP instruction";
-    return std::nullopt;
+    return nullptr;
   }
-  return queue_.front();
+  return &queue_.front();
 }
 
 void Sequencer::pop_front() {

@@ -27,6 +27,13 @@ struct FpOp {
   /// For fld/fsd: effective address; for int->FP ops and frep: rs1 value.
   u32 int_operand = 0;
   u64 seq = 0;
+  /// Cached metadata, captured from the predecoded stream at offload time
+  /// (may be null for hand-built ops in tests; meta() falls back).
+  const isa::MnemonicInfo* mi = nullptr;
+
+  [[nodiscard]] const isa::MnemonicInfo& meta() const {
+    return mi != nullptr ? *mi : in.meta();
+  }
 };
 
 class Sequencer {
@@ -42,11 +49,18 @@ class Sequencer {
   void push(FpOp op) { queue_.push(std::move(op)); }
 
   /// Next instruction for the FP issue stage (replay takes priority),
-  /// consuming frep markers on the way. nullopt when nothing is available.
-  /// Sets `error` (sticky) when a frep body is malformed.
-  std::optional<FpOp> front();
+  /// consuming frep markers on the way. nullptr when nothing is available.
+  /// Sets `error` (sticky) when a frep body is malformed. The pointer is
+  /// valid until the next push/pop_front.
+  const FpOp* peek();
 
-  /// Consume the instruction returned by front().
+  /// Copying convenience wrapper around peek() (tests).
+  std::optional<FpOp> front() {
+    const FpOp* op = peek();
+    return op != nullptr ? std::optional<FpOp>(*op) : std::nullopt;
+  }
+
+  /// Consume the instruction returned by peek()/front().
   void pop_front();
 
   /// No queued work, no replay in progress.

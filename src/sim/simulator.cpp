@@ -10,6 +10,7 @@ Simulator::Simulator(Program program, Memory& memory, const SimConfig& config)
       cfg_(config),
       tcdm_(config.tcdm),
       trace_(config.trace) {
+  prog_.predecode();
   fp_ = std::make_unique<FpSubsystem>(cfg_, mem_, tcdm_, perf_);
   core_ = std::make_unique<IntCore>(prog_, mem_, tcdm_, cfg_, perf_, *fp_);
   fp_->set_int_wb_sink([this](const IntWriteback& wb) {

@@ -1,0 +1,174 @@
+// Cross-engine and refactor-regression coverage for the predecoded
+// execution path:
+//  * ISS-vs-cycle-level cross-check over every kernel family (vecop, gemv,
+//    both paper stencils in all five variants): both engines must halt
+//    cleanly, validate against the golden output, and agree on the final
+//    architectural state.
+//  * Cycle-count regression for the Fig. 3 sweep: predecode + handler-table
+//    dispatch + the writeback ring buffer are host-side optimizations only;
+//    per-variant cycle counts must be bit-identical to the pre-refactor
+//    timing model.
+//  * Predecode consistency: the cached per-instruction records must agree
+//    with the metadata they were derived from.
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "bench_common.hpp"
+#include "iss/iss.hpp"
+#include "kernels/gemv.hpp"
+#include "kernels/runner.hpp"
+#include "kernels/stencil.hpp"
+#include "kernels/vecop.hpp"
+#include "mem/memory.hpp"
+#include "sim/simulator.hpp"
+
+namespace sch {
+namespace {
+
+using kernels::BuiltKernel;
+using kernels::GemvVariant;
+using kernels::StencilKind;
+using kernels::StencilVariant;
+using kernels::VecopVariant;
+
+std::vector<BuiltKernel> all_kernels() {
+  std::vector<BuiltKernel> out;
+  for (VecopVariant v : {VecopVariant::kBaseline, VecopVariant::kUnrolled,
+                         VecopVariant::kChained, VecopVariant::kChainedFrep}) {
+    out.push_back(kernels::build_vecop(v));
+  }
+  for (GemvVariant v : {GemvVariant::kUnrolledAcc, GemvVariant::kChained}) {
+    out.push_back(kernels::build_gemv(v));
+  }
+  for (StencilKind k : {StencilKind::kBox3d1r, StencilKind::kJ3d27pt}) {
+    for (StencilVariant v :
+         {StencilVariant::kBaseMM, StencilVariant::kBaseM, StencilVariant::kBase,
+          StencilVariant::kChaining, StencilVariant::kChainingPlus}) {
+      out.push_back(kernels::build_stencil(k, v));
+    }
+  }
+  return out;
+}
+
+TEST(Lockstep, IssAndSimulatorAgreeOnAllKernels) {
+  for (const BuiltKernel& k : all_kernels()) {
+    SCOPED_TRACE(k.name);
+
+    Memory mem_iss;
+    Iss iss(k.program, mem_iss);
+    ASSERT_EQ(iss.run(), HaltReason::kEcall) << "ISS: " << iss.error();
+
+    Memory mem_sim;
+    sim::Simulator simulator(k.program, mem_sim);
+    ASSERT_EQ(simulator.run(), HaltReason::kEcall)
+        << "sim: " << simulator.error();
+
+    // Identical final architectural state.
+    const ArchState& a = iss.state();
+    const ArchState b = simulator.arch_state();
+    for (u8 r = 0; r < isa::kNumIntRegs; ++r) {
+      EXPECT_EQ(a.x[r], b.x[r]) << "x" << static_cast<int>(r);
+    }
+    for (u8 r = 0; r < isa::kNumFpRegs; ++r) {
+      EXPECT_EQ(a.f[r], b.f[r]) << "f" << static_cast<int>(r);
+    }
+
+    // Both engines produced the golden output.
+    for (u32 i = 0; i < k.expected.size(); ++i) {
+      const double want = k.expected[i];
+      EXPECT_EQ(mem_iss.load_f64(k.out_base + 8 * i), want) << "iss elem " << i;
+      EXPECT_EQ(mem_sim.load_f64(k.out_base + 8 * i), want) << "sim elem " << i;
+    }
+  }
+}
+
+// Per-variant cycle counts of the Fig. 3 sweep (default 12x12x12 grid,
+// default SimConfig), captured from the pre-predecode engine. The refactor
+// must only change host speed, never modeled timing.
+TEST(Lockstep, SweepCycleCountsUnchangedByPredecodeRefactor) {
+  struct Expected {
+    StencilKind kind;
+    StencilVariant variant;
+    u64 cycles;
+    u64 retired;
+  };
+  const Expected expected[] = {
+      {StencilKind::kBox3d1r, StencilVariant::kBaseMM, 30824, 30553},
+      {StencilKind::kBox3d1r, StencilVariant::kBaseM, 30581, 30308},
+      {StencilKind::kBox3d1r, StencilVariant::kBase, 29049, 29797},
+      {StencilKind::kBox3d1r, StencilVariant::kChaining, 29091, 28813},
+      {StencilKind::kBox3d1r, StencilVariant::kChainingPlus, 27848, 27568},
+      {StencilKind::kJ3d27pt, StencilVariant::kBaseMM, 32570, 32303},
+      {StencilKind::kJ3d27pt, StencilVariant::kBaseM, 30583, 30311},
+      {StencilKind::kJ3d27pt, StencilVariant::kBase, 30054, 30800},
+      {StencilKind::kJ3d27pt, StencilVariant::kChaining, 30093, 29816},
+      {StencilKind::kJ3d27pt, StencilVariant::kChainingPlus, 28850, 28571},
+  };
+  const auto sweep = bench::run_stencil_sweep();
+  ASSERT_EQ(sweep.size(), 10u);
+  for (const Expected& e : expected) {
+    const auto& entry = bench::find_entry(sweep, e.kind, e.variant);
+    SCOPED_TRACE(std::string(kernels::stencil_kind_name(e.kind)) + "/" +
+                 kernels::stencil_variant_name(e.variant));
+    EXPECT_EQ(entry.run.cycles, e.cycles);
+    EXPECT_EQ(entry.run.perf.total_retired(), e.retired);
+  }
+}
+
+TEST(Lockstep, PredecodedRecordsMatchMetadata) {
+  for (const BuiltKernel& k : all_kernels()) {
+    SCOPED_TRACE(k.name);
+    Program p = k.program;
+    p.predecode();
+    ASSERT_EQ(p.pre.size(), p.instrs.size());
+    for (usize i = 0; i < p.instrs.size(); ++i) {
+      const isa::Instr& in = p.instrs[i];
+      const isa::PredecodedInstr& pre = p.pre[i];
+      ASSERT_NE(pre.mi, nullptr);
+      EXPECT_EQ(pre.mi, &in.meta());
+      EXPECT_EQ(pre.fp_domain, in.meta().fp_domain);
+      EXPECT_EQ(pre.mem_bytes, in.meta().mem_bytes);
+      EXPECT_EQ(pre.handler != isa::ExecHandler::kInvalid, in.valid())
+          << "instr " << i;
+    }
+  }
+}
+
+// An FP->int instruction that discards its result into x0 must not wedge
+// the scoreboard: the FP writeback drops x0 writes, so offload must not
+// mark x0 busy (regression for a deadlock found in review).
+TEST(Lockstep, FpToIntDiscardIntoX0DoesNotDeadlock) {
+  auto r = assembler::assemble(R"(
+      .data
+    v: .double 7.0
+      .text
+      la a0, v
+      fld ft0, 0(a0)
+      fcvt.w.d x0, ft0
+      li a1, 42
+      ecall
+  )");
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  Memory mem;
+  sim::SimConfig cfg;
+  cfg.max_cycles = 10'000;
+  sim::Simulator s(std::move(r).value(), mem, cfg);
+  EXPECT_EQ(s.run(), HaltReason::kEcall) << s.error();
+  EXPECT_EQ(s.arch_state().x[isa::kA1], 42u);
+}
+
+TEST(Lockstep, TextIndexMatchesFetch) {
+  const BuiltKernel k = kernels::build_vecop(VecopVariant::kChained);
+  const Program& p = k.program;
+  EXPECT_EQ(p.text_index(p.text_base - 4), Program::kNoIndex);
+  EXPECT_EQ(p.text_index(p.text_base + 2), Program::kNoIndex);
+  EXPECT_EQ(p.text_index(p.end_of_text()), Program::kNoIndex);
+  for (usize i = 0; i < p.instrs.size(); ++i) {
+    const Addr pc = p.text_base + static_cast<Addr>(4 * i);
+    ASSERT_EQ(p.text_index(pc), static_cast<u32>(i));
+    ASSERT_EQ(p.fetch(pc), &p.instrs[i]);
+  }
+}
+
+} // namespace
+} // namespace sch
