@@ -7,16 +7,13 @@
 #include <thread>
 #include <vector>
 
+#include "scenario/scenario_runner.hpp"
+
 namespace sch::bench {
 
 u32 sweep_worker_count(u32 jobs) {
-  if (const char* env = std::getenv("SCH_SWEEP_THREADS")) {
-    const long n = std::strtol(env, nullptr, 10);
-    if (n >= 1) return static_cast<u32>(n) < jobs ? static_cast<u32>(n) : jobs;
-  }
-  u32 hw = std::thread::hardware_concurrency();
-  if (hw == 0) hw = 1;
-  return hw < jobs ? hw : jobs;
+  // One SCH_SWEEP_THREADS policy for benches and scenarios alike.
+  return scenario::worker_count(jobs);
 }
 
 std::vector<SweepEntry> run_stencil_sweep(const kernels::StencilParams& params,

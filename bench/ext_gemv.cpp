@@ -1,39 +1,48 @@
 // Extension experiment (beyond the paper's evaluation): GEMV y = A*x.
 // Demonstrates that scalar chaining generalizes from stencils to reduction
 // chains: the four interleaved row accumulators collapse into one chained
-// register, and the FREP body collapses to a single instruction.
+// register, and the FREP body collapses to a single instruction. Variants
+// come from the kernel registry.
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "kernels/gemv.hpp"
+#include "kernels/registry.hpp"
 
 using namespace sch;
 using namespace sch::bench;
-using kernels::GemvVariant;
 
 int main() {
   std::printf("Extension: GEMV y = A*x with chained reduction interleave\n");
   print_header("gemv 64x48", {"variant", "cycles", "fpu util", "fp regs",
                               "acc regs", "frep body"});
-  const kernels::GemvParams p{.m = 64, .n = 48};
+  const kernels::KernelEntry* gemv = kernels::Registry::instance().find("gemv");
+  if (gemv == nullptr) {
+    std::fprintf(stderr, "FATAL: gemv not in the kernel registry\n");
+    return 1;
+  }
+  const kernels::SizeMap sizes = gemv->resolve_sizes({{"m", 64}, {"n", 48}});
   int failures = 0;
-  u64 cycles[2] = {0, 0};
-  u32 regs[2] = {0, 0};
-  int i = 0;
-  for (GemvVariant v : {GemvVariant::kUnrolledAcc, GemvVariant::kChained}) {
-    const kernels::BuiltKernel k = kernels::build_gemv(v, p);
+  std::vector<u64> cycles(gemv->variants.size(), 0);
+  std::vector<u32> regs(gemv->variants.size(), 0);
+  usize i = 0;
+  for (const std::string& variant : gemv->variants) {
+    const kernels::BuiltKernel k = gemv->build(variant, sizes);
     const kernels::RunResult r = kernels::run_on_simulator(k);
     if (!r.ok) {
       std::fprintf(stderr, "FATAL: %s: %s\n", k.name.c_str(), r.error.c_str());
       return 1;
     }
-    print_row({kernels::gemv_variant_name(v), std::to_string(r.cycles),
+    print_row({variant, std::to_string(r.cycles),
                fmt(r.fpu_utilization, 3), std::to_string(k.regs.fp_regs_used),
                std::to_string(k.regs.accumulator_regs),
-               v == GemvVariant::kChained ? "1 instruction" : "4 instructions"});
+               variant == "chained" ? "1 instruction" : "4 instructions"});
     cycles[i] = r.cycles;
     regs[i] = k.regs.fp_regs_used;
     ++i;
+  }
+  if (cycles.size() < 2) {
+    std::fprintf(stderr, "FATAL: gemv registry entry lost a variant\n");
+    return 1;
   }
   const double ratio = static_cast<double>(cycles[1]) / static_cast<double>(cycles[0]);
   std::printf("\nchained/unrolled cycle ratio: %.3f (registers: %u vs %u)\n",

@@ -3,40 +3,44 @@
 // FPU utilization, RAW stalls and architectural register cost -- the paper's
 // qualitative claims: the baseline wastes 3 cycles per dependency (= FPU
 // pipeline depth); unrolling removes them at +3 registers; chaining removes
-// them at +0 registers.
+// them at +0 registers. The variant sweep comes straight from the kernel
+// registry (the same path `schsim run` uses).
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "kernels/vecop.hpp"
+#include "kernels/registry.hpp"
 
 using namespace sch;
 using namespace sch::bench;
-using kernels::VecopVariant;
 
 int main() {
-  const kernels::VecopParams p{.n = 1024, .b = 2.0};
-  std::printf("Fig. 1: a = b*(c+d), n=%u doubles, SSR0/1 reads + SSR2 write\n", p.n);
+  const kernels::KernelEntry* vecop = kernels::Registry::instance().find("vecop");
+  if (vecop == nullptr) {
+    std::fprintf(stderr, "FATAL: vecop not in the kernel registry\n");
+    return 1;
+  }
+  const kernels::SizeMap sizes = vecop->resolve_sizes({{"n", 1024}});
+  std::printf("Fig. 1: a = b*(c+d), n=%lld doubles, SSR0/1 reads + SSR2 write\n",
+              static_cast<long long>(sizes.at("n")));
 
   print_header("vecop variants",
                {"variant", "cycles", "fpu util", "raw stalls", "fp regs",
                 "acc regs", "chained"});
 
   struct Row {
-    VecopVariant v;
+    std::string variant;
     kernels::RunResult r;
     kernels::RegisterReport regs;
   };
   std::vector<Row> rows;
-  for (VecopVariant v :
-       {VecopVariant::kBaseline, VecopVariant::kUnrolled, VecopVariant::kChained,
-        VecopVariant::kChainedFrep}) {
-    const kernels::BuiltKernel k = kernels::build_vecop(v, p);
-    Row row{v, kernels::run_on_simulator(k), k.regs};
+  for (const std::string& variant : vecop->variants) {
+    const kernels::BuiltKernel k = vecop->build(variant, sizes);
+    Row row{variant, kernels::run_on_simulator(k), k.regs};
     if (!row.r.ok) {
       std::fprintf(stderr, "FATAL: %s: %s\n", k.name.c_str(), row.r.error.c_str());
       return 1;
     }
-    print_row({kernels::vecop_variant_name(v), std::to_string(row.r.cycles),
+    print_row({variant, std::to_string(row.r.cycles),
                fmt(row.r.fpu_utilization, 3), std::to_string(row.r.perf.stall_fp_raw),
                std::to_string(row.regs.fp_regs_used),
                std::to_string(row.regs.accumulator_regs),
@@ -44,14 +48,19 @@ int main() {
     rows.push_back(std::move(row));
   }
 
+  if (rows.size() < 4) {
+    std::fprintf(stderr, "FATAL: vecop registry entry lost a variant\n");
+    return 1;
+  }
   const Row& base = rows[0];
   const Row& unrolled = rows[1];
   const Row& chained = rows[2];
   const Row& frep = rows[3];
+  const u32 n = static_cast<u32>(sizes.at("n"));
 
   std::printf("\npaper claims vs measured:\n");
   const double stalls_per_elem =
-      static_cast<double>(base.r.perf.stall_fp_raw) / p.n;
+      static_cast<double>(base.r.perf.stall_fp_raw) / n;
   std::printf("  [%s] baseline wastes ~3 cycles per element on the fadd->fmul RAW "
               "(measured %.2f)\n",
               stalls_per_elem > 2.5 ? "ok" : "FAIL", stalls_per_elem);

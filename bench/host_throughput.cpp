@@ -15,10 +15,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "kernels/gemv.hpp"
+#include "kernels/registry.hpp"
 #include "kernels/runner.hpp"
-#include "kernels/stencil.hpp"
-#include "kernels/vecop.hpp"
 
 namespace {
 
@@ -92,30 +90,35 @@ int main(int argc, char** argv) {
     }
   }
 
-  using kernels::GemvVariant;
-  using kernels::StencilKind;
-  using kernels::StencilVariant;
-  using kernels::VecopVariant;
-
-  // One representative per workload family, larger-than-paper sizes so each
-  // timing window is dominated by steady-state simulation.
+  // One representative per workload family (looked up through the kernel
+  // registry), larger-than-paper sizes so each timing window is dominated
+  // by steady-state simulation.
+  const auto build = [](const char* kernel, const char* variant,
+                        const kernels::SizeMap& overrides) {
+    const kernels::KernelEntry* e = kernels::Registry::instance().find(kernel);
+    if (e == nullptr) {
+      std::fprintf(stderr, "FATAL: %s not in the kernel registry\n", kernel);
+      std::exit(1);
+    }
+    return e->build(variant, e->resolve_sizes(overrides));
+  };
   std::vector<KernelResult> results;
   results.push_back(time_kernel(
-      "vecop_baseline",
-      kernels::build_vecop(VecopVariant::kBaseline, {.n = 4096}), repeat));
+      "vecop_baseline", build("vecop", "baseline", {{"n", 4096}}), repeat));
   results.push_back(time_kernel(
-      "vecop_chained_frep",
-      kernels::build_vecop(VecopVariant::kChainedFrep, {.n = 4096}), repeat));
-  results.push_back(time_kernel(
-      "gemv_chained",
-      kernels::build_gemv(GemvVariant::kChained, {.m = 64, .n = 48}), repeat));
-  results.push_back(time_kernel(
-      "box3d1r_chaining_plus",
-      kernels::build_stencil(StencilKind::kBox3d1r, StencilVariant::kChainingPlus),
+      "vecop_chained_frep", build("vecop", "chained+frep", {{"n", 4096}}),
       repeat));
   results.push_back(time_kernel(
-      "j3d27pt_chaining_plus",
-      kernels::build_stencil(StencilKind::kJ3d27pt, StencilVariant::kChainingPlus),
+      "gemv_chained", build("gemv", "chained", {{"m", 64}, {"n", 48}}), repeat));
+  results.push_back(time_kernel(
+      "box3d1r_chaining_plus", build("box3d1r", "Chaining+", {}), repeat));
+  results.push_back(time_kernel(
+      "j3d27pt_chaining_plus", build("j3d27pt", "Chaining+", {}), repeat));
+  results.push_back(time_kernel(
+      "gemm_chained", build("gemm", "chained", {{"m", 32}, {"k", 32}, {"n", 32}}),
+      repeat));
+  results.push_back(time_kernel(
+      "conv2d_chained", build("conv2d", "chained", {{"h", 34}, {"w", 34}}),
       repeat));
 
   // Full Fig. 3 sweep wall-clock (build + simulate + validate, all 10

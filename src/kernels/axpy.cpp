@@ -1,0 +1,130 @@
+#include "kernels/axpy.hpp"
+
+#include <stdexcept>
+
+#include "asm/builder.hpp"
+#include "isa/csr.hpp"
+#include "isa/reg.hpp"
+#include "kernels/registry.hpp"
+#include "ssr/ssr_config.hpp"
+
+namespace sch::kernels {
+
+namespace {
+
+/// Deterministic dyadic input patterns (exactly representable in f64).
+double x_value(u32 i) { return 0.125 * static_cast<double>((i * 11 + 2) % 64) - 4.0; }
+double y_value(u32 i) { return 0.25 * static_cast<double>((i * 5 + 3) % 48) - 6.0; }
+
+void arm_linear(ProgramBuilder& b, u32 ssr_id, u32 n, Addr base, bool is_write) {
+  using ssr::CfgReg;
+  b.li(isa::kT0, static_cast<i64>(n - 1));
+  b.scfgw(isa::kT0, ssr::cfg_index(ssr_id, CfgReg::kBound0));
+  b.li(isa::kT0, 8);
+  b.scfgw(isa::kT0, ssr::cfg_index(ssr_id, CfgReg::kStride0));
+  b.li(isa::kT1, static_cast<i64>(base));
+  b.scfgw(isa::kT1, ssr::cfg_index(ssr_id, is_write ? CfgReg::kWptr0 : CfgReg::kRptr0));
+}
+
+} // namespace
+
+const char* axpy_variant_name(AxpyVariant v) {
+  return v == AxpyVariant::kBaseline ? "baseline" : "chained";
+}
+
+BuiltKernel build_axpy(AxpyVariant variant, const AxpyParams& p) {
+  if (p.unroll < 2 || p.unroll > 8) {
+    throw std::invalid_argument("axpy: unroll must be in 2..8");
+  }
+  if (p.n == 0 || p.n % p.unroll != 0) {
+    throw std::invalid_argument("axpy: n must be a positive multiple of unroll");
+  }
+  const u32 u = p.unroll;
+  ProgramBuilder b;
+
+  std::vector<double> x(p.n), y(p.n);
+  for (u32 i = 0; i < p.n; ++i) {
+    x[i] = x_value(i);
+    y[i] = y_value(i);
+  }
+  const Addr x_base = b.data_f64(x);
+  const Addr y_base = b.data_f64(y);
+  const Addr z_base = b.data_zero(p.n * 8);
+  const Addr a_addr = b.data_f64({p.a});
+
+  BuiltKernel out;
+  out.name = std::string("axpy/") + axpy_variant_name(variant);
+  out.out_base = z_base;
+  out.expected.resize(p.n);
+  for (u32 i = 0; i < p.n; ++i) {
+    // The hardware executes a separate fmul and fadd (two roundings); the
+    // volatile intermediate stops the compiler from contracting to an FMA.
+    volatile const double t = p.a * x[i];
+    out.expected[i] = t + y[i];
+  }
+  out.useful_flops = 2ull * p.n;
+
+  arm_linear(b, 0, p.n, x_base, false);
+  arm_linear(b, 1, p.n, y_base, false);
+  arm_linear(b, 2, p.n, z_base, true);
+
+  b.la(isa::kA0, a_addr);
+  b.fld(isa::kFa1, isa::kA0, 0);
+  b.csrwi(isa::csr::kSsrEnable, 1);
+
+  out.regs.ssr_regs = 3;
+  out.regs.fp_regs_used = 5; // ft0..ft3 + fa1
+  out.regs.accumulator_regs = 1;
+
+  if (variant == AxpyVariant::kChained) {
+    b.li(isa::kT2, 8); // chain ft3
+    b.csrs(isa::csr::kChainMask, isa::kT2);
+    out.regs.chained_regs = 1;
+  }
+
+  b.li(isa::kT3, variant == AxpyVariant::kChained
+                     ? static_cast<i64>(p.n / u) - 1
+                     : static_cast<i64>(p.n) - 1);
+  if (variant == AxpyVariant::kChained) {
+    // u products pushed back-to-back, popped by the adds: the mul->add
+    // latency is hidden inside the chain FIFO.
+    b.frep_o(isa::kT3, static_cast<i32>(2 * u));
+    for (u32 i = 0; i < u; ++i) b.fmul_d(isa::kFt3, isa::kFt0, isa::kFa1);
+    for (u32 i = 0; i < u; ++i) b.fadd_d(isa::kFt2, isa::kFt3, isa::kFt1);
+  } else {
+    // The natural scalar schedule: the fadd waits fpu_depth cycles for its
+    // product every element.
+    b.frep_o(isa::kT3, 2);
+    b.fmul_d(isa::kFt3, isa::kFt0, isa::kFa1);
+    b.fadd_d(isa::kFt2, isa::kFt3, isa::kFt1);
+  }
+
+  if (variant == AxpyVariant::kChained) b.csrw(isa::csr::kChainMask, 0);
+  b.csrwi(isa::csr::kSsrEnable, 0);
+  b.ecall();
+
+  out.program = b.build();
+  return out;
+}
+
+void register_axpy_kernels(Registry& r) {
+  r.add(KernelEntry{
+      .name = "axpy",
+      .description = "z = a*x + y un-fused: mul->add producer/consumer chain",
+      .variants = {"baseline", "chained"},
+      .baseline_variant = "baseline",
+      .chained_variant = "chained",
+      .params = {{"n", 256, "elements (multiple of unroll)"},
+                 {"unroll", 4, "chained interleave depth (<= fpu_depth + 1)"}},
+      .build = [](const std::string& variant, const SizeMap& sizes) {
+        AxpyParams p;
+        p.n = static_cast<u32>(size_or(sizes, "n", p.n));
+        p.unroll = static_cast<u32>(size_or(sizes, "unroll", p.unroll));
+        for (AxpyVariant v : {AxpyVariant::kBaseline, AxpyVariant::kChained}) {
+          if (variant == axpy_variant_name(v)) return build_axpy(v, p);
+        }
+        throw std::invalid_argument("axpy: unknown variant '" + variant + "'");
+      }});
+}
+
+} // namespace sch::kernels

@@ -1,0 +1,34 @@
+// AXPY with an explicit mul->add dependency: z = a*x + y evaluated un-fused
+// (one fmul, one fadd, two roundings per element), the minimal producer/
+// consumer dataflow beyond Fig. 1's vecop:
+//  * kBaseline - one fmul->fadd pair per element inside a 2-instruction FREP
+//                body; the RAW dependency on the product wastes ~fpu_depth
+//                cycles per element;
+//  * kChained  - the product register ft3 is chained: `unroll` products are
+//                pushed back-to-back and popped by the adds, hiding the FMA
+//                latency with ZERO extra architectural registers.
+// SSR0 streams x, SSR1 streams y, SSR2 absorbs z (out-of-place so the golden
+// output is aliasing-free).
+#pragma once
+
+#include "kernels/kernel_common.hpp"
+
+namespace sch::kernels {
+
+enum class AxpyVariant : u8 { kBaseline, kChained };
+
+const char* axpy_variant_name(AxpyVariant variant);
+
+struct AxpyParams {
+  u32 n = 256;     // elements; multiple of `unroll`
+  double a = 1.5;  // the scalar constant (exactly representable)
+  /// Chained interleave depth (2..8); must be <= fpu_depth + 1 (the logical
+  /// chain-FIFO capacity) or the chained variant deadlocks.
+  u32 unroll = 4;
+};
+
+/// Build the kernel and its golden output (two roundings per element,
+/// never contracted to an FMA).
+BuiltKernel build_axpy(AxpyVariant variant, const AxpyParams& params = {});
+
+} // namespace sch::kernels

@@ -1,0 +1,239 @@
+#include "kernels/conv2d.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "asm/builder.hpp"
+#include "isa/csr.hpp"
+#include "isa/reg.hpp"
+#include "kernels/registry.hpp"
+#include "ssr/ssr_config.hpp"
+
+namespace sch::kernels {
+
+using ssr::CfgReg;
+
+namespace {
+
+constexpr u32 kTaps = 9;    // 3x3 filter
+constexpr u8 kCoef0 = 4;    // f4..f12: resident filter weights
+constexpr u8 kAccReg = 3;   // ft3: (chained) accumulator
+
+double img_value(u32 i) {
+  return 0.0078125 * static_cast<double>((i * 23 + 11) % 193) - 0.75;
+}
+
+/// Distinct dyadic filter weights.
+double weight_value(u32 t) {
+  return 0.03125 * static_cast<double>(t + 1) - 0.1875;
+}
+
+/// Arm the indirect u16-index gather on `ssr_id` (same idiom as the
+/// stencils: shift 3 for f64 elements).
+void arm_gather(ProgramBuilder& b, u32 ssr_id, Addr idx_array, u32 n_elems,
+                Addr data_base) {
+  b.li(isa::kT0, static_cast<i64>(n_elems - 1));
+  b.scfgw(isa::kT0, ssr::cfg_index(ssr_id, CfgReg::kBound0));
+  b.li(isa::kT0, 2); // u16 index array stride
+  b.scfgw(isa::kT0, ssr::cfg_index(ssr_id, CfgReg::kStride0));
+  b.li(isa::kT0, (1 << 16) | (3 << 4) | 1);
+  b.scfgw(isa::kT0, ssr::cfg_index(ssr_id, CfgReg::kIdxCfg));
+  b.li(isa::kT1, static_cast<i64>(data_base));
+  b.scfgw(isa::kT1, ssr::cfg_index(ssr_id, CfgReg::kIdxBase));
+  b.li(isa::kT1, static_cast<i64>(idx_array));
+  b.scfgw(isa::kT1, ssr::cfg_index(ssr_id, CfgReg::kRptr0));
+}
+
+void arm_write(ProgramBuilder& b, u32 ssr_id, Addr out_base, u32 n) {
+  b.li(isa::kT0, static_cast<i64>(n - 1));
+  b.scfgw(isa::kT0, ssr::cfg_index(ssr_id, CfgReg::kBound0));
+  b.li(isa::kT0, 8);
+  b.scfgw(isa::kT0, ssr::cfg_index(ssr_id, CfgReg::kStride0));
+  b.li(isa::kT1, static_cast<i64>(out_base));
+  b.scfgw(isa::kT1, ssr::cfg_index(ssr_id, CfgReg::kWptr0));
+}
+
+} // namespace
+
+const char* conv2d_variant_name(Conv2dVariant v) {
+  return v == Conv2dVariant::kBaseline ? "baseline" : "chained";
+}
+
+u32 conv2d_output_points(const Conv2dParams& p) {
+  return (p.h - 2) * (p.w - 2);
+}
+
+BuiltKernel build_conv2d(Conv2dVariant variant, const Conv2dParams& p) {
+  if (p.h < 3 || p.w < 3) {
+    throw std::invalid_argument("conv2d: image too small for a 3x3 filter");
+  }
+  const u32 points = conv2d_output_points(p);
+  if (points % 4 != 0) {
+    throw std::invalid_argument("conv2d: output points must be a multiple of 4");
+  }
+  const u32 cells = p.h * p.w;
+  if (cells > 0xFFFF) {
+    throw std::invalid_argument("conv2d: image exceeds 16-bit index range");
+  }
+
+  ProgramBuilder b;
+  std::vector<double> img(cells);
+  for (u32 i = 0; i < cells; ++i) img[i] = img_value(i);
+  std::vector<double> wgt(kTaps);
+  for (u32 t = 0; t < kTaps; ++t) wgt[t] = weight_value(t);
+
+  // Tap t visits img[y + t/3][x + t%3] with the FLIPPED weight w[8-t]
+  // (true convolution, not correlation).
+  auto tap_index = [&](u32 y, u32 x, u32 t) {
+    return static_cast<u16>((y + t / 3) * p.w + (x + t % 3));
+  };
+  auto point_coords = [&](u32 pt, u32& y, u32& x) {
+    y = pt / (p.w - 2);
+    x = pt % (p.w - 2);
+  };
+
+  // Gather index arrays. The baseline walks point-major (9 taps per point)
+  // on a single stream -- its serial schedule demands well under one
+  // element per cycle. The chained interleave consumes one element per
+  // cycle, more than one indirect streamer can sustain (index fetches share
+  // the TCDM port), so it splits even/odd points across SSR0/SSR1 exactly
+  // like the SARIS stencils: per group and tap, even carries points {0,2}
+  // and odd carries points {1,3}.
+  std::vector<u16> idx_even, idx_odd;
+  if (variant == Conv2dVariant::kBaseline) {
+    idx_even.reserve(static_cast<usize>(points) * kTaps);
+    for (u32 pt = 0; pt < points; ++pt) {
+      u32 y, x;
+      point_coords(pt, y, x);
+      for (u32 t = 0; t < kTaps; ++t) idx_even.push_back(tap_index(y, x, t));
+    }
+  } else {
+    idx_even.reserve(static_cast<usize>(points) * kTaps / 2);
+    idx_odd.reserve(static_cast<usize>(points) * kTaps / 2);
+    for (u32 g = 0; g < points / 4; ++g) {
+      for (u32 t = 0; t < kTaps; ++t) {
+        for (u32 j : {0u, 2u}) {
+          u32 y, x;
+          point_coords(g * 4 + j, y, x);
+          idx_even.push_back(tap_index(y, x, t));
+        }
+        for (u32 j : {1u, 3u}) {
+          u32 y, x;
+          point_coords(g * 4 + j, y, x);
+          idx_odd.push_back(tap_index(y, x, t));
+        }
+      }
+    }
+  }
+
+  const Addr img_base = b.data_f64(img);
+  const Addr wgt_base = b.data_f64(wgt);
+  const Addr out_base = b.data_zero(points * 8);
+  const Addr idx_even_base = b.data_u16(idx_even);
+  const Addr idx_odd_base = idx_odd.empty() ? 0 : b.data_u16(idx_odd);
+
+  BuiltKernel out;
+  out.name = std::string("conv2d/") + conv2d_variant_name(variant);
+  out.out_base = out_base;
+  out.expected.resize(points);
+  for (u32 pt = 0; pt < points; ++pt) {
+    u32 y, x;
+    point_coords(pt, y, x);
+    double acc = 0.0; // tap 0 is an fmul == fma(v, w, 0), bit-exact
+    for (u32 t = 0; t < kTaps; ++t) {
+      acc = std::fma(img[tap_index(y, x, t)], wgt[kTaps - 1 - t], acc);
+    }
+    out.expected[pt] = acc;
+  }
+  out.useful_flops = static_cast<u64>(points) * kTaps;
+
+  if (variant == Conv2dVariant::kBaseline) {
+    arm_gather(b, 0, idx_even_base, points * kTaps, img_base);
+  } else {
+    arm_gather(b, 0, idx_even_base, points * kTaps / 2, img_base);
+    arm_gather(b, 1, idx_odd_base, points * kTaps / 2, img_base);
+  }
+  arm_write(b, 2, out_base, points);
+
+  // Filter weights resident in f4..f12 (tap order already flipped).
+  b.la(isa::kA0, wgt_base);
+  for (u32 t = 0; t < kTaps; ++t) {
+    b.fld(static_cast<u8>(kCoef0 + t), isa::kA0,
+          static_cast<i32>(8 * (kTaps - 1 - t)));
+  }
+  const auto coef_reg = [](u32 t) { return static_cast<u8>(kCoef0 + t); };
+
+  b.csrwi(isa::csr::kSsrEnable, 1);
+
+  if (variant == Conv2dVariant::kChained) {
+    b.li(isa::kT0, 1 << kAccReg); // chain ft3
+    b.csrs(isa::csr::kChainMask, isa::kT0);
+    // Tap-major interleave of 4 output points through the chained
+    // accumulator; the last tap pops the sum straight into the write stream.
+    b.li(isa::kT2, static_cast<i64>(points / 4));
+    b.label("group");
+    for (u32 t = 0; t < kTaps; ++t) {
+      for (u32 j = 0; j < 4; ++j) {
+        const u8 gsrc = (j % 2 == 0) ? isa::kFt0 : isa::kFt1;
+        if (t == 0) {
+          b.fmul_d(kAccReg, gsrc, coef_reg(0));
+        } else if (t == kTaps - 1) {
+          b.fmadd_d(isa::kFt2, gsrc, coef_reg(t), kAccReg);
+        } else {
+          b.fmadd_d(kAccReg, gsrc, coef_reg(t), kAccReg);
+        }
+      }
+    }
+    b.addi(isa::kT2, isa::kT2, -1);
+    b.bnez(isa::kT2, "group");
+    b.csrw(isa::csr::kChainMask, 0);
+    out.regs.chained_regs = 1;
+  } else {
+    // The whole kernel is one FREP: a 9-tap serial body replayed once per
+    // output point.
+    b.li(isa::kT3, static_cast<i64>(points) - 1);
+    b.frep_o(isa::kT3, static_cast<i32>(kTaps));
+    b.fmul_d(kAccReg, isa::kFt0, coef_reg(0));
+    for (u32 t = 1; t + 1 < kTaps; ++t) {
+      b.fmadd_d(kAccReg, isa::kFt0, coef_reg(t), kAccReg);
+    }
+    b.fmadd_d(isa::kFt2, isa::kFt0, coef_reg(kTaps - 1), kAccReg);
+  }
+
+  b.csrwi(isa::csr::kSsrEnable, 0);
+  b.ecall();
+
+  const bool two_gathers = variant == Conv2dVariant::kChained;
+  out.regs.ssr_regs = two_gathers ? 3 : 2; // gathers + SSR2 write
+  out.regs.accumulator_regs = 1;
+  out.regs.coefficient_regs = kTaps;
+  out.regs.fp_regs_used =
+      out.regs.ssr_regs + 1 /*ft3*/ + kTaps;
+
+  out.program = b.build();
+  return out;
+}
+
+void register_conv2d_kernels(Registry& r) {
+  r.add(KernelEntry{
+      .name = "conv2d",
+      .description = "3x3 valid convolution via indirect gather: serial taps "
+                     "vs 4-point chained interleave",
+      .variants = {"baseline", "chained"},
+      .baseline_variant = "baseline",
+      .chained_variant = "chained",
+      .params = {{"h", 10, "image height ((h-2)*(w-2) multiple of 4)"},
+                 {"w", 14, "image width"}},
+      .build = [](const std::string& variant, const SizeMap& sizes) {
+        Conv2dParams p;
+        p.h = static_cast<u32>(size_or(sizes, "h", p.h));
+        p.w = static_cast<u32>(size_or(sizes, "w", p.w));
+        for (Conv2dVariant v :
+             {Conv2dVariant::kBaseline, Conv2dVariant::kChained}) {
+          if (variant == conv2d_variant_name(v)) return build_conv2d(v, p);
+        }
+        throw std::invalid_argument("conv2d: unknown variant '" + variant + "'");
+      }});
+}
+
+} // namespace sch::kernels

@@ -1,0 +1,35 @@
+// 2-D convolution (3x3 filter, "valid" extent) over a row-major image: a
+// sliding-window dataflow with a flipped filter, fed by a SARIS-style
+// indirect gather stream (16-bit index array on SSR0) so window rows and
+// output-row wraps need no affine gymnastics.
+//  * kBaseline - the natural per-output loop: 9 serial fmul/fmadd taps into
+//                one accumulator, as a 9-instruction FREP body replayed once
+//                per output point; every tap stalls on the previous one;
+//  * kChained  - 4 output points interleave through one chained accumulator
+//                (tap-major order): 36 independent ops per group, no serial
+//                chain, one architectural register.
+// All 9 filter weights stay resident in f4..f12 in both variants; the
+// output is written through the SSR2 write stream. Both variants apply taps
+// in the same per-point order, so they share one bit-exact golden.
+#pragma once
+
+#include "kernels/kernel_common.hpp"
+
+namespace sch::kernels {
+
+enum class Conv2dVariant : u8 { kBaseline, kChained };
+
+const char* conv2d_variant_name(Conv2dVariant variant);
+
+struct Conv2dParams {
+  u32 h = 10;  // image height incl. the 1-pixel valid border
+  u32 w = 14;  // image width; (h-2)*(w-2) must be a multiple of 4
+};
+
+/// Output points (h-2)*(w-2).
+u32 conv2d_output_points(const Conv2dParams& params);
+
+/// Build the kernel, its image/filter data and the golden output.
+BuiltKernel build_conv2d(Conv2dVariant variant, const Conv2dParams& params = {});
+
+} // namespace sch::kernels

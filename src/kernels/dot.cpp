@@ -1,0 +1,142 @@
+#include "kernels/dot.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "asm/builder.hpp"
+#include "isa/csr.hpp"
+#include "isa/reg.hpp"
+#include "kernels/registry.hpp"
+#include "ssr/ssr_config.hpp"
+
+namespace sch::kernels {
+
+namespace {
+
+double x_value(u32 i) { return 0.0625 * static_cast<double>((i * 7 + 1) % 96) - 3.0; }
+double y_value(u32 i) { return 0.125 * static_cast<double>((i * 13 + 4) % 56) - 3.5; }
+
+void arm_read(ProgramBuilder& b, u32 ssr_id, u32 n, Addr base) {
+  using ssr::CfgReg;
+  b.li(isa::kT0, static_cast<i64>(n - 1));
+  b.scfgw(isa::kT0, ssr::cfg_index(ssr_id, CfgReg::kBound0));
+  b.li(isa::kT0, 8);
+  b.scfgw(isa::kT0, ssr::cfg_index(ssr_id, CfgReg::kStride0));
+  b.li(isa::kT1, static_cast<i64>(base));
+  b.scfgw(isa::kT1, ssr::cfg_index(ssr_id, CfgReg::kRptr0));
+}
+
+} // namespace
+
+const char* dot_variant_name(DotVariant v) {
+  return v == DotVariant::kBaseline ? "baseline" : "chained";
+}
+
+BuiltKernel build_dot(DotVariant variant, const DotParams& p) {
+  if (p.unroll < 2 || p.unroll > 8) {
+    throw std::invalid_argument("dot: unroll must be in 2..8");
+  }
+  if (p.n == 0 || p.n % p.unroll != 0) {
+    throw std::invalid_argument("dot: n must be a positive multiple of unroll");
+  }
+  const u32 u = p.unroll;
+  ProgramBuilder b;
+
+  std::vector<double> x(p.n), y(p.n);
+  for (u32 i = 0; i < p.n; ++i) {
+    x[i] = x_value(i);
+    y[i] = y_value(i);
+  }
+  const Addr x_base = b.data_f64(x);
+  const Addr y_base = b.data_f64(y);
+  const Addr r_base = b.data_zero(8);
+
+  BuiltKernel out;
+  out.name = std::string("dot/") + dot_variant_name(variant);
+  out.out_base = r_base;
+  out.expected.resize(1);
+  if (variant == DotVariant::kBaseline) {
+    double acc = 0.0;
+    for (u32 i = 0; i < p.n; ++i) acc = std::fma(x[i], y[i], acc);
+    out.expected[0] = acc;
+  } else {
+    // `u` rotating partials (partial j sees elements j, j+u, ...), then a
+    // sequential drain reduction.
+    std::vector<double> s(u, 0.0);
+    for (u32 i = 0; i < p.n; ++i) s[i % u] = std::fma(x[i], y[i], s[i % u]);
+    double acc = s[0];
+    for (u32 j = 1; j < u; ++j) acc += s[j];
+    out.expected[0] = acc;
+  }
+  out.useful_flops = p.n;
+
+  arm_read(b, 0, p.n, x_base);
+  arm_read(b, 1, p.n, y_base);
+  b.csrwi(isa::csr::kSsrEnable, 1);
+
+  out.regs.ssr_regs = 2;
+  out.regs.accumulator_regs = 1;
+
+  if (variant == DotVariant::kChained) {
+    b.li(isa::kT2, 8); // chain ft3
+    b.csrs(isa::csr::kChainMask, isa::kT2);
+    out.regs.chained_regs = 1;
+    // Seed the FIFO with u zero partials, then rotate them through the SAME
+    // single-instruction body the baseline uses.
+    for (u32 j = 0; j < u; ++j) b.fcvt_d_w(isa::kFt3, 0);
+  } else {
+    b.fcvt_d_w(isa::kFt3, 0);
+  }
+
+  b.li(isa::kT3, static_cast<i64>(p.n) - 1);
+  b.frep_o(isa::kT3, 1);
+  b.fmadd_d(isa::kFt3, isa::kFt0, isa::kFt1, isa::kFt3);
+
+  b.la(isa::kA0, r_base);
+  if (variant == DotVariant::kChained) {
+    // Drain with u consecutive pops FIRST (a consumer that stalls between
+    // pops would deadlock: the blocked producer writeback freezes the whole
+    // FPU pipeline, including the instructions the consumer waits on), then
+    // reduce the scratches sequentially.
+    for (u32 j = 0; j < u; ++j) {
+      b.fmv_d(static_cast<u8>(isa::kFt4 + j), isa::kFt3);
+    }
+    for (u32 j = 1; j < u; ++j) {
+      b.fadd_d(isa::kFt4, isa::kFt4, static_cast<u8>(isa::kFt4 + j));
+    }
+    b.csrw(isa::csr::kChainMask, 0);
+    b.fsd(isa::kFt4, isa::kA0, 0);
+    out.regs.fp_regs_used = 3 + u; // ft0, ft1, ft3 + u drain scratches
+  } else {
+    b.fsd(isa::kFt3, isa::kA0, 0);
+    out.regs.fp_regs_used = 3; // ft0, ft1, ft3
+  }
+  b.csrwi(isa::csr::kSsrEnable, 0);
+  b.ecall();
+
+  out.program = b.build();
+  return out;
+}
+
+void register_dot_kernels(Registry& r) {
+  r.add(KernelEntry{
+      .name = "dot",
+      .description = "dot product: one serial reduction chain vs rotating "
+                     "chained partials",
+      .variants = {"baseline", "chained"},
+      .baseline_variant = "baseline",
+      .chained_variant = "chained",
+      .params = {{"n", 256, "elements (multiple of unroll)"},
+                 {"unroll", 4, "rotating partial sums (<= fpu_depth + 1)"}},
+      .build = [](const std::string& variant, const SizeMap& sizes) {
+        DotParams p;
+        p.n = static_cast<u32>(size_or(sizes, "n", p.n));
+        p.unroll = static_cast<u32>(size_or(sizes, "unroll", p.unroll));
+        for (DotVariant v : {DotVariant::kBaseline, DotVariant::kChained}) {
+          if (variant == dot_variant_name(v)) return build_dot(v, p);
+        }
+        throw std::invalid_argument("dot: unknown variant '" + variant + "'");
+      }});
+}
+
+} // namespace sch::kernels

@@ -1,0 +1,34 @@
+// Dot product r = sum(x[i] * y[i]): the pure reduction dataflow, where the
+// whole kernel is ONE dependency chain through the accumulator.
+//  * kBaseline - the natural scalar loop: a single accumulator updated by a
+//                1-instruction FREP body `fmadd ft3, ft0, ft1, ft3`; every
+//                fmadd waits fpu_depth cycles for the previous one, so FPU
+//                utilization collapses to ~1/fpu_depth;
+//  * kChained  - ft3 is chained and seeded with `unroll` zeros: the SAME
+//                1-instruction body now rotates `unroll` independent partial
+//                sums through the FIFO, and the serial chain disappears. The
+//                partials are drained and reduced sequentially at the end.
+// The two variants accumulate in different orders, so each carries its own
+// bit-exact golden value. SSR0 streams x, SSR1 streams y; the scalar result
+// is stored with a plain fsd.
+#pragma once
+
+#include "kernels/kernel_common.hpp"
+
+namespace sch::kernels {
+
+enum class DotVariant : u8 { kBaseline, kChained };
+
+const char* dot_variant_name(DotVariant variant);
+
+struct DotParams {
+  u32 n = 256;  // elements; multiple of `unroll`
+  /// Rotating partial sums for kChained (2..8); must be <= fpu_depth + 1.
+  u32 unroll = 4;
+};
+
+/// Build the kernel and its golden output (FMA accumulation order of the
+/// selected variant).
+BuiltKernel build_dot(DotVariant variant, const DotParams& params = {});
+
+} // namespace sch::kernels

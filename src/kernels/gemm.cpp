@@ -1,0 +1,208 @@
+#include "kernels/gemm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "asm/builder.hpp"
+#include "isa/csr.hpp"
+#include "isa/reg.hpp"
+#include "kernels/registry.hpp"
+#include "ssr/ssr_config.hpp"
+
+namespace sch::kernels {
+
+using ssr::CfgReg;
+
+namespace {
+
+double a_value(u32 r, u32 c) {
+  return 0.03125 * static_cast<double>((r * 17 + c * 5 + 2) % 89) - 1.25;
+}
+double b_value(u32 r, u32 c) {
+  return 0.0625 * static_cast<double>((r * 7 + c * 11 + 3) % 61) - 2.0;
+}
+
+void cfg(ProgramBuilder& b, u32 ssr_id, CfgReg reg, i64 value) {
+  b.li(isa::kT0, value);
+  b.scfgw(isa::kT0, ssr::cfg_index(ssr_id, reg));
+}
+
+CfgReg plus(CfgReg base, u32 d) {
+  return static_cast<CfgReg>(static_cast<u32>(base) + d);
+}
+
+} // namespace
+
+const char* gemm_variant_name(GemmVariant v) {
+  return v == GemmVariant::kBaseline ? "baseline" : "chained";
+}
+
+BuiltKernel build_gemm(GemmVariant variant, const GemmParams& p) {
+  if (p.m == 0 || p.m % 4 != 0 || p.k == 0 || p.n == 0) {
+    throw std::invalid_argument("gemm: m must be a positive multiple of 4 and "
+                                "k, n positive");
+  }
+  ProgramBuilder b;
+
+  std::vector<double> a(static_cast<usize>(p.m) * p.k);
+  std::vector<double> bm(static_cast<usize>(p.k) * p.n);
+  for (u32 r = 0; r < p.m; ++r) {
+    for (u32 c = 0; c < p.k; ++c) a[r * p.k + c] = a_value(r, c);
+  }
+  for (u32 r = 0; r < p.k; ++r) {
+    for (u32 c = 0; c < p.n; ++c) bm[r * p.n + c] = b_value(r, c);
+  }
+  const Addr a_base = b.data_f64(a);
+  const Addr b_base = b.data_f64(bm);
+  const Addr c_base = b.data_zero(p.m * p.n * 8);
+
+  BuiltKernel out;
+  out.name = std::string("gemm/") + gemm_variant_name(variant);
+  out.out_base = c_base;
+  out.expected.resize(static_cast<usize>(p.m) * p.n);
+  for (u32 r = 0; r < p.m; ++r) {
+    for (u32 j = 0; j < p.n; ++j) {
+      double acc = 0.0;
+      for (u32 kk = 0; kk < p.k; ++kk) {
+        acc = std::fma(a[r * p.k + kk], bm[kk * p.n + j], acc);
+      }
+      out.expected[r * p.n + j] = acc;
+    }
+  }
+  out.useful_flops = static_cast<u64>(p.m) * p.k * p.n;
+
+  const i64 arow = static_cast<i64>(p.k) * 8; // A row pitch in bytes
+  const i64 brow = static_cast<i64>(p.n) * 8; // B/C row pitch in bytes
+
+  if (variant == GemmVariant::kChained) {
+    // SSR0: A in 4-row-interleaved k-major order, each group re-streamed
+    // once per B column.
+    //   d0: the 4 rows of a group      d2: the N per-column repeats
+    //   d1: the K reduction steps      d3: the M/4 groups
+    cfg(b, 0, CfgReg::kBound0, 3);
+    cfg(b, 0, plus(CfgReg::kStride0, 0), arow);
+    cfg(b, 0, plus(CfgReg::kBound0, 1), p.k - 1);
+    cfg(b, 0, plus(CfgReg::kStride0, 1), 8 - 3 * arow);
+    cfg(b, 0, plus(CfgReg::kBound0, 2), p.n - 1);
+    cfg(b, 0, plus(CfgReg::kStride0, 2), -(3 * arow + static_cast<i64>(p.k - 1) * 8));
+    cfg(b, 0, plus(CfgReg::kBound0, 3), p.m / 4 - 1);
+    cfg(b, 0, plus(CfgReg::kStride0, 3), 8);
+    b.li(isa::kT1, static_cast<i64>(a_base));
+    b.scfgw(isa::kT1, ssr::cfg_index(0, plus(CfgReg::kRptr0, 3)));
+
+    // SSR1: B column-major walk, each element popped 4x (once per
+    // interleaved row), whole matrix re-streamed per group.
+    cfg(b, 1, CfgReg::kRepeat, 3);
+    cfg(b, 1, CfgReg::kBound0, p.k - 1);
+    cfg(b, 1, plus(CfgReg::kStride0, 0), brow);
+    cfg(b, 1, plus(CfgReg::kBound0, 1), p.n - 1);
+    cfg(b, 1, plus(CfgReg::kStride0, 1), 8 - static_cast<i64>(p.k - 1) * brow);
+    cfg(b, 1, plus(CfgReg::kBound0, 2), p.m / 4 - 1);
+    cfg(b, 1, plus(CfgReg::kStride0, 2),
+        -(static_cast<i64>(p.k - 1) * brow + static_cast<i64>(p.n - 1) * 8));
+    b.li(isa::kT1, static_cast<i64>(b_base));
+    b.scfgw(isa::kT1, ssr::cfg_index(1, plus(CfgReg::kRptr0, 2)));
+
+    // SSR2: C writeback in group-interleaved order (4 rows, then columns,
+    // then groups).
+    cfg(b, 2, CfgReg::kBound0, 3);
+    cfg(b, 2, plus(CfgReg::kStride0, 0), brow);
+    cfg(b, 2, plus(CfgReg::kBound0, 1), p.n - 1);
+    cfg(b, 2, plus(CfgReg::kStride0, 1), 8 - 3 * brow);
+    cfg(b, 2, plus(CfgReg::kBound0, 2), p.m / 4 - 1);
+    cfg(b, 2, plus(CfgReg::kStride0, 2), 8);
+    b.li(isa::kT1, static_cast<i64>(c_base));
+    b.scfgw(isa::kT1, ssr::cfg_index(2, plus(CfgReg::kWptr0, 2)));
+  } else {
+    // SSR0: A row-serial, each row re-streamed once per B column.
+    cfg(b, 0, CfgReg::kBound0, p.k - 1);
+    cfg(b, 0, plus(CfgReg::kStride0, 0), 8);
+    cfg(b, 0, plus(CfgReg::kBound0, 1), p.n - 1);
+    cfg(b, 0, plus(CfgReg::kStride0, 1), -static_cast<i64>(p.k - 1) * 8);
+    cfg(b, 0, plus(CfgReg::kBound0, 2), p.m - 1);
+    cfg(b, 0, plus(CfgReg::kStride0, 2), 8);
+    b.li(isa::kT1, static_cast<i64>(a_base));
+    b.scfgw(isa::kT1, ssr::cfg_index(0, plus(CfgReg::kRptr0, 2)));
+
+    // SSR1: B column walks, whole matrix re-streamed per row of A.
+    cfg(b, 1, CfgReg::kBound0, p.k - 1);
+    cfg(b, 1, plus(CfgReg::kStride0, 0), brow);
+    cfg(b, 1, plus(CfgReg::kBound0, 1), p.n - 1);
+    cfg(b, 1, plus(CfgReg::kStride0, 1), 8 - static_cast<i64>(p.k - 1) * brow);
+    cfg(b, 1, plus(CfgReg::kBound0, 2), p.m - 1);
+    cfg(b, 1, plus(CfgReg::kStride0, 2),
+        -(static_cast<i64>(p.k - 1) * brow + static_cast<i64>(p.n - 1) * 8));
+    b.li(isa::kT1, static_cast<i64>(b_base));
+    b.scfgw(isa::kT1, ssr::cfg_index(1, plus(CfgReg::kRptr0, 2)));
+
+    // SSR2: C row-major sequential writeback.
+    cfg(b, 2, CfgReg::kBound0, p.m * p.n - 1);
+    cfg(b, 2, plus(CfgReg::kStride0, 0), 8);
+    b.li(isa::kT1, static_cast<i64>(c_base));
+    b.scfgw(isa::kT1, ssr::cfg_index(2, CfgReg::kWptr0));
+  }
+
+  b.csrwi(isa::csr::kSsrEnable, 1);
+
+  if (variant == GemmVariant::kChained) {
+    b.li(isa::kT0, 8); // chain ft3
+    b.csrs(isa::csr::kChainMask, isa::kT0);
+    b.li(isa::kT2, static_cast<i64>(p.m / 4) * p.n); // (group, column) pairs
+    b.li(isa::kT3, static_cast<i64>(4 * p.k) - 1);
+    b.label("cell");
+    for (int i = 0; i < 4; ++i) b.fcvt_d_w(isa::kFt3, 0);
+    b.frep_o(isa::kT3, 1);
+    b.fmadd_d(isa::kFt3, isa::kFt0, isa::kFt1, isa::kFt3);
+    for (int i = 0; i < 4; ++i) b.fmv_d(isa::kFt2, isa::kFt3);
+    b.addi(isa::kT2, isa::kT2, -1);
+    b.bnez(isa::kT2, "cell");
+    b.csrw(isa::csr::kChainMask, 0);
+    out.regs.accumulator_regs = 1;
+    out.regs.chained_regs = 1;
+    out.regs.fp_regs_used = 4; // ft0..ft3
+  } else {
+    b.li(isa::kT2, static_cast<i64>(p.m) * p.n); // C elements
+    b.li(isa::kT3, static_cast<i64>(p.k) - 1);
+    b.label("cell");
+    b.fcvt_d_w(isa::kFt3, 0);
+    b.frep_o(isa::kT3, 1);
+    b.fmadd_d(isa::kFt3, isa::kFt0, isa::kFt1, isa::kFt3);
+    b.fmv_d(isa::kFt2, isa::kFt3);
+    b.addi(isa::kT2, isa::kT2, -1);
+    b.bnez(isa::kT2, "cell");
+    out.regs.accumulator_regs = 1;
+    out.regs.fp_regs_used = 4; // ft0..ft3
+  }
+
+  b.csrwi(isa::csr::kSsrEnable, 0);
+  b.ecall();
+
+  out.regs.ssr_regs = 3;
+  out.program = b.build();
+  return out;
+}
+
+void register_gemm_kernels(Registry& r) {
+  r.add(KernelEntry{
+      .name = "gemm",
+      .description = "dense C = A*B: a grid of reduction chains, 4-row "
+                     "chained interleave",
+      .variants = {"baseline", "chained"},
+      .baseline_variant = "baseline",
+      .chained_variant = "chained",
+      .params = {{"m", 16, "rows of A/C (multiple of 4)"},
+                 {"k", 16, "reduction dimension"},
+                 {"n", 16, "columns of B/C"}},
+      .build = [](const std::string& variant, const SizeMap& sizes) {
+        GemmParams p;
+        p.m = static_cast<u32>(size_or(sizes, "m", p.m));
+        p.k = static_cast<u32>(size_or(sizes, "k", p.k));
+        p.n = static_cast<u32>(size_or(sizes, "n", p.n));
+        for (GemmVariant v : {GemmVariant::kBaseline, GemmVariant::kChained}) {
+          if (variant == gemm_variant_name(v)) return build_gemm(v, p);
+        }
+        throw std::invalid_argument("gemm: unknown variant '" + variant + "'");
+      }});
+}
+
+} // namespace sch::kernels

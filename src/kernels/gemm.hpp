@@ -1,0 +1,36 @@
+// Dense GEMM C = A*B (A is MxK, B is KxN, C is MxN): a 2-D grid of
+// independent reduction chains, the workhorse dataflow the paper's
+// evaluation never reaches.
+//  * kBaseline - the natural i/j/k loop order: one accumulator, a
+//                1-instruction FREP body per (i,j) element; the serial
+//                k-chain stalls fpu_depth cycles per fmadd;
+//  * kChained  - four rows are interleaved through ONE chained accumulator
+//                (the gemv trick lifted to a full matrix): the FIFO rotates
+//                the four in-flight partial sums, the FREP body stays a
+//                single instruction replayed 4K times, and utilization
+//                approaches 1.
+// All addressing lives in the 3-/4-D affine SSR streams (A on SSR0, B on
+// SSR1 popped 4x per element in the chained variant, C written through
+// SSR2); the integer core only counts groups. Both variants accumulate each
+// C element in the same k order, so they share one bit-exact golden.
+#pragma once
+
+#include "kernels/kernel_common.hpp"
+
+namespace sch::kernels {
+
+enum class GemmVariant : u8 { kBaseline, kChained };
+
+const char* gemm_variant_name(GemmVariant variant);
+
+struct GemmParams {
+  u32 m = 16;  // rows of A/C; multiple of 4
+  u32 k = 16;  // inner (reduction) dimension
+  u32 n = 16;  // columns of B/C
+};
+
+/// Build the kernel, its data image and the golden output (bit-exact FMA
+/// ordering, identical across variants).
+BuiltKernel build_gemm(GemmVariant variant, const GemmParams& params = {});
+
+} // namespace sch::kernels

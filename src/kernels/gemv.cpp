@@ -6,6 +6,7 @@
 #include "asm/builder.hpp"
 #include "isa/csr.hpp"
 #include "isa/reg.hpp"
+#include "kernels/registry.hpp"
 #include "ssr/ssr_config.hpp"
 
 namespace sch::kernels {
@@ -139,6 +140,25 @@ BuiltKernel build_gemv(GemvVariant variant, const GemvParams& p) {
   out.regs.ssr_regs = 3;
   out.program = b.build();
   return out;
+}
+
+void register_gemv_kernels(Registry& r) {
+  r.add(KernelEntry{
+      .name = "gemv",
+      .description = "dense y = A*x, 4-row reduction interleave through SSRs",
+      .variants = {"unrolled-acc", "chained"},
+      .baseline_variant = "unrolled-acc",
+      .chained_variant = "chained",
+      .params = {{"m", 32, "rows (multiple of 4)"}, {"n", 24, "columns"}},
+      .build = [](const std::string& variant, const SizeMap& sizes) {
+        GemvParams p;
+        p.m = static_cast<u32>(size_or(sizes, "m", p.m));
+        p.n = static_cast<u32>(size_or(sizes, "n", p.n));
+        for (GemvVariant v : {GemvVariant::kUnrolledAcc, GemvVariant::kChained}) {
+          if (variant == gemv_variant_name(v)) return build_gemv(v, p);
+        }
+        throw std::invalid_argument("gemv: unknown variant '" + variant + "'");
+      }});
 }
 
 } // namespace sch::kernels

@@ -1,0 +1,95 @@
+#include "kernels/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sch::kernels {
+
+// Registration functions defined next to each in-tree kernel builder. The
+// explicit call table (instead of per-TU static initializers alone) keeps
+// the built-ins linker-proof: a static library drops unreferenced objects,
+// and with them any self-registering global they contain.
+void register_vecop_kernels(Registry& r);
+void register_stencil_kernels(Registry& r);
+void register_gemv_kernels(Registry& r);
+void register_axpy_kernels(Registry& r);
+void register_dot_kernels(Registry& r);
+void register_gemm_kernels(Registry& r);
+void register_conv2d_kernels(Registry& r);
+
+bool KernelEntry::has_variant(const std::string& v) const {
+  return std::find(variants.begin(), variants.end(), v) != variants.end();
+}
+
+const ParamSpec* KernelEntry::find_param(const std::string& param) const {
+  for (const ParamSpec& p : params) {
+    if (p.name == param) return &p;
+  }
+  return nullptr;
+}
+
+SizeMap KernelEntry::resolve_sizes(const SizeMap& overrides) const {
+  SizeMap out;
+  for (const ParamSpec& p : params) out[p.name] = p.default_value;
+  for (const auto& [k, v] : overrides) {
+    if (find_param(k) == nullptr) {
+      throw std::invalid_argument(name + ": unknown size parameter '" + k + "'");
+    }
+    // Builders narrow to u32: reject values the cast would mangle (a
+    // negative size would otherwise wrap to a ~4-billion-element kernel).
+    if (v < 0 || v > 0x7FFFFFFF) {
+      throw std::invalid_argument(name + ": size parameter '" + k +
+                                  "' out of range (0..2^31-1)");
+    }
+    out[k] = v;
+  }
+  return out;
+}
+
+Registry& Registry::instance() {
+  static Registry& reg = *[] {
+    auto* r = new Registry();
+    register_vecop_kernels(*r);
+    register_stencil_kernels(*r);
+    register_gemv_kernels(*r);
+    register_axpy_kernels(*r);
+    register_dot_kernels(*r);
+    register_gemm_kernels(*r);
+    register_conv2d_kernels(*r);
+    return r;
+  }();
+  return reg;
+}
+
+void Registry::add(KernelEntry entry) {
+  if (entry.name.empty() || !entry.build) {
+    throw std::invalid_argument("registry: entry needs a name and a builder");
+  }
+  if (entries_.count(entry.name) != 0) {
+    throw std::invalid_argument("registry: duplicate kernel '" + entry.name + "'");
+  }
+  entries_.emplace(entry.name, std::move(entry));
+}
+
+const KernelEntry* Registry::find(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<const KernelEntry*> Registry::entries() const {
+  std::vector<const KernelEntry*> out;
+  out.reserve(entries_.size());
+  for (const auto& [_, e] : entries_) out.push_back(&e);
+  return out; // std::map iteration is already name-sorted
+}
+
+KernelRegistrar::KernelRegistrar(KernelEntry entry) {
+  Registry::instance().add(std::move(entry));
+}
+
+i64 size_or(const SizeMap& sizes, const std::string& name, i64 fallback) {
+  const auto it = sizes.find(name);
+  return it == sizes.end() ? fallback : it->second;
+}
+
+} // namespace sch::kernels

@@ -1,0 +1,80 @@
+// Open kernel registry: every kernel family publishes its name, scheduling
+// variants, size parameters and a builder function, so front-ends (the
+// scenario runner, `schsim list-kernels`, benches) reach every workload
+// through one lookup instead of bespoke per-kernel main()s.
+//
+// In-tree kernels register through a `register_*` function defined next to
+// the builder (see registry.cpp's builtin table); embedders extend the set
+// at runtime with Registry::add or a static KernelRegistrar object. See
+// docs/ADDING_A_KERNEL.md for the full recipe.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kernels/kernel_common.hpp"
+
+namespace sch::kernels {
+
+/// Named integer size parameters for a kernel build, e.g. {"n": 256} or
+/// {"m": 32, "n": 24}. Builders fall back to the registered defaults for
+/// absent names and reject unknown ones.
+using SizeMap = std::map<std::string, i64>;
+
+struct ParamSpec {
+  std::string name;
+  i64 default_value = 0;
+  std::string help;
+};
+
+/// One kernel family in the registry.
+struct KernelEntry {
+  std::string name;         // registry key, e.g. "axpy", "box3d1r"
+  std::string description;  // one line, shown by `schsim list-kernels`
+  /// Scheduling variants in canonical order (least to most chained).
+  std::vector<std::string> variants;
+  /// The variant pair the chained-vs-baseline comparison reports on.
+  std::string baseline_variant;
+  std::string chained_variant;
+  std::vector<ParamSpec> params;
+  /// Build the program + golden output for (variant, sizes). Throws
+  /// std::invalid_argument on bad variant names or size constraints.
+  std::function<BuiltKernel(const std::string& variant, const SizeMap& sizes)>
+      build;
+
+  [[nodiscard]] bool has_variant(const std::string& v) const;
+  [[nodiscard]] const ParamSpec* find_param(const std::string& name) const;
+  /// Registered defaults merged with `overrides` (which must all be known
+  /// parameter names; throws std::invalid_argument otherwise).
+  [[nodiscard]] SizeMap resolve_sizes(const SizeMap& overrides) const;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry; built-in kernels are registered on first use.
+  static Registry& instance();
+
+  /// Throws std::invalid_argument on a duplicate name.
+  void add(KernelEntry entry);
+
+  [[nodiscard]] const KernelEntry* find(const std::string& name) const;
+  /// All entries, name-sorted (deterministic listing order).
+  [[nodiscard]] std::vector<const KernelEntry*> entries() const;
+  [[nodiscard]] usize size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, KernelEntry> entries_;
+};
+
+/// Registers `entry` into Registry::instance() at construction; declare one
+/// at namespace scope to self-register an out-of-tree kernel.
+struct KernelRegistrar {
+  explicit KernelRegistrar(KernelEntry entry);
+};
+
+/// Read a named size parameter, falling back to `fallback`.
+i64 size_or(const SizeMap& sizes, const std::string& name, i64 fallback);
+
+} // namespace sch::kernels

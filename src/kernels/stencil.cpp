@@ -8,6 +8,7 @@
 #include "asm/builder.hpp"
 #include "isa/csr.hpp"
 #include "isa/reg.hpp"
+#include "kernels/registry.hpp"
 #include "ssr/ssr_config.hpp"
 
 namespace sch::kernels {
@@ -506,6 +507,47 @@ BuiltKernel build_stencil(StencilKind kind, StencilVariant variant,
 
   out.program = b.build();
   return out;
+}
+
+void register_stencil_kernels(Registry& r) {
+  struct Kind {
+    StencilKind kind;
+    const char* description;
+  };
+  for (const Kind& k :
+       {Kind{StencilKind::kBox3d1r,
+             "SARIS 27-point box stencil (Fig. 3), indirect-gather streams"},
+        Kind{StencilKind::kJ3d27pt,
+             "SARIS 27-point Jacobi stencil (Fig. 3) with omega scaling"},
+        Kind{StencilKind::kStar3d1r,
+             "7-point star stencil, the not-register-limited negative control"}}) {
+    r.add(KernelEntry{
+        .name = stencil_kind_name(k.kind),
+        .description = k.description,
+        .variants = {"Base--", "Base-", "Base", "Chaining", "Chaining+"},
+        .baseline_variant = "Base--",
+        .chained_variant = "Chaining+",
+        .params = {{"nx", 12, "grid x incl. radius-1 halo"},
+                   {"ny", 12, "grid y incl. radius-1 halo"},
+                   {"nz", 12, "grid z incl. radius-1 halo"}},
+        .build = [kind = k.kind](const std::string& variant,
+                                 const SizeMap& sizes) {
+          StencilParams p;
+          p.nx = static_cast<u32>(size_or(sizes, "nx", p.nx));
+          p.ny = static_cast<u32>(size_or(sizes, "ny", p.ny));
+          p.nz = static_cast<u32>(size_or(sizes, "nz", p.nz));
+          for (StencilVariant v :
+               {StencilVariant::kBaseMM, StencilVariant::kBaseM,
+                StencilVariant::kBase, StencilVariant::kChaining,
+                StencilVariant::kChainingPlus}) {
+            if (variant == stencil_variant_name(v)) {
+              return build_stencil(kind, v, p);
+            }
+          }
+          throw std::invalid_argument(std::string(stencil_kind_name(kind)) +
+                                      ": unknown variant '" + variant + "'");
+        }});
+  }
 }
 
 } // namespace sch::kernels

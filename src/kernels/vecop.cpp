@@ -6,6 +6,7 @@
 #include "asm/builder.hpp"
 #include "isa/csr.hpp"
 #include "isa/reg.hpp"
+#include "kernels/registry.hpp"
 #include "ssr/ssr_config.hpp"
 
 namespace sch::kernels {
@@ -156,6 +157,28 @@ BuiltKernel build_vecop(VecopVariant variant, const VecopParams& p) {
 
   out.program = b.build();
   return out;
+}
+
+void register_vecop_kernels(Registry& r) {
+  r.add(KernelEntry{
+      .name = "vecop",
+      .description = "Fig. 1 stream vecop a = b*(c+d), fadd->fmul per element",
+      .variants = {"baseline", "unrolled", "chained", "chained+frep"},
+      .baseline_variant = "baseline",
+      .chained_variant = "chained+frep",
+      .params = {{"n", 256, "elements (multiple of unroll)"},
+                 {"unroll", 4, "interleave depth (chained: = fpu_depth + 1)"}},
+      .build = [](const std::string& variant, const SizeMap& sizes) {
+        VecopParams p;
+        p.n = static_cast<u32>(size_or(sizes, "n", p.n));
+        p.unroll = static_cast<u32>(size_or(sizes, "unroll", p.unroll));
+        for (VecopVariant v :
+             {VecopVariant::kBaseline, VecopVariant::kUnrolled,
+              VecopVariant::kChained, VecopVariant::kChainedFrep}) {
+          if (variant == vecop_variant_name(v)) return build_vecop(v, p);
+        }
+        throw std::invalid_argument("vecop: unknown variant '" + variant + "'");
+      }});
 }
 
 } // namespace sch::kernels

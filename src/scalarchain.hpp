@@ -27,11 +27,18 @@
 #include "isa/encode.hpp"
 #include "isa/reg.hpp"
 #include "iss/iss.hpp"
+#include "kernels/axpy.hpp"
+#include "kernels/conv2d.hpp"
+#include "kernels/dot.hpp"
+#include "kernels/gemm.hpp"
 #include "kernels/gemv.hpp"
+#include "kernels/registry.hpp"
 #include "kernels/runner.hpp"
 #include "kernels/stencil.hpp"
 #include "kernels/vecop.hpp"
 #include "mem/memory.hpp"
 #include "mem/tcdm.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/scenario_runner.hpp"
 #include "sim/simulator.hpp"
 #include "ssr/ssr_file.hpp"

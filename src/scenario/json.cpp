@@ -1,0 +1,350 @@
+#include "scenario/json.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace sch::scenario {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+/// Recursive-descent parser over the raw text with line/column tracking.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Json> parse() {
+    Json root;
+    Status s = value(root, 0);
+    if (!s.is_ok()) return s;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing content after document");
+    return root;
+  }
+
+ private:
+  const std::string& text_;
+  usize pos_ = 0;
+  u32 line_ = 1;
+  u32 col_ = 1;
+
+  [[nodiscard]] Status fail(const std::string& what) const {
+    return Status::error("json: " + std::to_string(line_) + ":" +
+                         std::to_string(col_) + ": " + what);
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  char advance() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        advance();
+      } else if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
+        while (!eof() && peek() != '\n') advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status expect(char c) {
+    if (eof() || peek() != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    advance();
+    return Status::ok();
+  }
+
+  bool consume_literal(const char* lit) {
+    const usize n = std::strlen(lit);
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    for (usize i = 0; i < n; ++i) advance();
+    return true;
+  }
+
+  Status value(Json& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (eof()) return fail("unexpected end of input");
+    const char c = peek();
+    if (c == '{') return object(out, depth);
+    if (c == '[') return array(out, depth);
+    if (c == '"') {
+      std::string s;
+      Status st = string(s);
+      if (!st.is_ok()) return st;
+      out = Json(std::move(s));
+      return Status::ok();
+    }
+    if (consume_literal("true")) {
+      out = Json(true);
+      return Status::ok();
+    }
+    if (consume_literal("false")) {
+      out = Json(false);
+      return Status::ok();
+    }
+    if (consume_literal("null")) {
+      out = Json();
+      return Status::ok();
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) return number(out);
+    return fail(std::string("unexpected character '") + c + "'");
+  }
+
+  Status object(Json& out, int depth) {
+    Status s = expect('{');
+    if (!s.is_ok()) return s;
+    out = Json::object();
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      advance();
+      return Status::ok();
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      s = string(key);
+      if (!s.is_ok()) return s;
+      skip_ws();
+      s = expect(':');
+      if (!s.is_ok()) return s;
+      Json v;
+      s = value(v, depth + 1);
+      if (!s.is_ok()) return s;
+      if (out.get(key) != nullptr) return fail("duplicate key \"" + key + "\"");
+      out.set(std::move(key), std::move(v));
+      skip_ws();
+      if (eof()) return fail("unterminated object");
+      if (peek() == ',') {
+        advance();
+        continue;
+      }
+      return expect('}');
+    }
+  }
+
+  Status array(Json& out, int depth) {
+    Status s = expect('[');
+    if (!s.is_ok()) return s;
+    out = Json::array();
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      advance();
+      return Status::ok();
+    }
+    while (true) {
+      Json v;
+      s = value(v, depth + 1);
+      if (!s.is_ok()) return s;
+      out.push_back(std::move(v));
+      skip_ws();
+      if (eof()) return fail("unterminated array");
+      if (peek() == ',') {
+        advance();
+        continue;
+      }
+      return expect(']');
+    }
+  }
+
+  Status string(std::string& out) {
+    if (eof() || peek() != '"') return fail("expected string");
+    advance();
+    out.clear();
+    while (true) {
+      if (eof()) return fail("unterminated string");
+      const char c = advance();
+      if (c == '"') return Status::ok();
+      if (c == '\\') {
+        if (eof()) return fail("unterminated escape");
+        const char e = advance();
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            u32 code = 0;
+            for (int i = 0; i < 4; ++i) {
+              if (eof()) return fail("unterminated \\u escape");
+              const char h = advance();
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<u32>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<u32>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<u32>(h - 'A' + 10);
+              else return fail("bad \\u escape digit");
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs unsupported;
+            // scenario files are ASCII in practice).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return fail(std::string("bad escape '\\") + e + "'");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  Status number(Json& out) {
+    const usize start = pos_;
+    bool integral = true;
+    if (!eof() && peek() == '-') advance();
+    while (!eof() && peek() >= '0' && peek() <= '9') advance();
+    if (!eof() && peek() == '.') {
+      integral = false;
+      advance();
+      while (!eof() && peek() >= '0' && peek() <= '9') advance();
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      integral = false;
+      advance();
+      if (!eof() && (peek() == '+' || peek() == '-')) advance();
+      while (!eof() && peek() >= '0' && peek() <= '9') advance();
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    errno = 0;
+    char* end = nullptr;
+    if (integral) {
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (end != token.c_str() + token.size() || errno == ERANGE) {
+        return fail("bad integer '" + token + "'");
+      }
+      out = Json(static_cast<i64>(v));
+      return Status::ok();
+    }
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(v)) {
+      return fail("bad number '" + token + "'");
+    }
+    out = Json(v);
+    return Status::ok();
+  }
+};
+
+void append_quoted(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+} // namespace
+
+const Json* Json::get(const std::string& key) const {
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Result<Json> Json::parse(const std::string& text) {
+  return Parser(text).parse();
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<usize>(indent * d), ' ');
+  };
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: {
+      char buf[40];
+      if (is_integer_) {
+        std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(int_));
+      } else if (std::isfinite(num_)) {
+        std::snprintf(buf, sizeof buf, "%.17g", num_);
+      } else {
+        std::snprintf(buf, sizeof buf, "null"); // JSON has no inf/nan
+      }
+      out += buf;
+      break;
+    }
+    case Type::kString: append_quoted(out, str_); break;
+    case Type::kArray: {
+      out += '[';
+      for (usize i = 0; i < array_.size(); ++i) {
+        if (i != 0) out += ',';
+        newline(depth + 1);
+        array_[i].dump_to(out, indent, depth + 1);
+      }
+      if (!array_.empty()) newline(depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      out += '{';
+      for (usize i = 0; i < object_.size(); ++i) {
+        if (i != 0) out += ',';
+        newline(depth + 1);
+        append_quoted(out, object_[i].first);
+        out += indent > 0 ? ": " : ":";
+        object_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!object_.empty()) newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+} // namespace sch::scenario

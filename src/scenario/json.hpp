@@ -1,0 +1,85 @@
+// Minimal JSON document model for scenario files and machine-readable
+// reports. The parser accepts strict JSON plus `//` line comments
+// ("JSONC-lite") so the example scenarios under examples/scenarios/ can be
+// annotated in place; the writer emits strict JSON (comments never survive
+// a round trip). No external dependency: the container bakes in no JSON
+// library, and the schema is small enough that one is not worth vendoring.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace sch::scenario {
+
+class Json {
+ public:
+  enum class Type : u8 { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<Json>;
+  /// Insertion-ordered: reports list fields in the order they were added,
+  /// and scenario diagnostics match the file.
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;                                // null
+  Json(bool v) : type_(Type::kBool), bool_(v) {}   // NOLINT
+  Json(i64 v) : type_(Type::kNumber), int_(v), num_(static_cast<double>(v)),
+                is_integer_(true) {}               // NOLINT
+  Json(int v) : Json(static_cast<i64>(v)) {}       // NOLINT
+  Json(u64 v) : Json(static_cast<i64>(v)) {}       // NOLINT
+  Json(double v) : type_(Type::kNumber), num_(v) {}        // NOLINT
+  Json(std::string v) : type_(Type::kString), str_(std::move(v)) {} // NOLINT
+  Json(const char* v) : Json(std::string(v)) {}    // NOLINT
+
+  static Json array() { Json j; j.type_ = Type::kArray; return j; }
+  static Json object() { Json j; j.type_ = Type::kObject; return j; }
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  /// Number written without a fraction/exponent and representable as i64.
+  [[nodiscard]] bool is_integer() const { return is_number() && is_integer_; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_number() const { return num_; }
+  [[nodiscard]] i64 as_i64() const { return is_integer_ ? int_ : static_cast<i64>(num_); }
+  [[nodiscard]] const std::string& as_string() const { return str_; }
+  [[nodiscard]] const Array& items() const { return array_; }
+  [[nodiscard]] const Object& members() const { return object_; }
+
+  /// Object lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const Json* get(const std::string& key) const;
+
+  /// Append to an array value.
+  void push_back(Json v) { array_.push_back(std::move(v)); }
+  /// Append a member to an object value (no duplicate check).
+  void set(std::string key, Json v) {
+    object_.emplace_back(std::move(key), std::move(v));
+  }
+
+  /// Parse text (strict JSON + // line comments). Errors carry line:column.
+  static Result<Json> parse(const std::string& text);
+
+  /// Serialize as strict JSON. indent > 0 pretty-prints.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  i64 int_ = 0;
+  double num_ = 0;
+  bool is_integer_ = false;
+  std::string str_;
+  Array array_;
+  Object object_;
+
+  void dump_to(std::string& out, int indent, int depth) const;
+};
+
+} // namespace sch::scenario

@@ -1,0 +1,66 @@
+// Declarative scenario files: one JSON document describes a batch of
+// simulations (kernel x variants x sizes x sim-config overrides x repeat)
+// that the runner expands into a deterministic job list. Schema:
+//
+//   {
+//     "name": "smoke",                 // report label (required)
+//     "output": "report.json",         // default report path (optional)
+//     "sim": { "fpu_depth": 3 },       // base overrides for every run (opt)
+//     "repeat": 1,                     // default repeat count (optional)
+//     "runs": [                        // at least one run
+//       {
+//         "kernel": "axpy",            // registry name (required)
+//         "variants": ["baseline", "chained"],  // default: all registered
+//         "sizes": [{"n": 256}, {"n": 1024}],   // default: registry defaults
+//         "sim": { "fpu_depth": 5 },   // merged over the base overrides
+//         "repeat": 3                  // timing repeats of each job
+//       }
+//     ]
+//   }
+//
+// `//` line comments are allowed (see scenario/json.hpp). Sim-config
+// override keys are validated against a fixed table (scenario.cpp); unknown
+// keys, kernels, variants and size parameters are hard errors, not silent
+// no-ops.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "kernels/registry.hpp"
+#include "scenario/json.hpp"
+#include "sim/sim_config.hpp"
+
+namespace sch::scenario {
+
+/// One `runs[]` entry, unexpanded.
+struct RunSpec {
+  std::string kernel;
+  std::vector<std::string> variants;    // empty => all registered variants
+  std::vector<kernels::SizeMap> sizes;  // empty => registered defaults
+  u32 repeat = 1;
+  Json sim;  // merged base+run override object (possibly empty object)
+};
+
+struct Scenario {
+  std::string name;
+  std::string output;  // "" => caller derives a path
+  std::vector<RunSpec> runs;
+};
+
+/// Parse and structurally validate a scenario document.
+Result<Scenario> parse_scenario(const std::string& json_text);
+
+/// Read `path` and parse it.
+Result<Scenario> load_scenario_file(const std::string& path);
+
+/// Apply a `"sim"` override object onto `config`. Accepted keys:
+/// fpu_depth, fdiv_latency, fsqrt_latency, int_mul_latency,
+/// int_div_latency, fp_queue_depth, seq_buffer_depth, load_latency,
+/// main_mem_latency, taken_branch_penalty, tcdm_banks, max_cycles,
+/// deadlock_cycles (integers) and strict_handoff (bool). Unknown keys or
+/// wrong types are errors.
+Status apply_sim_overrides(const Json& overrides, sim::SimConfig& config);
+
+} // namespace sch::scenario

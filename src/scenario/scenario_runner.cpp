@@ -1,0 +1,232 @@
+#include "scenario/scenario_runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+
+namespace sch::scenario {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Json stalls_json(const sim::PerfCounters& p) {
+  Json o = Json::object();
+  o.set("fp_raw", p.stall_fp_raw);
+  o.set("fp_waw", p.stall_fp_waw);
+  o.set("chain_empty", p.stall_chain_empty);
+  o.set("chain_full", p.stall_chain_full);
+  o.set("ssr_empty", p.stall_ssr_empty);
+  o.set("ssr_wfull", p.stall_ssr_wfull);
+  o.set("fpu_busy", p.stall_fpu_busy);
+  o.set("fp_lsu", p.stall_fp_lsu);
+  o.set("offload_full", p.stall_offload_full);
+  o.set("int_raw", p.stall_int_raw);
+  o.set("int_lsu", p.stall_int_lsu);
+  o.set("csr_barrier", p.stall_csr_barrier);
+  o.set("branch_bubbles", p.branch_bubbles);
+  return o;
+}
+
+Json sizes_json(const kernels::SizeMap& sizes) {
+  Json o = Json::object();
+  for (const auto& [k, v] : sizes) o.set(k, v);
+  return o;
+}
+
+} // namespace
+
+Result<std::vector<Job>> expand(const Scenario& scenario) {
+  std::vector<Job> jobs;
+  const kernels::Registry& registry = kernels::Registry::instance();
+  for (usize i = 0; i < scenario.runs.size(); ++i) {
+    const RunSpec& spec = scenario.runs[i];
+    const std::string where = "runs[" + std::to_string(i) + "]";
+    const kernels::KernelEntry* entry = registry.find(spec.kernel);
+    if (entry == nullptr) {
+      return Status::error("scenario: " + where + ": unknown kernel \"" +
+                           spec.kernel + "\" (see `schsim list-kernels`)");
+    }
+    const std::vector<std::string>& variants =
+        spec.variants.empty() ? entry->variants : spec.variants;
+    for (const std::string& variant : variants) {
+      if (!entry->has_variant(variant)) {
+        return Status::error("scenario: " + where + ": kernel \"" +
+                             spec.kernel + "\" has no variant \"" + variant +
+                             "\"");
+      }
+    }
+
+    std::vector<kernels::SizeMap> sizes;
+    if (spec.sizes.empty()) {
+      sizes.push_back(entry->resolve_sizes({}));
+    } else {
+      for (const kernels::SizeMap& s : spec.sizes) {
+        try {
+          sizes.push_back(entry->resolve_sizes(s));
+        } catch (const std::invalid_argument& e) {
+          return Status::error("scenario: " + where + ": " + e.what());
+        }
+      }
+    }
+
+    sim::SimConfig config;
+    Status st = apply_sim_overrides(spec.sim, config);
+    if (!st.is_ok()) return st; // already validated at parse; belt-and-braces
+
+    for (const kernels::SizeMap& size : sizes) {
+      for (const std::string& variant : variants) {
+        for (u32 rep = 0; rep < spec.repeat; ++rep) {
+          jobs.push_back(Job{entry, variant, size, config, spec.sim, rep});
+        }
+      }
+    }
+  }
+  return jobs;
+}
+
+u32 worker_count(u32 jobs) {
+  if (const char* env = std::getenv("SCH_SWEEP_THREADS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n >= 1) return static_cast<u32>(n) < jobs ? static_cast<u32>(n) : jobs;
+  }
+  u32 hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return hw < jobs ? hw : jobs;
+}
+
+std::vector<JobResult> run_jobs(const std::vector<Job>& jobs) {
+  std::vector<JobResult> out(jobs.size());
+  std::atomic<usize> next{0};
+  auto work = [&] {
+    for (usize i = next.fetch_add(1); i < jobs.size(); i = next.fetch_add(1)) {
+      const Job& job = jobs[i];
+      JobResult r;
+      const auto t0 = Clock::now();
+      try {
+        const kernels::BuiltKernel k = job.kernel->build(job.variant, job.sizes);
+        r.regs = k.regs;
+        r.useful_flops = k.useful_flops;
+        r.run = kernels::run_on_simulator(k, job.config);
+      } catch (const std::exception& e) {
+        r.run.ok = false;
+        r.run.error = job.kernel->name + "/" + job.variant + ": " + e.what();
+      }
+      r.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+      out[i] = std::move(r);
+    }
+  };
+  const u32 workers = worker_count(static_cast<u32>(jobs.size()));
+  std::vector<std::thread> pool;
+  for (u32 t = 1; t < workers; ++t) pool.emplace_back(work);
+  work();
+  for (std::thread& t : pool) t.join();
+  return out;
+}
+
+Json make_report(const Scenario& scenario, const std::vector<Job>& jobs,
+                 const std::vector<JobResult>& results) {
+  Json report = Json::object();
+  report.set("bench", "scenario");
+  report.set("scenario", scenario.name);
+  report.set("jobs", static_cast<i64>(jobs.size()));
+  i64 failures = 0;
+  for (const JobResult& r : results) {
+    if (!r.run.ok) ++failures;
+  }
+  report.set("failures", failures);
+  report.set("workers", static_cast<i64>(worker_count(static_cast<u32>(jobs.size()))));
+
+  Json rows = Json::array();
+  for (usize i = 0; i < jobs.size(); ++i) {
+    const Job& job = jobs[i];
+    const JobResult& r = results[i];
+    Json row = Json::object();
+    row.set("kernel", job.kernel->name);
+    row.set("variant", job.variant);
+    row.set("sizes", sizes_json(job.sizes));
+    row.set("sim", job.sim_echo.is_object() ? job.sim_echo : Json::object());
+    row.set("repeat", static_cast<i64>(job.repeat_index));
+    row.set("ok", r.run.ok);
+    if (!r.run.ok) row.set("error", r.run.error);
+    row.set("cycles", r.run.cycles);
+    row.set("retired", r.run.perf.total_retired());
+    row.set("fpu_ops", r.run.perf.fpu_ops);
+    row.set("fpu_utilization", r.run.fpu_utilization);
+    row.set("useful_flops", r.useful_flops);
+    row.set("stalls", stalls_json(r.run.perf));
+    Json tcdm = Json::object();
+    tcdm.set("reads", r.run.tcdm_reads);
+    tcdm.set("writes", r.run.tcdm_writes);
+    tcdm.set("conflicts", r.run.tcdm_conflicts);
+    row.set("tcdm", std::move(tcdm));
+    Json energy = Json::object();
+    energy.set("power_mw", r.run.energy.power_mw);
+    energy.set("energy_per_cycle_pj", r.run.energy.energy_per_cycle_pj);
+    energy.set("fpu_ops_per_joule", r.run.energy.fpu_ops_per_joule);
+    row.set("energy", std::move(energy));
+    Json regs = Json::object();
+    regs.set("fp_used", static_cast<i64>(r.regs.fp_regs_used));
+    regs.set("accumulator", static_cast<i64>(r.regs.accumulator_regs));
+    regs.set("chained", static_cast<i64>(r.regs.chained_regs));
+    regs.set("ssr", static_cast<i64>(r.regs.ssr_regs));
+    row.set("regs", std::move(regs));
+    row.set("wall_s", r.wall_s);
+    rows.push_back(std::move(row));
+  }
+  report.set("results", std::move(rows));
+  return report;
+}
+
+Result<ScenarioOutcome> run_scenario_file(const std::string& path,
+                                          const std::string& output_override,
+                                          std::ostream& log) {
+  Result<Scenario> sc = load_scenario_file(path);
+  if (!sc.ok()) return sc.status();
+  const Scenario scenario = std::move(sc).value();
+
+  Result<std::vector<Job>> expanded = expand(scenario);
+  if (!expanded.ok()) return expanded.status();
+  const std::vector<Job> jobs = std::move(expanded).value();
+
+  log << "scenario '" << scenario.name << "': " << jobs.size() << " jobs on "
+      << worker_count(static_cast<u32>(jobs.size())) << " workers\n";
+  const std::vector<JobResult> results = run_jobs(jobs);
+
+  ScenarioOutcome outcome;
+  outcome.jobs = static_cast<u32>(jobs.size());
+  for (usize i = 0; i < jobs.size(); ++i) {
+    const Job& job = jobs[i];
+    const JobResult& r = results[i];
+    log << (r.run.ok ? "  ok   " : "  FAIL ") << job.kernel->name << "/"
+        << job.variant;
+    for (const auto& [k, v] : job.sizes) log << " " << k << "=" << v;
+    if (job.repeat_index != 0) log << " rep=" << job.repeat_index;
+    if (r.run.ok) {
+      log << ": " << r.run.cycles << " cycles, util "
+          << static_cast<int>(r.run.fpu_utilization * 1000) / 1000.0;
+    } else {
+      log << ": " << r.run.error;
+      ++outcome.failures;
+    }
+    log << "\n";
+  }
+
+  outcome.report_path = !output_override.empty() ? output_override
+                        : !scenario.output.empty()
+                            ? scenario.output
+                            : "BENCH_scenario_" + scenario.name + ".json";
+  std::ofstream os(outcome.report_path);
+  if (!os) {
+    return Status::error("scenario: cannot write " + outcome.report_path);
+  }
+  os << make_report(scenario, jobs, results).dump(2) << "\n";
+  log << "wrote " << outcome.report_path << "\n";
+  return outcome;
+}
+
+} // namespace sch::scenario

@@ -1,0 +1,65 @@
+// Batch execution of an expanded scenario: every job is a self-contained
+// build + simulate + validate, fanned out across the same std::thread
+// worker-pool pattern as bench::run_stencil_sweep, with results landing in
+// deterministic per-job slots (report order never depends on scheduling).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "kernels/registry.hpp"
+#include "kernels/runner.hpp"
+#include "scenario/scenario.hpp"
+
+namespace sch::scenario {
+
+/// One fully-resolved simulation job.
+struct Job {
+  const kernels::KernelEntry* kernel = nullptr;
+  std::string variant;
+  kernels::SizeMap sizes;  // registry defaults + scenario overrides
+  sim::SimConfig config;
+  Json sim_echo;           // the override object, echoed into the report
+  u32 repeat_index = 0;
+};
+
+struct JobResult {
+  kernels::RunResult run;
+  kernels::RegisterReport regs;
+  u64 useful_flops = 0;
+  double wall_s = 0;  // host wall-clock of build + simulate + validate
+};
+
+/// Expand kernel x variants x sizes x repeat, in file order. Unknown
+/// kernels, variants and size-parameter names are errors.
+Result<std::vector<Job>> expand(const Scenario& scenario);
+
+/// Worker threads for `jobs` configurations: SCH_SWEEP_THREADS when set,
+/// else hardware concurrency, capped at the job count.
+u32 worker_count(u32 jobs);
+
+/// Run all jobs on the worker pool; results[i] corresponds to jobs[i]. A
+/// job whose build throws or whose output mismatches the golden reports
+/// ok=false with the error message -- it never aborts the batch.
+std::vector<JobResult> run_jobs(const std::vector<Job>& jobs);
+
+/// Assemble the machine-readable report (BENCH_*.json-compatible shape).
+Json make_report(const Scenario& scenario, const std::vector<Job>& jobs,
+                 const std::vector<JobResult>& results);
+
+struct ScenarioOutcome {
+  u32 jobs = 0;
+  u32 failures = 0;
+  std::string report_path;
+};
+
+/// Load + expand + run + report in one call (the `schsim run` entry point).
+/// `output_override`, when non-empty, wins over the scenario's "output";
+/// otherwise "" derives BENCH_scenario_<name>.json. Progress lines go to
+/// `log`.
+Result<ScenarioOutcome> run_scenario_file(const std::string& path,
+                                          const std::string& output_override,
+                                          std::ostream& log);
+
+} // namespace sch::scenario

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in markdown files.
+
+Usage: check_doc_links.py FILE_OR_DIR [FILE_OR_DIR ...]
+
+Checks every [text](target) link in the given markdown files (directories
+are scanned recursively for *.md). External links (scheme://, mailto:) are
+skipped; pure in-page anchors (#...) are skipped; relative targets must
+exist on disk relative to the file that references them. Exit code 1 and
+one line per dead link otherwise.
+"""
+import os
+import re
+import sys
+
+# [text](target) -- target may carry an #anchor suffix; images share the
+# syntax (the leading ! is irrelevant here). Inline code spans are stripped
+# first so documentation ABOUT link syntax does not trip the checker.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def iter_md_files(paths):
+    for p in paths:
+        if os.path.isdir(p):
+            for root, _, files in os.walk(p):
+                for f in sorted(files):
+                    if f.endswith(".md"):
+                        yield os.path.join(root, f)
+        else:
+            yield p
+
+
+def check_file(path):
+    dead = []
+    in_fence = False
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in LINK_RE.findall(CODE_SPAN_RE.sub("", line)):
+                if "://" in target or target.startswith(("mailto:", "#")):
+                    continue
+                rel = target.split("#", 1)[0]
+                if not rel:
+                    continue
+                resolved = os.path.normpath(os.path.join(os.path.dirname(path), rel))
+                if not os.path.exists(resolved):
+                    dead.append((lineno, target, resolved))
+    return dead
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    checked = 0
+    for md in iter_md_files(argv[1:]):
+        checked += 1
+        for lineno, target, resolved in check_file(md):
+            print(f"{md}:{lineno}: dead link '{target}' (resolved: {resolved})")
+            failures += 1
+    print(f"checked {checked} markdown file(s), {failures} dead link(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

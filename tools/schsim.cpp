@@ -1,21 +1,33 @@
-// schsim: command-line driver for the scalar-chaining core model.
-// Assembles a RISC-V source file (with the Xssr/Xfrep/Xchain extensions) and
-// runs it on the cycle-level simulator (default) or the functional ISS.
+// schsim: command-line front-end for the scalar-chaining core model.
 //
-//   schsim [options] program.s
-//     --iss                 run on the functional ISS instead
-//     --trace               print the per-cycle issue trace
-//     --dataflow            print the FPU-pipeline/chain-FIFO occupancy
-//     --energy              print the energy/power report
-//     --banks N             TCDM banks (default 32)
-//     --fpu-depth N         FPU pipeline depth (default 3)
-//     --strict-handoff      forbid same-cycle chain pop->push handoff
-//     --max-cycles N        simulation budget
-//     --dump ADDR COUNT     print COUNT f64 words at ADDR after the run
+//   schsim list-kernels
+//       Show every kernel family in the registry: variants, size
+//       parameters and defaults.
+//
+//   schsim run scenario.json [--out report.json]
+//       Expand a declarative scenario file (kernel x variants x sizes x
+//       sim overrides x repeat) into a job batch, execute it on the worker
+//       pool and write one JSON report (see docs/ADDING_A_KERNEL.md).
+//
+//   schsim [sim] [options] program.s
+//       Assemble a RISC-V source file (with the Xssr/Xfrep/Xchain
+//       extensions) and run it on the cycle-level simulator (default) or
+//       the functional ISS:
+//         --iss                 run on the functional ISS instead
+//         --trace               print the per-cycle issue trace
+//         --dataflow            print the FPU-pipeline/chain-FIFO occupancy
+//         --energy              print the energy/power report
+//         --banks N             TCDM banks (default 32)
+//         --fpu-depth N         FPU pipeline depth (default 3)
+//         --strict-handoff      forbid same-cycle chain pop->push handoff
+//         --max-cycles N        simulation budget
+//         --dump ADDR COUNT     print COUNT f64 words at ADDR after the run
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -28,9 +40,31 @@ using namespace sch;
 
 void usage() {
   std::fprintf(stderr,
-               "usage: schsim [--iss] [--trace] [--dataflow] [--energy]\n"
+               "usage: schsim list-kernels\n"
+               "       schsim run scenario.json [--out report.json]\n"
+               "       schsim [sim] [--iss] [--trace] [--dataflow] [--energy]\n"
                "              [--banks N] [--fpu-depth N] [--strict-handoff]\n"
                "              [--max-cycles N] [--dump ADDR COUNT] program.s\n");
+}
+
+/// Checked unsigned parse (decimal or 0x hex). Exits with a usage error on
+/// malformed/out-of-range input instead of silently reading atoi garbage.
+u64 parse_u64_arg(const char* text, const char* what, u64 min, u64 max) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 0);
+  if (end == text || *end != '\0' || errno == ERANGE || v < min || v > max ||
+      std::strchr(text, '-') != nullptr) {
+    std::fprintf(stderr, "schsim: %s: bad value '%s' (expected %llu..%llu)\n",
+                 what, text, static_cast<unsigned long long>(min),
+                 static_cast<unsigned long long>(max));
+    std::exit(2);
+  }
+  return static_cast<u64>(v);
+}
+
+u32 parse_u32_arg(const char* text, const char* what, u32 min, u32 max) {
+  return static_cast<u32>(parse_u64_arg(text, what, min, max));
 }
 
 void print_perf(const sim::PerfCounters& p) {
@@ -59,9 +93,58 @@ void print_perf(const sim::PerfCounters& p) {
               static_cast<unsigned long long>(p.branch_bubbles));
 }
 
-} // namespace
+int cmd_list_kernels() {
+  const auto entries = kernels::Registry::instance().entries();
+  std::printf("%zu registered kernels:\n\n", entries.size());
+  for (const kernels::KernelEntry* e : entries) {
+    std::printf("%-10s %s\n", e->name.c_str(), e->description.c_str());
+    std::printf("%-10s variants:", "");
+    for (const std::string& v : e->variants) std::printf(" %s", v.c_str());
+    std::printf("\n%-10s sizes:   ", "");
+    for (const kernels::ParamSpec& p : e->params) {
+      std::printf(" %s=%lld", p.name.c_str(),
+                  static_cast<long long>(p.default_value));
+    }
+    std::printf("\n\n");
+  }
+  return 0;
+}
 
-int main(int argc, char** argv) {
+int cmd_run(int argc, char** argv) {
+  std::string scenario_path;
+  std::string out_path;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "schsim run: missing argument for --out\n");
+        return 2;
+      }
+      out_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "schsim run: unknown option: %s\n", arg.c_str());
+      return 2;
+    } else if (scenario_path.empty()) {
+      scenario_path = arg;
+    } else {
+      std::fprintf(stderr, "schsim run: more than one scenario file\n");
+      return 2;
+    }
+  }
+  if (scenario_path.empty()) {
+    std::fprintf(stderr, "usage: schsim run scenario.json [--out report.json]\n");
+    return 2;
+  }
+  const Result<scenario::ScenarioOutcome> outcome =
+      scenario::run_scenario_file(scenario_path, out_path, std::cout);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "%s\n", outcome.status().message().c_str());
+    return 1;
+  }
+  return outcome.value().failures == 0 ? 0 : 1;
+}
+
+int cmd_sim(int argc, char** argv) {
   bool use_iss = false, want_trace = false, want_dataflow = false,
        want_energy = false;
   sim::SimConfig cfg;
@@ -69,7 +152,7 @@ int main(int argc, char** argv) {
   Addr dump_addr = 0;
   u32 dump_count = 0;
 
-  for (int i = 1; i < argc; ++i) {
+  for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&](const char* what) -> const char* {
       if (i + 1 >= argc) {
@@ -83,12 +166,18 @@ int main(int argc, char** argv) {
     else if (arg == "--dataflow") { want_dataflow = true; cfg.trace = true; }
     else if (arg == "--energy") want_energy = true;
     else if (arg == "--strict-handoff") cfg.strict_chain_handoff = true;
-    else if (arg == "--banks") cfg.tcdm.num_banks = static_cast<u32>(std::atoi(next("--banks")));
-    else if (arg == "--fpu-depth") cfg.fpu_depth = static_cast<u32>(std::atoi(next("--fpu-depth")));
-    else if (arg == "--max-cycles") cfg.max_cycles = static_cast<u64>(std::atoll(next("--max-cycles")));
-    else if (arg == "--dump") {
-      dump_addr = static_cast<Addr>(std::strtoul(next("--dump"), nullptr, 0));
-      dump_count = static_cast<u32>(std::atoi(next("--dump COUNT")));
+    else if (arg == "--banks") {
+      cfg.tcdm.num_banks = parse_u32_arg(next("--banks"), "--banks", 1, 1024);
+    } else if (arg == "--fpu-depth") {
+      cfg.fpu_depth = parse_u32_arg(next("--fpu-depth"), "--fpu-depth", 1, 64);
+    } else if (arg == "--max-cycles") {
+      cfg.max_cycles = parse_u64_arg(next("--max-cycles"), "--max-cycles", 1,
+                                     ~0ull);
+    } else if (arg == "--dump") {
+      dump_addr = static_cast<Addr>(
+          parse_u64_arg(next("--dump"), "--dump ADDR", 0, 0xFFFFFFFFull));
+      dump_count = parse_u32_arg(next("--dump COUNT"), "--dump COUNT", 1,
+                                 1u << 20);
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -96,8 +185,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       usage();
       return 2;
-    } else {
+    } else if (path.empty()) {
       path = arg;
+    } else {
+      std::fprintf(stderr, "more than one program file\n");
+      usage();
+      return 2;
     }
   }
   if (path.empty()) {
@@ -160,4 +253,21 @@ int main(int argc, char** argv) {
     }
   }
   return status;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2) {
+    const std::string cmd = argv[1];
+    if (cmd == "list-kernels") return cmd_list_kernels();
+    if (cmd == "run") return cmd_run(argc - 2, argv + 2);
+    if (cmd == "sim") return cmd_sim(argc - 2, argv + 2);
+    if (cmd == "--help" || cmd == "-h") {
+      usage();
+      return 0;
+    }
+  }
+  // Legacy spelling: `schsim [options] program.s`.
+  return cmd_sim(argc - 1, argv + 1);
 }
