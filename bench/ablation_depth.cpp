@@ -25,11 +25,10 @@ int main() {
     cfg.fpu_depth = depth;
     const kernels::VecopParams p{.n = 840, .b = 2.0, .unroll = depth + 1};
 
-    const kernels::BuiltKernel kb = kernels::build_vecop(VecopVariant::kBaseline, p);
     const kernels::BuiltKernel ku = kernels::build_vecop(VecopVariant::kUnrolled, p);
     const kernels::BuiltKernel kc = kernels::build_vecop(VecopVariant::kChained, p);
-    const auto rb = kernels::run_on_simulator(kb, cfg);
-    const auto rc = kernels::run_on_simulator(kc, cfg);
+    const auto rb = api::run_built(kernels::build_vecop(VecopVariant::kBaseline, p), cfg);
+    const auto rc = api::run_built(kernels::build_vecop(VecopVariant::kChained, p), cfg);
     if (!rb.ok || !rc.ok) {
       std::fprintf(stderr, "FATAL at depth %u: %s%s\n", depth, rb.error.c_str(),
                    rc.error.c_str());

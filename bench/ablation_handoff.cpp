@@ -25,8 +25,8 @@ int main() {
 
   int failures = 0;
   auto compare = [&](const kernels::BuiltKernel& k) {
-    const auto rf = kernels::run_on_simulator(k, fast);
-    const auto rs = kernels::run_on_simulator(k, strict);
+    const auto rf = api::run_built(k, fast);
+    const auto rs = api::run_built(k, strict);
     if (!rf.ok || !rs.ok) {
       std::fprintf(stderr, "FATAL: %s: %s%s\n", k.name.c_str(), rf.error.c_str(),
                    rs.error.c_str());

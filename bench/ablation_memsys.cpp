@@ -19,9 +19,9 @@ struct Point {
 
 Point measure(const sim::SimConfig& cfg) {
   const kernels::StencilParams p{};
-  const auto base = kernels::run_on_simulator(
+  const auto base = api::run_built(
       kernels::build_stencil(StencilKind::kBox3d1r, StencilVariant::kBase, p), cfg);
-  const auto chp = kernels::run_on_simulator(
+  const auto chp = api::run_built(
       kernels::build_stencil(StencilKind::kBox3d1r, StencilVariant::kChainingPlus, p),
       cfg);
   if (!base.ok || !chp.ok) {

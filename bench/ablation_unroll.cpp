@@ -27,7 +27,7 @@ int main() {
   for (u32 u = 2; u <= 8; ++u) {
     const kernels::VecopParams p{.n = 840, .b = 2.0, .unroll = u};
     const kernels::BuiltKernel ku = kernels::build_vecop(VecopVariant::kUnrolled, p);
-    const auto ru = kernels::run_on_simulator(ku);
+    const auto ru = api::run_built(ku);
     if (!ru.ok) {
       std::fprintf(stderr, "FATAL: %s\n", ru.error.c_str());
       return 1;
@@ -46,8 +46,8 @@ int main() {
   const kernels::VecopParams p4{.n = 840, .b = 2.0, .unroll = 4};
   const kernels::BuiltKernel kc = kernels::build_vecop(VecopVariant::kChained, p4);
   const kernels::BuiltKernel kf = kernels::build_vecop(VecopVariant::kChainedFrep, p4);
-  const auto rc = kernels::run_on_simulator(kc);
-  const auto rf = kernels::run_on_simulator(kf);
+  const auto rc = api::run_built(kc);
+  const auto rf = api::run_built(kf);
   if (!rc.ok || !rf.ok) {
     std::fprintf(stderr, "FATAL: %s%s\n", rc.error.c_str(), rf.error.c_str());
     return 1;

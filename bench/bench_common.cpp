@@ -1,64 +1,49 @@
 #include "bench_common.hpp"
 
-#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
-#include <thread>
 #include <vector>
-
-#include "scenario/scenario_runner.hpp"
 
 namespace sch::bench {
 
 u32 sweep_worker_count(u32 jobs) {
-  // One SCH_SWEEP_THREADS policy for benches and scenarios alike.
-  return scenario::worker_count(jobs);
+  const u32 workers = api::default_engine().worker_count();
+  return workers < jobs ? workers : jobs;
 }
 
 std::vector<SweepEntry> run_stencil_sweep(const kernels::StencilParams& params,
                                           const sim::SimConfig& sim_config,
                                           const energy::EnergyConfig& energy_config) {
-  struct Job {
-    StencilKind kind;
-    StencilVariant variant;
-  };
-  std::vector<Job> jobs;
+  // One prebuilt RunRequest per configuration (the prebuilt form carries the
+  // FULL StencilParams, including unroll/resident_coefs, which the registry
+  // size map does not expose), submitted as one batch to the shared engine
+  // pool; run_batch returns reports in request order, so entry order is
+  // identical to the serial sweep regardless of scheduling.
+  std::vector<api::RunRequest> requests;
+  std::vector<SweepEntry> out;
   for (StencilKind kind : kKinds) {
-    for (StencilVariant variant : kVariants) jobs.push_back({kind, variant});
+    for (StencilVariant variant : kVariants) {
+      api::RunRequest r =
+          api::RunRequest::for_built(kernels::build_stencil(kind, variant, params));
+      r.config = sim_config;
+      r.energy = energy_config;
+      requests.push_back(std::move(r));
+      out.push_back(SweepEntry{kind, variant, {}});
+    }
   }
 
-  // Each configuration is self-contained (own Memory/Simulator/PerfCounters),
-  // so the sweep fans out across threads; results land in deterministic
-  // per-job slots, keeping output order identical to the serial sweep.
-  std::vector<SweepEntry> out(jobs.size());
-  std::vector<std::string> errors(jobs.size());
-  std::atomic<usize> next{0};
-  auto work = [&] {
-    for (usize i = next.fetch_add(1); i < jobs.size(); i = next.fetch_add(1)) {
-      const kernels::BuiltKernel k =
-          kernels::build_stencil(jobs[i].kind, jobs[i].variant, params);
-      SweepEntry e{jobs[i].kind, jobs[i].variant,
-                   kernels::run_on_simulator(k, sim_config, energy_config),
-                   k.regs, k.useful_flops};
-      if (!e.run.ok) errors[i] = k.name + " failed validation: " + e.run.error;
-      out[i] = std::move(e);
-    }
-  };
-
-  const u32 workers = sweep_worker_count(static_cast<u32>(jobs.size()));
-  std::vector<std::thread> pool;
-  for (u32 t = 1; t < workers; ++t) pool.emplace_back(work);
-  work();
-  for (std::thread& t : pool) t.join();
-
-  for (const std::string& err : errors) {
-    // Benches must never report numbers from a run whose output did not
-    // match the golden reference.
-    if (!err.empty()) {
-      std::fprintf(stderr, "FATAL: %s\n", err.c_str());
+  std::vector<api::RunReport> reports =
+      api::default_engine().run_batch(std::move(requests));
+  for (usize i = 0; i < out.size(); ++i) {
+    if (!reports[i].ok) {
+      // Benches must never report numbers from a run whose output did not
+      // match the golden reference.
+      std::fprintf(stderr, "FATAL: %s failed validation: %s\n",
+                   reports[i].name.c_str(), reports[i].error.c_str());
       std::exit(1);
     }
+    out[i].run = std::move(reports[i]);
   }
   return out;
 }

@@ -6,8 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "api/engine.hpp"
 #include "energy/energy_model.hpp"
-#include "kernels/runner.hpp"
 #include "kernels/stencil.hpp"
 #include "sim/sim_config.hpp"
 
@@ -46,18 +46,16 @@ struct PaperRef {
 struct SweepEntry {
   StencilKind kind;
   StencilVariant variant;
-  kernels::RunResult run;
-  kernels::RegisterReport regs;
-  u64 useful_flops = 0;
+  api::RunReport run;  // register/flops bookkeeping lives in run.regs etc.
 };
 
-/// Worker threads the sweep will use for `jobs` configurations: the
-/// SCH_SWEEP_THREADS env var when set, else hardware concurrency, capped at
-/// the job count.
+/// Worker threads the sweep will use for `jobs` configurations: the shared
+/// engine's SCH_SWEEP_THREADS / hardware-concurrency policy, capped at the
+/// job count.
 u32 sweep_worker_count(u32 jobs);
 
-/// Run all 2x5 stencil configurations, fanned out across worker threads
-/// (each simulation is self-contained); entry order matches the serial
+/// Run all 2x5 stencil configurations as one async batch on the shared
+/// api::default_engine() pool; entry order matches the serial
 /// kKinds x kVariants nesting. Aborts (exit 1) with a message when a kernel
 /// fails validation -- benches must never report numbers from a run whose
 /// output did not match the golden reference.

@@ -26,18 +26,18 @@ int main() {
   std::vector<u32> regs(gemv->variants.size(), 0);
   usize i = 0;
   for (const std::string& variant : gemv->variants) {
-    const kernels::BuiltKernel k = gemv->build(variant, sizes);
-    const kernels::RunResult r = kernels::run_on_simulator(k);
+    const api::RunReport r =
+        api::run(api::RunRequest::for_kernel("gemv", variant, sizes));
     if (!r.ok) {
-      std::fprintf(stderr, "FATAL: %s: %s\n", k.name.c_str(), r.error.c_str());
+      std::fprintf(stderr, "FATAL: %s\n", r.error.c_str());
       return 1;
     }
     print_row({variant, std::to_string(r.cycles),
-               fmt(r.fpu_utilization, 3), std::to_string(k.regs.fp_regs_used),
-               std::to_string(k.regs.accumulator_regs),
+               fmt(r.fpu_utilization, 3), std::to_string(r.regs.fp_regs_used),
+               std::to_string(r.regs.accumulator_regs),
                variant == "chained" ? "1 instruction" : "4 instructions"});
     cycles[i] = r.cycles;
-    regs[i] = k.regs.fp_regs_used;
+    regs[i] = r.regs.fp_regs_used;
     ++i;
   }
   if (cycles.size() < 2) {

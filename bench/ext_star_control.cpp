@@ -17,10 +17,8 @@ namespace {
 // extra accumulator initialization.
 double speedup_chain_vs_basemm(StencilKind kind) {
   const kernels::StencilParams p{};
-  const auto mm = kernels::run_on_simulator(
-      kernels::build_stencil(kind, StencilVariant::kBaseMM, p));
-  const auto ch = kernels::run_on_simulator(
-      kernels::build_stencil(kind, StencilVariant::kChaining, p));
+  const auto mm = api::run_built(kernels::build_stencil(kind, StencilVariant::kBaseMM, p));
+  const auto ch = api::run_built(kernels::build_stencil(kind, StencilVariant::kChaining, p));
   if (!mm.ok || !ch.ok) {
     std::fprintf(stderr, "FATAL: %s%s\n", mm.error.c_str(), ch.error.c_str());
     std::exit(1);

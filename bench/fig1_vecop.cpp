@@ -29,15 +29,16 @@ int main() {
 
   struct Row {
     std::string variant;
-    kernels::RunResult r;
+    api::RunReport r;
     kernels::RegisterReport regs;
   };
   std::vector<Row> rows;
   for (const std::string& variant : vecop->variants) {
-    const kernels::BuiltKernel k = vecop->build(variant, sizes);
-    Row row{variant, kernels::run_on_simulator(k), k.regs};
+    api::RunRequest request = api::RunRequest::for_kernel("vecop", variant, sizes);
+    Row row{variant, api::run(request), {}};
+    row.regs = row.r.regs;
     if (!row.r.ok) {
-      std::fprintf(stderr, "FATAL: %s: %s\n", k.name.c_str(), row.r.error.c_str());
+      std::fprintf(stderr, "FATAL: %s\n", row.r.error.c_str());
       return 1;
     }
     print_row({variant, std::to_string(row.r.cycles),

@@ -68,39 +68,57 @@ loop:
     std::fprintf(stderr, "FATAL: %s\n", asm_result.status().message().c_str());
     return 1;
   }
-  const Program prog = std::move(asm_result).value();
+  Program prog = std::move(asm_result).value();
 
-  Memory mem;
-  sim::SimConfig cfg;
-  cfg.trace = true;
-  sim::Simulator sim(prog, mem, cfg);
-  const HaltReason halt = sim.run();
-  if (halt != HaltReason::kEcall) {
-    std::fprintf(stderr, "FATAL: abnormal halt: %s\n", sim.error().c_str());
+  // An Observer probe that checks the output region and snapshots the chain
+  // unit's statistics while the final machine state is alive -- the kind of
+  // instrumentation the unified engine supports without core changes.
+  struct ChainProbe : api::Observer {
+    u64 pushes = 0, pops = 0, backpressure = 0;
+    int bad = 0;
+    void on_halt(const api::RunReport&, const sim::Simulator* sim,
+                 const Memory* mem) override {
+      if (sim == nullptr || mem == nullptr) return;
+      pushes = sim->fp().chain().stats().pushes;
+      pops = sim->fp().chain().stats().pops;
+      backpressure = sim->fp().chain().stats().backpressure_cycles;
+      const double c[] = {1, 2, 3, 4, 5, 6, 7, 8};
+      const double d[] = {10, 20, 30, 40, 50, 60, 70, 80};
+      for (u32 i = 0; i < 8; ++i) {
+        const double got = mem->load_f64(memmap::kTcdmBase + 128 + 8 * i);
+        if (got != 2.0 * (c[i] + d[i])) ++bad;
+      }
+    }
+  };
+
+  api::RunRequest request =
+      api::RunRequest::for_program(std::move(prog), "fig2_dataflow");
+  request.config.trace = true;
+  api::TraceObserver tracer;
+  ChainProbe probe;
+  request.observers.push_back(&tracer);
+  request.observers.push_back(&probe);
+
+  const api::RunReport report = api::run(request);
+  if (!report.ok) {
+    std::fprintf(stderr, "FATAL: abnormal halt: %s\n", report.error.c_str());
     return 1;
   }
 
   std::printf("Fig. 2 reproduction: chained a = b*(c+d), two loop iterations\n");
   std::printf("\n--- issue trace (Fig. 1c style) ---\n%s",
-              sim.trace().format_issue_table().c_str());
+              tracer.trace().format_issue_table().c_str());
   std::printf("\n--- FPU pipeline / chain register occupancy (Fig. 2 tokens) ---\n%s",
-              sim.trace().format_dataflow(96).c_str());
+              tracer.trace().format_dataflow(96).c_str());
 
-  // Verify the results while we're here.
-  const double c[] = {1, 2, 3, 4, 5, 6, 7, 8};
-  const double d[] = {10, 20, 30, 40, 50, 60, 70, 80};
-  int bad = 0;
-  for (u32 i = 0; i < 8; ++i) {
-    const double got = mem.load_f64(memmap::kTcdmBase + 128 + 8 * i);
-    if (got != 2.0 * (c[i] + d[i])) ++bad;
-  }
-  std::printf("\nresult check: %s\n", bad == 0 ? "all 8 elements correct" : "MISMATCH");
+  std::printf("\nresult check: %s\n",
+              probe.bad == 0 ? "all 8 elements correct" : "MISMATCH");
   std::printf("cycles: %llu, fpu ops: %llu, chain pushes: %llu, pops: %llu, "
               "backpressure cycles: %llu\n",
-              static_cast<unsigned long long>(sim.cycles()),
-              static_cast<unsigned long long>(sim.perf().fpu_ops),
-              static_cast<unsigned long long>(sim.fp().chain().stats().pushes),
-              static_cast<unsigned long long>(sim.fp().chain().stats().pops),
-              static_cast<unsigned long long>(sim.fp().chain().stats().backpressure_cycles));
-  return bad == 0 ? 0 : 1;
+              static_cast<unsigned long long>(report.cycles),
+              static_cast<unsigned long long>(report.perf.fpu_ops),
+              static_cast<unsigned long long>(probe.pushes),
+              static_cast<unsigned long long>(probe.pops),
+              static_cast<unsigned long long>(probe.backpressure));
+  return probe.bad == 0 ? 0 : 1;
 }

@@ -16,7 +16,6 @@
 
 #include "bench_common.hpp"
 #include "kernels/registry.hpp"
-#include "kernels/runner.hpp"
 
 namespace {
 
@@ -40,15 +39,21 @@ struct KernelResult {
   [[nodiscard]] double iss_mips() const { return iss_instrs / iss_wall_s / 1e6; }
 };
 
-KernelResult time_kernel(const std::string& name, const kernels::BuiltKernel& k,
+KernelResult time_kernel(const std::string& name, kernels::BuiltKernel k,
                          int repeat) {
   KernelResult r;
   r.name = name;
   r.sim_wall_s = 1e100;
   r.iss_wall_s = 1e100;
+  // One prebuilt request per engine, reused across the timing repeats (the
+  // engine re-simulates from the same program image every run).
+  const api::RunRequest sim_request =
+      api::RunRequest::for_built(k, api::EngineSel::kCycle);
+  const api::RunRequest iss_request =
+      api::RunRequest::for_built(std::move(k), api::EngineSel::kIss);
   for (int i = 0; i < repeat; ++i) {
     const auto t0 = Clock::now();
-    const kernels::RunResult run = kernels::run_on_simulator(k);
+    const api::RunReport run = api::run(sim_request);
     const double s = seconds_since(t0);
     if (!run.ok) {
       std::fprintf(stderr, "FATAL: %s failed validation: %s\n", name.c_str(),
@@ -60,14 +65,14 @@ KernelResult time_kernel(const std::string& name, const kernels::BuiltKernel& k,
     if (s < r.sim_wall_s) r.sim_wall_s = s;
 
     const auto t1 = Clock::now();
-    const kernels::IssRunResult iss = kernels::run_on_iss(k);
+    const api::RunReport iss = api::run(iss_request);
     const double si = seconds_since(t1);
     if (!iss.ok) {
       std::fprintf(stderr, "FATAL: %s ISS run failed: %s\n", name.c_str(),
                    iss.error.c_str());
       std::exit(1);
     }
-    r.iss_instrs = iss.instructions;
+    r.iss_instrs = iss.iss_instructions;
     if (si < r.iss_wall_s) r.iss_wall_s = si;
   }
   return r;

@@ -6,7 +6,7 @@
 #include "asm/assembler.hpp"
 #include "isa/decode.hpp"
 #include "isa/encode.hpp"
-#include "kernels/runner.hpp"
+#include "api/engine.hpp"
 #include "kernels/stencil.hpp"
 #include "kernels/vecop.hpp"
 #include "mem/memory.hpp"
@@ -84,8 +84,10 @@ void BM_Iss_Stencil(benchmark::State& state) {
   const kernels::BuiltKernel k = kernels::build_stencil(
       kernels::StencilKind::kBox3d1r, kernels::StencilVariant::kChainingPlus,
       {.nx = 8, .ny = 8, .nz = 8});
+  const api::RunRequest request =
+      api::RunRequest::for_built(k, api::EngineSel::kIss);
   for (auto _ : state) {
-    auto r = kernels::run_on_iss(k);
+    const api::RunReport r = api::run(request);
     benchmark::DoNotOptimize(r.ok);
   }
 }

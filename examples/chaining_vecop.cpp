@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   for (VecopVariant v : {VecopVariant::kBaseline, VecopVariant::kUnrolled,
                          VecopVariant::kChained, VecopVariant::kChainedFrep}) {
     const kernels::BuiltKernel k = kernels::build_vecop(v, {.n = n, .b = 2.0});
-    const kernels::RunResult r = kernels::run_on_simulator(k);
+    const api::RunReport r = api::run(api::RunRequest::for_built(k));
     if (!r.ok) {
       std::fprintf(stderr, "%s failed: %s\n", k.name.c_str(), r.error.c_str());
       return 1;

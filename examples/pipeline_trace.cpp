@@ -37,22 +37,28 @@ int main() {
                  assembled.status().message().c_str());
     return 1;
   }
-  const Program program = std::move(assembled).value();
+  Program program = std::move(assembled).value();
 
-  Memory memory;
-  sim::SimConfig config;
-  config.trace = true;
-  sim::Simulator simulator(program, memory, config);
-  if (simulator.run() != HaltReason::kEcall) {
-    std::fprintf(stderr, "abnormal halt: %s\n", simulator.error().c_str());
+  // The trace is an Observer client of the unified engine: attach a
+  // TraceObserver to the request and the per-cycle snapshots arrive without
+  // touching the simulator core.
+  api::RunRequest request =
+      api::RunRequest::for_program(std::move(program), "pipeline_trace");
+  request.config.trace = true;  // maintain per-cycle issue/stall strings
+  api::TraceObserver tracer;
+  request.observers.push_back(&tracer);
+
+  const api::RunReport report = api::run(request);
+  if (!report.ok) {
+    std::fprintf(stderr, "abnormal halt: %s\n", report.error.c_str());
     return 1;
   }
 
   std::printf("--- issue trace ---\n%s\n",
-              simulator.trace().format_issue_table().c_str());
+              tracer.trace().format_issue_table().c_str());
   std::printf("--- pipeline / chain occupancy ---\n%s\n",
-              simulator.trace().format_dataflow().c_str());
+              tracer.trace().format_dataflow().c_str());
   std::printf("total cycles: %llu\n",
-              static_cast<unsigned long long>(simulator.cycles()));
+              static_cast<unsigned long long>(report.cycles));
   return 0;
 }

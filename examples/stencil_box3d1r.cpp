@@ -16,11 +16,11 @@ int main() {
   std::printf("box3d1r, %ux%ux%u grid (%u interior points), f64\n\n", params.nx,
               params.ny, params.nz, kernels::stencil_interior_points(params));
 
-  kernels::RunResult base_run, chain_run;
+  api::RunReport base_run, chain_run;
   for (StencilVariant v : {StencilVariant::kBase, StencilVariant::kChainingPlus}) {
     const kernels::BuiltKernel k =
         kernels::build_stencil(StencilKind::kBox3d1r, v, params);
-    const kernels::RunResult r = kernels::run_on_simulator(k);
+    const api::RunReport r = api::run(api::RunRequest::for_built(k));
     if (!r.ok) {
       std::fprintf(stderr, "%s failed: %s\n", k.name.c_str(), r.error.c_str());
       return 1;

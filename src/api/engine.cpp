@@ -1,0 +1,344 @@
+#include "api/engine.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "energy/activity.hpp"
+#include "isa/reg.hpp"
+#include "iss/iss.hpp"
+#include "mem/memory.hpp"
+#include "sim/simulator.hpp"
+
+namespace sch::api {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool clean_halt(HaltReason halt) {
+  return halt == HaltReason::kEcall || halt == HaltReason::kEbreak;
+}
+
+/// Count golden-output mismatches in `mem` (NaN-aware bit-exact compare).
+u64 count_mismatches(const Memory& mem, const kernels::BuiltKernel& k,
+                     std::string& detail) {
+  u64 bad = 0;
+  for (u32 i = 0; i < k.expected.size(); ++i) {
+    const double got = mem.load_f64(k.out_base + 8 * i);
+    const double want = k.expected[i];
+    const bool equal = (got == want) || (std::isnan(got) && std::isnan(want));
+    if (!equal) {
+      if (bad == 0) {
+        std::ostringstream os;
+        os << "first mismatch at element " << i << ": got " << got << ", want "
+           << want;
+        detail = os.str();
+      }
+      ++bad;
+    }
+  }
+  return bad;
+}
+
+void fail(RunReport& report, const std::string& message) {
+  if (report.error.empty()) report.error = message;
+  report.ok = false;
+}
+
+/// Step the cycle-level simulator to completion, fanning out observer
+/// callbacks. With no observers this is exactly Simulator::run().
+void drive_simulator(sim::Simulator& simulator,
+                     const std::vector<Observer*>& observers) {
+  if (observers.empty()) {
+    simulator.run();
+    return;
+  }
+  Cycle notified = 0;
+  u64 retired = 0;
+  for (bool running = true; running;) {
+    running = simulator.step();
+    if (simulator.cycles() > notified) {
+      notified = simulator.cycles();
+      for (Observer* o : observers) o->on_cycle(simulator);
+      const u64 now_retired = simulator.perf().total_retired();
+      if (now_retired != retired) {
+        for (Observer* o : observers) o->on_retire(simulator, now_retired - retired);
+        retired = now_retired;
+      }
+    }
+  }
+}
+
+RunReport execute(const RunRequest& request) {
+  const auto t0 = Clock::now();
+  RunReport report;
+  report.engine = request.engine;
+  report.kernel = request.kernel;
+  report.variant = request.variant;
+
+  // Resolve the report label first so on_run_start fires for every request,
+  // including ones that fail during build or validation below.
+  if (!request.label.empty()) {
+    report.name = request.label;
+  } else if (request.built.has_value()) {
+    report.name = request.built->name;
+  } else if (!request.kernel.empty()) {
+    report.name = request.kernel + "/" + request.variant;
+  } else {
+    report.name = "program";
+  }
+  for (Observer* o : request.observers) o->on_run_start(request, report.name);
+
+  // Early exits still complete the observer lifecycle (no machine state).
+  const auto finish_failed = [&](const std::string& message) {
+    fail(report, message);
+    report.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+    for (Observer* o : request.observers) o->on_halt(report, nullptr, nullptr);
+    return report;
+  };
+
+  // --- resolve the workload -------------------------------------------------
+  kernels::BuiltKernel registry_built;  // storage for registry-form builds
+  const kernels::BuiltKernel* built = nullptr;
+  const Program* program = nullptr;
+  Validation validation = request.validation;
+
+  if (request.built.has_value()) {
+    built = &*request.built;
+  } else if (!request.kernel.empty()) {
+    const kernels::KernelEntry* entry =
+        kernels::Registry::instance().find(request.kernel);
+    if (entry == nullptr) {
+      return finish_failed(report.name + ": unknown kernel \"" + request.kernel +
+                           "\" (see `schsim list-kernels`)");
+    }
+    try {
+      registry_built =
+          entry->build(request.variant, entry->resolve_sizes(request.sizes));
+    } catch (const std::exception& e) {
+      return finish_failed(report.name + ": " + e.what());
+    }
+    built = &registry_built;
+  } else if (request.program.has_value()) {
+    program = &*request.program;
+    validation = Validation::kNone;  // no golden reference exists
+  } else {
+    return finish_failed("RunRequest names no workload (kernel, built or program)");
+  }
+
+  if (built != nullptr) {
+    report.regs = built->regs;
+    report.useful_flops = built->useful_flops;
+  }
+  const Program& prog = built != nullptr ? built->program : *program;
+
+  const Status config_ok = request.config.validate();
+  if (!config_ok.is_ok()) {
+    return finish_failed(report.name + ": " + config_ok.message());
+  }
+
+  // --- functional ISS -------------------------------------------------------
+  Memory iss_mem;
+  std::optional<Iss> iss;
+  if (request.engine == EngineSel::kIss || request.engine == EngineSel::kBoth) {
+    iss.emplace(prog, iss_mem);
+    const HaltReason halt = iss->run();
+    report.iss_instructions = iss->instret();
+    if (!clean_halt(halt)) {
+      fail(report, report.name + ": ISS halted abnormally: " +
+                       (iss->error().empty() ? "(no message)" : iss->error()));
+    } else if (validation == Validation::kGolden && built != nullptr) {
+      std::string detail;
+      const u64 bad = count_mismatches(iss_mem, *built, detail);
+      if (bad != 0) {
+        report.mismatches += bad;
+        std::ostringstream os;
+        os << report.name << ": ISS: " << bad << " output mismatches; " << detail;
+        fail(report, os.str());
+      }
+    }
+  }
+
+  // --- cycle-level simulator ------------------------------------------------
+  Memory sim_mem;
+  std::optional<sim::Simulator> simulator;
+  if (request.engine == EngineSel::kCycle || request.engine == EngineSel::kBoth) {
+    simulator.emplace(prog, sim_mem, request.config);
+    drive_simulator(*simulator, request.observers);
+    report.cycles = simulator->cycles();
+    report.perf = simulator->perf();
+    report.fpu_utilization = simulator->perf().fpu_utilization();
+    report.energy = energy::evaluate_run(*simulator, request.energy);
+    report.tcdm_reads = simulator->tcdm().stats().reads;
+    report.tcdm_writes = simulator->tcdm().stats().writes;
+    report.tcdm_conflicts = simulator->tcdm().stats().conflicts;
+    if (!clean_halt(simulator->halt_reason())) {
+      fail(report,
+           report.name + ": simulator halted abnormally: " +
+               (simulator->error().empty() ? "(no message)" : simulator->error()));
+    } else if (validation == Validation::kGolden && built != nullptr) {
+      std::string detail;
+      const u64 bad = count_mismatches(sim_mem, *built, detail);
+      if (bad != 0) {
+        report.mismatches += bad;
+        std::ostringstream os;
+        os << report.name << ": " << bad << " output mismatches; " << detail;
+        fail(report, os.str());
+      }
+    }
+  }
+
+  // --- lockstep cross-check -------------------------------------------------
+  if (request.engine == EngineSel::kBoth && report.error.empty()) {
+    const ArchState& a = iss->state();
+    const ArchState b = simulator->arch_state();
+    std::string first;
+    for (u8 r = 0; r < isa::kNumIntRegs; ++r) {
+      if (a.x[r] != b.x[r]) {
+        ++report.lockstep_mismatches;
+        if (first.empty()) {
+          std::ostringstream os;
+          os << "x" << static_cast<int>(r) << ": iss=" << a.x[r]
+             << " cycle=" << b.x[r];
+          first = os.str();
+        }
+      }
+    }
+    for (u8 r = 0; r < isa::kNumFpRegs; ++r) {
+      if (a.f[r] != b.f[r]) {
+        ++report.lockstep_mismatches;
+        if (first.empty()) {
+          std::ostringstream os;
+          os << "f" << static_cast<int>(r) << ": iss=0x" << std::hex << a.f[r]
+             << " cycle=0x" << b.f[r];
+          first = os.str();
+        }
+      }
+    }
+    if (built != nullptr) {
+      for (u32 i = 0; i < built->expected.size(); ++i) {
+        const Addr addr = built->out_base + 8 * i;
+        if (iss_mem.load_f64(addr) != sim_mem.load_f64(addr) &&
+            !(std::isnan(iss_mem.load_f64(addr)) &&
+              std::isnan(sim_mem.load_f64(addr)))) {
+          ++report.lockstep_mismatches;
+          if (first.empty()) {
+            std::ostringstream os;
+            os << "output element " << i << ": iss=" << iss_mem.load_f64(addr)
+               << " cycle=" << sim_mem.load_f64(addr);
+            first = os.str();
+          }
+        }
+      }
+    }
+    if (report.lockstep_mismatches != 0) {
+      std::ostringstream os;
+      os << report.name << ": lockstep divergence, " << report.lockstep_mismatches
+         << " state mismatches between ISS and cycle engine; first: " << first;
+      fail(report, os.str());
+    }
+  }
+
+  report.ok = report.error.empty();
+  report.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  const Memory* final_mem = simulator.has_value()  ? &sim_mem
+                            : iss.has_value()      ? &iss_mem
+                                                   : nullptr;
+  const sim::Simulator* final_sim =
+      simulator.has_value() ? &*simulator : nullptr;
+  for (Observer* o : request.observers) o->on_halt(report, final_sim, final_mem);
+  return report;
+}
+
+} // namespace
+
+u32 Engine::default_worker_count() {
+  if (const char* env = std::getenv("SCH_SWEEP_THREADS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n >= 1) return static_cast<u32>(n);
+  }
+  const u32 hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+Engine::Engine(EngineConfig config)
+    : threads_(config.threads != 0 ? config.threads : default_worker_count()) {}
+
+Engine::~Engine() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : pool_) t.join();
+}
+
+RunReport Engine::run(const RunRequest& request) { return execute(request); }
+
+void Engine::ensure_pool() {
+  // Callers hold mutex_. The pool grows one worker per submission up to the
+  // configured width, so a sync-only engine never pays for threads and a
+  // small batch never spawns more workers than it has jobs.
+  if (pool_.size() < threads_) {
+    pool_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void Engine::worker_loop() {
+  for (;;) {
+    std::packaged_task<RunReport()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+std::future<RunReport> Engine::submit(RunRequest request) {
+  std::packaged_task<RunReport()> task(
+      [request = std::move(request)] { return execute(request); });
+  std::future<RunReport> future = task.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ensure_pool();
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+std::vector<RunReport> Engine::run_batch(std::vector<RunRequest> requests) {
+  std::vector<std::future<RunReport>> futures;
+  futures.reserve(requests.size());
+  for (RunRequest& r : requests) futures.push_back(submit(std::move(r)));
+  std::vector<RunReport> reports;
+  reports.reserve(futures.size());
+  for (std::future<RunReport>& f : futures) reports.push_back(f.get());
+  return reports;
+}
+
+Engine& default_engine() {
+  static Engine engine;
+  return engine;
+}
+
+RunReport run(const RunRequest& request) { return default_engine().run(request); }
+
+RunReport run_built(kernels::BuiltKernel kernel, const sim::SimConfig& config) {
+  RunRequest request = RunRequest::for_built(std::move(kernel));
+  request.config = config;
+  return run(request);
+}
+
+RunReport run_built_iss(kernels::BuiltKernel kernel) {
+  return run(RunRequest::for_built(std::move(kernel), EngineSel::kIss));
+}
+
+} // namespace sch::api

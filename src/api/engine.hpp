@@ -1,0 +1,91 @@
+// The unified execution engine: the single entry point through which every
+// front-end (benches, the scenario runner, schsim, tests, embedders) runs a
+// workload. One engine owns one worker pool; `run()` executes a request
+// synchronously in the caller's thread, `submit()` enqueues it on the pool
+// and returns a future. Reports are self-contained and deterministic (all
+// fields except wall_s are bit-identical across thread counts), and report
+// order is the future-collection order -- scheduling never reorders results.
+//
+//   api::Engine engine;                       // SCH_SWEEP_THREADS / hw pool
+//   auto report = engine.run(api::RunRequest::for_kernel("vecop", "chained"));
+//   auto future = engine.submit(std::move(request));
+//
+// `default_engine()` is the process-wide shared instance that replaces the
+// scenario runner's private pool and bench_common's hand-rolled fan-out.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "api/observer.hpp"
+#include "api/run_report.hpp"
+#include "api/run_request.hpp"
+
+namespace sch::api {
+
+struct EngineConfig {
+  /// Worker threads for submit(). 0 selects the SCH_SWEEP_THREADS env var
+  /// when set, else hardware concurrency.
+  u32 threads = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config = {});
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Execute synchronously in the calling thread. Never throws: build
+  /// errors, invalid configurations, abnormal halts, validation and
+  /// lockstep mismatches all surface as a failed RunReport.
+  [[nodiscard]] RunReport run(const RunRequest& request);
+
+  /// Enqueue on the worker pool (spawned lazily on first use) and return a
+  /// future for the report. Collect futures in submission order for a
+  /// deterministic batch; each report's content is independent of
+  /// scheduling.
+  [[nodiscard]] std::future<RunReport> submit(RunRequest request);
+
+  /// submit() every request, wait, and return reports in request order.
+  [[nodiscard]] std::vector<RunReport> run_batch(std::vector<RunRequest> requests);
+
+  /// Worker threads submit() will use.
+  [[nodiscard]] u32 worker_count() const { return threads_; }
+
+  /// The pool-sizing policy for threads == 0: SCH_SWEEP_THREADS when set
+  /// (>= 1), else hardware concurrency (>= 1).
+  static u32 default_worker_count();
+
+ private:
+  void worker_loop();
+  void ensure_pool();
+
+  u32 threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<RunReport()>> queue_;
+  std::vector<std::thread> pool_;
+  bool stopping_ = false;
+};
+
+/// Process-wide shared engine (one pool for all front-ends; created on
+/// first use with the default worker-count policy).
+Engine& default_engine();
+
+/// Convenience: default_engine().run(request).
+[[nodiscard]] RunReport run(const RunRequest& request);
+
+/// Convenience: run a prebuilt kernel synchronously on the cycle-level
+/// engine (golden-validated) through the default engine.
+[[nodiscard]] RunReport run_built(kernels::BuiltKernel kernel,
+                                  const sim::SimConfig& config = {});
+
+/// Same, on the functional ISS.
+[[nodiscard]] RunReport run_built_iss(kernels::BuiltKernel kernel);
+
+} // namespace sch::api

@@ -1,0 +1,81 @@
+#include "api/run_report.hpp"
+
+namespace sch::api {
+
+const char* engine_name(EngineSel sel) {
+  switch (sel) {
+    case EngineSel::kIss: return "iss";
+    case EngineSel::kCycle: return "cycle";
+    case EngineSel::kBoth: return "both";
+  }
+  return "?";
+}
+
+bool parse_engine(const std::string& name, EngineSel& out) {
+  if (name == "iss") { out = EngineSel::kIss; return true; }
+  if (name == "cycle") { out = EngineSel::kCycle; return true; }
+  if (name == "both") { out = EngineSel::kBoth; return true; }
+  return false;
+}
+
+namespace {
+
+Json stalls_json(const sim::PerfCounters& p) {
+  Json o = Json::object();
+  o.set("fp_raw", p.stall_fp_raw);
+  o.set("fp_waw", p.stall_fp_waw);
+  o.set("chain_empty", p.stall_chain_empty);
+  o.set("chain_full", p.stall_chain_full);
+  o.set("ssr_empty", p.stall_ssr_empty);
+  o.set("ssr_wfull", p.stall_ssr_wfull);
+  o.set("fpu_busy", p.stall_fpu_busy);
+  o.set("fp_lsu", p.stall_fp_lsu);
+  o.set("offload_full", p.stall_offload_full);
+  o.set("int_raw", p.stall_int_raw);
+  o.set("int_lsu", p.stall_int_lsu);
+  o.set("csr_barrier", p.stall_csr_barrier);
+  o.set("branch_bubbles", p.branch_bubbles);
+  return o;
+}
+
+} // namespace
+
+Json RunReport::to_json() const {
+  Json row = Json::object();
+  row.set("schema", kSchemaVersion);
+  row.set("name", name);
+  row.set("kernel", kernel);
+  row.set("variant", variant);
+  row.set("engine", engine_name(engine));
+  row.set("ok", ok);
+  if (!ok) row.set("error", error);
+  row.set("cycles", cycles);
+  row.set("retired", perf.total_retired());
+  row.set("fpu_ops", perf.fpu_ops);
+  row.set("fpu_utilization", fpu_utilization);
+  row.set("useful_flops", useful_flops);
+  row.set("iss_instructions", iss_instructions);
+  row.set("mismatches", mismatches);
+  row.set("lockstep_mismatches", lockstep_mismatches);
+  row.set("stalls", stalls_json(perf));
+  Json tcdm = Json::object();
+  tcdm.set("reads", tcdm_reads);
+  tcdm.set("writes", tcdm_writes);
+  tcdm.set("conflicts", tcdm_conflicts);
+  row.set("tcdm", std::move(tcdm));
+  Json en = Json::object();
+  en.set("power_mw", energy.power_mw);
+  en.set("energy_per_cycle_pj", energy.energy_per_cycle_pj);
+  en.set("fpu_ops_per_joule", energy.fpu_ops_per_joule);
+  row.set("energy", std::move(en));
+  Json rr = Json::object();
+  rr.set("fp_used", static_cast<i64>(regs.fp_regs_used));
+  rr.set("accumulator", static_cast<i64>(regs.accumulator_regs));
+  rr.set("chained", static_cast<i64>(regs.chained_regs));
+  rr.set("ssr", static_cast<i64>(regs.ssr_regs));
+  row.set("regs", std::move(rr));
+  row.set("wall_s", wall_s);
+  return row;
+}
+
+} // namespace sch::api

@@ -1,0 +1,78 @@
+// The one structured result every front-end consumes. A RunReport carries
+// everything the scenario report writer, the BENCH_*.json emitters and the
+// tests used to pull out of three unrelated structs (kernels::RunResult,
+// kernels::IssRunResult and the ad-hoc fields of bench::SweepEntry):
+// cycle-level counters, stall taxonomy, TCDM traffic, energy, ISS
+// instruction counts, validation mismatches and the kernel's register
+// bookkeeping. `to_json()` is the versioned serialization shared by
+// `schsim run` reports and the bench JSON files.
+#pragma once
+
+#include <string>
+
+#include "energy/energy_model.hpp"
+#include "kernels/kernel_common.hpp"
+#include "scenario/json.hpp"
+#include "sim/perf.hpp"
+
+namespace sch::api {
+
+using Json = scenario::Json;
+
+/// Which execution engine(s) a request runs on.
+enum class EngineSel : u8 {
+  kIss,    // functional golden-reference ISS only
+  kCycle,  // cycle-level simulator only
+  kBoth,   // both, with a lockstep cross-check of the final state
+};
+
+/// "iss" / "cycle" / "both".
+const char* engine_name(EngineSel sel);
+/// Inverse of engine_name(); false on unknown names.
+bool parse_engine(const std::string& name, EngineSel& out);
+
+struct RunReport {
+  /// Version of the JSON serialization below. Bump on any key change and
+  /// update tools/check_report_schema.py + the golden test in
+  /// tests/test_api.cpp.
+  static constexpr i64 kSchemaVersion = 1;
+
+  std::string name;     // workload label, e.g. "vecop/chained+frep"
+  std::string kernel;   // registry name ("" for raw-program workloads)
+  std::string variant;  // registry variant ("" for raw-program workloads)
+  EngineSel engine = EngineSel::kCycle;
+
+  bool ok = false;      // halted cleanly, validated, engines agreed
+  std::string error;    // failure description when !ok
+
+  // Cycle-level engine results (zero when engine == kIss).
+  u64 cycles = 0;
+  double fpu_utilization = 0;
+  sim::PerfCounters perf;
+  u64 tcdm_reads = 0;
+  u64 tcdm_writes = 0;
+  u64 tcdm_conflicts = 0;
+  energy::EnergyReport energy;
+
+  // ISS results (zero when engine == kCycle).
+  u64 iss_instructions = 0;
+
+  // Validation.
+  u64 mismatches = 0;           // golden-output mismatches
+  u64 lockstep_mismatches = 0;  // kBoth: ISS-vs-cycle state divergences
+
+  // Kernel bookkeeping (defaults for raw-program workloads).
+  kernels::RegisterReport regs;
+  u64 useful_flops = 0;
+
+  // Host wall-clock of build + execute + validate. The only field that is
+  // not deterministic across runs; comparisons must exclude it.
+  double wall_s = 0;
+
+  /// Versioned serialization ("schema": kSchemaVersion first). The scenario
+  /// report writer appends its per-job echo (sizes/sim/repeat) to this
+  /// object; benches embed it as-is.
+  [[nodiscard]] Json to_json() const;
+};
+
+} // namespace sch::api

@@ -1,0 +1,93 @@
+// A RunRequest names one unit of execution for api::Engine: a workload (a
+// registry kernel, a prebuilt kernel, or a raw assembled program), an engine
+// selection (ISS, cycle-level, or both in lockstep), configuration
+// overrides, a validation policy and an optional set of observers. Every
+// front-end -- benches, the scenario runner, schsim, tests, embedders --
+// describes work in this one vocabulary.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/run_report.hpp"
+#include "asm/program.hpp"
+#include "energy/energy_model.hpp"
+#include "kernels/kernel_common.hpp"
+#include "kernels/registry.hpp"
+#include "sim/sim_config.hpp"
+
+namespace sch::api {
+
+class Observer;
+
+/// Output-validation policy.
+enum class Validation : u8 {
+  kGolden,  // compare the output region against the workload's golden vector
+  kNone,    // run only (raw programs have no golden; forced to kNone)
+};
+
+struct RunRequest {
+  // --- Workload: exactly one of the three forms. Precedence when several
+  // are set: prebuilt kernel > registry lookup > raw program. ---
+
+  /// (a) Registry form: kernel family name + variant + size overrides.
+  /// Sizes are resolved against the registry defaults; unknown kernels,
+  /// variants or size names fail the report (never abort).
+  std::string kernel;
+  std::string variant;
+  kernels::SizeMap sizes;
+
+  /// (b) Prebuilt form: a BuiltKernel from any builder (tests, custom
+  /// embedders); carries its own golden vector.
+  std::optional<kernels::BuiltKernel> built;
+
+  /// (c) Raw-program form: an assembled Program and no golden reference.
+  std::optional<Program> program;
+
+  /// Report label override; defaults to the kernel's name ("kernel/variant"
+  /// for registry workloads, "program" for raw programs).
+  std::string label;
+
+  EngineSel engine = EngineSel::kCycle;
+  sim::SimConfig config{};
+  energy::EnergyConfig energy{};
+  Validation validation = Validation::kGolden;
+
+  /// Borrowed probes, invoked during execution (see api/observer.hpp).
+  /// Must outlive the run; with Engine::submit they are called from a
+  /// worker thread, so shared observers must synchronize internally.
+  std::vector<Observer*> observers;
+
+  // --- convenience constructors ---
+  static RunRequest for_kernel(std::string kernel, std::string variant,
+                               kernels::SizeMap sizes = {},
+                               EngineSel engine = EngineSel::kCycle) {
+    RunRequest r;
+    r.kernel = std::move(kernel);
+    r.variant = std::move(variant);
+    r.sizes = std::move(sizes);
+    r.engine = engine;
+    return r;
+  }
+
+  static RunRequest for_built(kernels::BuiltKernel k,
+                              EngineSel engine = EngineSel::kCycle) {
+    RunRequest r;
+    r.built = std::move(k);
+    r.engine = engine;
+    return r;
+  }
+
+  static RunRequest for_program(Program p, std::string label = "program",
+                                EngineSel engine = EngineSel::kCycle) {
+    RunRequest r;
+    r.program = std::move(p);
+    r.label = std::move(label);
+    r.engine = engine;
+    r.validation = Validation::kNone;
+    return r;
+  }
+};
+
+} // namespace sch::api

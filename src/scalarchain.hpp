@@ -10,8 +10,11 @@
 //   sim/      cycle-level Snitch-like core model
 //   energy/   calibrated event-based power model
 //   kernels/  the paper's evaluation kernels (Fig. 1 vecop, Fig. 3 stencils)
+//   api/      the unified execution engine every front-end routes through
+//             (RunRequest -> Engine -> RunReport, with pluggable Observers)
 #pragma once
 
+#include "api/engine.hpp"
 #include "asm/assembler.hpp"
 #include "asm/builder.hpp"
 #include "asm/program.hpp"
@@ -33,7 +36,6 @@
 #include "kernels/gemm.hpp"
 #include "kernels/gemv.hpp"
 #include "kernels/registry.hpp"
-#include "kernels/runner.hpp"
 #include "kernels/stencil.hpp"
 #include "kernels/vecop.hpp"
 #include "mem/memory.hpp"

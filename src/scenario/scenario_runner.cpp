@@ -1,36 +1,13 @@
 #include "scenario/scenario_runner.hpp"
 
-#include <atomic>
-#include <chrono>
-#include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <ostream>
 #include <stdexcept>
-#include <thread>
 
 namespace sch::scenario {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-Json stalls_json(const sim::PerfCounters& p) {
-  Json o = Json::object();
-  o.set("fp_raw", p.stall_fp_raw);
-  o.set("fp_waw", p.stall_fp_waw);
-  o.set("chain_empty", p.stall_chain_empty);
-  o.set("chain_full", p.stall_chain_full);
-  o.set("ssr_empty", p.stall_ssr_empty);
-  o.set("ssr_wfull", p.stall_ssr_wfull);
-  o.set("fpu_busy", p.stall_fpu_busy);
-  o.set("fp_lsu", p.stall_fp_lsu);
-  o.set("offload_full", p.stall_offload_full);
-  o.set("int_raw", p.stall_int_raw);
-  o.set("int_lsu", p.stall_int_lsu);
-  o.set("csr_barrier", p.stall_csr_barrier);
-  o.set("branch_bubbles", p.branch_bubbles);
-  return o;
-}
 
 Json sizes_json(const kernels::SizeMap& sizes) {
   Json o = Json::object();
@@ -89,93 +66,47 @@ Result<std::vector<Job>> expand(const Scenario& scenario) {
   return jobs;
 }
 
-u32 worker_count(u32 jobs) {
-  if (const char* env = std::getenv("SCH_SWEEP_THREADS")) {
-    const long n = std::strtol(env, nullptr, 10);
-    if (n >= 1) return static_cast<u32>(n) < jobs ? static_cast<u32>(n) : jobs;
-  }
-  u32 hw = std::thread::hardware_concurrency();
-  if (hw == 0) hw = 1;
-  return hw < jobs ? hw : jobs;
+api::RunRequest to_request(const Job& job, api::EngineSel engine) {
+  api::RunRequest request =
+      api::RunRequest::for_kernel(job.kernel->name, job.variant, job.sizes, engine);
+  request.config = job.config;
+  return request;
 }
 
-std::vector<JobResult> run_jobs(const std::vector<Job>& jobs) {
-  std::vector<JobResult> out(jobs.size());
-  std::atomic<usize> next{0};
-  auto work = [&] {
-    for (usize i = next.fetch_add(1); i < jobs.size(); i = next.fetch_add(1)) {
-      const Job& job = jobs[i];
-      JobResult r;
-      const auto t0 = Clock::now();
-      try {
-        const kernels::BuiltKernel k = job.kernel->build(job.variant, job.sizes);
-        r.regs = k.regs;
-        r.useful_flops = k.useful_flops;
-        r.run = kernels::run_on_simulator(k, job.config);
-      } catch (const std::exception& e) {
-        r.run.ok = false;
-        r.run.error = job.kernel->name + "/" + job.variant + ": " + e.what();
-      }
-      r.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
-      out[i] = std::move(r);
-    }
-  };
-  const u32 workers = worker_count(static_cast<u32>(jobs.size()));
-  std::vector<std::thread> pool;
-  for (u32 t = 1; t < workers; ++t) pool.emplace_back(work);
-  work();
-  for (std::thread& t : pool) t.join();
-  return out;
+std::vector<api::RunReport> run_jobs(const std::vector<Job>& jobs,
+                                     api::Engine& engine,
+                                     api::EngineSel engine_sel) {
+  std::vector<api::RunRequest> requests;
+  requests.reserve(jobs.size());
+  for (const Job& job : jobs) requests.push_back(to_request(job, engine_sel));
+  return engine.run_batch(std::move(requests));
+}
+
+std::vector<api::RunReport> run_jobs(const std::vector<Job>& jobs) {
+  return run_jobs(jobs, api::default_engine(), api::EngineSel::kCycle);
 }
 
 Json make_report(const Scenario& scenario, const std::vector<Job>& jobs,
-                 const std::vector<JobResult>& results) {
+                 const std::vector<api::RunReport>& reports, u32 workers) {
   Json report = Json::object();
   report.set("bench", "scenario");
+  report.set("schema", api::RunReport::kSchemaVersion);
   report.set("scenario", scenario.name);
   report.set("jobs", static_cast<i64>(jobs.size()));
   i64 failures = 0;
-  for (const JobResult& r : results) {
-    if (!r.run.ok) ++failures;
+  for (const api::RunReport& r : reports) {
+    if (!r.ok) ++failures;
   }
   report.set("failures", failures);
-  report.set("workers", static_cast<i64>(worker_count(static_cast<u32>(jobs.size()))));
+  report.set("workers", static_cast<i64>(workers));
 
   Json rows = Json::array();
   for (usize i = 0; i < jobs.size(); ++i) {
     const Job& job = jobs[i];
-    const JobResult& r = results[i];
-    Json row = Json::object();
-    row.set("kernel", job.kernel->name);
-    row.set("variant", job.variant);
+    Json row = reports[i].to_json();
     row.set("sizes", sizes_json(job.sizes));
     row.set("sim", job.sim_echo.is_object() ? job.sim_echo : Json::object());
     row.set("repeat", static_cast<i64>(job.repeat_index));
-    row.set("ok", r.run.ok);
-    if (!r.run.ok) row.set("error", r.run.error);
-    row.set("cycles", r.run.cycles);
-    row.set("retired", r.run.perf.total_retired());
-    row.set("fpu_ops", r.run.perf.fpu_ops);
-    row.set("fpu_utilization", r.run.fpu_utilization);
-    row.set("useful_flops", r.useful_flops);
-    row.set("stalls", stalls_json(r.run.perf));
-    Json tcdm = Json::object();
-    tcdm.set("reads", r.run.tcdm_reads);
-    tcdm.set("writes", r.run.tcdm_writes);
-    tcdm.set("conflicts", r.run.tcdm_conflicts);
-    row.set("tcdm", std::move(tcdm));
-    Json energy = Json::object();
-    energy.set("power_mw", r.run.energy.power_mw);
-    energy.set("energy_per_cycle_pj", r.run.energy.energy_per_cycle_pj);
-    energy.set("fpu_ops_per_joule", r.run.energy.fpu_ops_per_joule);
-    row.set("energy", std::move(energy));
-    Json regs = Json::object();
-    regs.set("fp_used", static_cast<i64>(r.regs.fp_regs_used));
-    regs.set("accumulator", static_cast<i64>(r.regs.accumulator_regs));
-    regs.set("chained", static_cast<i64>(r.regs.chained_regs));
-    regs.set("ssr", static_cast<i64>(r.regs.ssr_regs));
-    row.set("regs", std::move(regs));
-    row.set("wall_s", r.wall_s);
     rows.push_back(std::move(row));
   }
   report.set("results", std::move(rows));
@@ -183,7 +114,7 @@ Json make_report(const Scenario& scenario, const std::vector<Job>& jobs,
 }
 
 Result<ScenarioOutcome> run_scenario_file(const std::string& path,
-                                          const std::string& output_override,
+                                          const ScenarioRunOptions& options,
                                           std::ostream& log) {
   Result<Scenario> sc = load_scenario_file(path);
   if (!sc.ok()) return sc.status();
@@ -193,30 +124,50 @@ Result<ScenarioOutcome> run_scenario_file(const std::string& path,
   if (!expanded.ok()) return expanded.status();
   const std::vector<Job> jobs = std::move(expanded).value();
 
+  // --threads builds a dedicated engine; otherwise the process-wide shared
+  // pool (SCH_SWEEP_THREADS / hardware concurrency) serves the batch.
+  std::optional<api::Engine> own_engine;
+  if (options.threads != 0) {
+    own_engine.emplace(api::EngineConfig{.threads = options.threads});
+  }
+  api::Engine& engine = own_engine ? *own_engine : api::default_engine();
+  // The pool grows one worker per submission, so a small batch never uses
+  // more workers than it has jobs; report the effective width.
+  const u32 workers = engine.worker_count() < jobs.size()
+                          ? engine.worker_count()
+                          : static_cast<u32>(jobs.size());
+
   log << "scenario '" << scenario.name << "': " << jobs.size() << " jobs on "
-      << worker_count(static_cast<u32>(jobs.size())) << " workers\n";
-  const std::vector<JobResult> results = run_jobs(jobs);
+      << workers << " workers (engine: " << api::engine_name(options.engine)
+      << ")\n";
+  const std::vector<api::RunReport> reports =
+      run_jobs(jobs, engine, options.engine);
 
   ScenarioOutcome outcome;
   outcome.jobs = static_cast<u32>(jobs.size());
   for (usize i = 0; i < jobs.size(); ++i) {
     const Job& job = jobs[i];
-    const JobResult& r = results[i];
-    log << (r.run.ok ? "  ok   " : "  FAIL ") << job.kernel->name << "/"
+    const api::RunReport& r = reports[i];
+    log << (r.ok ? "  ok   " : "  FAIL ") << job.kernel->name << "/"
         << job.variant;
     for (const auto& [k, v] : job.sizes) log << " " << k << "=" << v;
     if (job.repeat_index != 0) log << " rep=" << job.repeat_index;
-    if (r.run.ok) {
-      log << ": " << r.run.cycles << " cycles, util "
-          << static_cast<int>(r.run.fpu_utilization * 1000) / 1000.0;
+    if (r.ok) {
+      if (options.engine == api::EngineSel::kIss) {
+        log << ": " << r.iss_instructions << " instructions";
+      } else {
+        log << ": " << r.cycles << " cycles, util "
+            << static_cast<int>(r.fpu_utilization * 1000) / 1000.0;
+      }
     } else {
-      log << ": " << r.run.error;
+      log << ": " << r.error;
       ++outcome.failures;
     }
     log << "\n";
   }
 
-  outcome.report_path = !output_override.empty() ? output_override
+  outcome.report_path = !options.output_override.empty()
+                            ? options.output_override
                         : !scenario.output.empty()
                             ? scenario.output
                             : "BENCH_scenario_" + scenario.name + ".json";
@@ -224,7 +175,7 @@ Result<ScenarioOutcome> run_scenario_file(const std::string& path,
   if (!os) {
     return Status::error("scenario: cannot write " + outcome.report_path);
   }
-  os << make_report(scenario, jobs, results).dump(2) << "\n";
+  os << make_report(scenario, jobs, reports, workers).dump(2) << "\n";
   log << "wrote " << outcome.report_path << "\n";
   return outcome;
 }

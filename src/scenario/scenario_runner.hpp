@@ -1,15 +1,15 @@
-// Batch execution of an expanded scenario: every job is a self-contained
-// build + simulate + validate, fanned out across the same std::thread
-// worker-pool pattern as bench::run_stencil_sweep, with results landing in
-// deterministic per-job slots (report order never depends on scheduling).
+// Batch execution of an expanded scenario through the unified execution
+// engine: every job becomes one api::RunRequest, the batch goes through
+// api::Engine::submit on the shared worker pool, and reports come back in
+// deterministic per-job order (report order never depends on scheduling).
 #pragma once
 
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "api/engine.hpp"
 #include "kernels/registry.hpp"
-#include "kernels/runner.hpp"
 #include "scenario/scenario.hpp"
 
 namespace sch::scenario {
@@ -24,29 +24,28 @@ struct Job {
   u32 repeat_index = 0;
 };
 
-struct JobResult {
-  kernels::RunResult run;
-  kernels::RegisterReport regs;
-  u64 useful_flops = 0;
-  double wall_s = 0;  // host wall-clock of build + simulate + validate
-};
-
 /// Expand kernel x variants x sizes x repeat, in file order. Unknown
 /// kernels, variants and size-parameter names are errors.
 Result<std::vector<Job>> expand(const Scenario& scenario);
 
-/// Worker threads for `jobs` configurations: SCH_SWEEP_THREADS when set,
-/// else hardware concurrency, capped at the job count.
-u32 worker_count(u32 jobs);
+/// Translate one job into the engine vocabulary.
+api::RunRequest to_request(const Job& job,
+                           api::EngineSel engine = api::EngineSel::kCycle);
 
-/// Run all jobs on the worker pool; results[i] corresponds to jobs[i]. A
-/// job whose build throws or whose output mismatches the golden reports
+/// Submit all jobs to `engine`; reports[i] corresponds to jobs[i]. A job
+/// whose build throws or whose output mismatches the golden reports
 /// ok=false with the error message -- it never aborts the batch.
-std::vector<JobResult> run_jobs(const std::vector<Job>& jobs);
+std::vector<api::RunReport> run_jobs(const std::vector<Job>& jobs,
+                                     api::Engine& engine,
+                                     api::EngineSel engine_sel = api::EngineSel::kCycle);
 
-/// Assemble the machine-readable report (BENCH_*.json-compatible shape).
+/// Same, on the process-wide api::default_engine().
+std::vector<api::RunReport> run_jobs(const std::vector<Job>& jobs);
+
+/// Assemble the machine-readable report: per-job RunReport::to_json() rows
+/// (the versioned schema) plus the job echo (sizes/sim/repeat).
 Json make_report(const Scenario& scenario, const std::vector<Job>& jobs,
-                 const std::vector<JobResult>& results);
+                 const std::vector<api::RunReport>& reports, u32 workers);
 
 struct ScenarioOutcome {
   u32 jobs = 0;
@@ -54,12 +53,18 @@ struct ScenarioOutcome {
   std::string report_path;
 };
 
+/// Front-end knobs forwarded by `schsim run`.
+struct ScenarioRunOptions {
+  std::string output_override;  // non-empty wins over the scenario's "output"
+  u32 threads = 0;              // 0 => SCH_SWEEP_THREADS / hw concurrency
+  api::EngineSel engine = api::EngineSel::kCycle;
+};
+
 /// Load + expand + run + report in one call (the `schsim run` entry point).
-/// `output_override`, when non-empty, wins over the scenario's "output";
-/// otherwise "" derives BENCH_scenario_<name>.json. Progress lines go to
-/// `log`.
+/// When `options.output_override` and the scenario's "output" are both
+/// empty, derives "BENCH_scenario_<name>.json". Progress lines go to `log`.
 Result<ScenarioOutcome> run_scenario_file(const std::string& path,
-                                          const std::string& output_override,
+                                          const ScenarioRunOptions& options,
                                           std::ostream& log);
 
 } // namespace sch::scenario

@@ -3,6 +3,7 @@
 // TCDM, 3 SSRs, FREP sequencer, pseudo dual-issue).
 #pragma once
 
+#include "common/status.hpp"
 #include "common/types.hpp"
 #include "mem/tcdm.hpp"
 #include "ssr/streamer.hpp"
@@ -47,9 +48,38 @@ struct SimConfig {
   /// detector for chain-FIFO underflow / exhausted-stream stalls).
   u64 deadlock_cycles = 50'000;
 
-  /// Record a per-cycle issue trace (Fig. 1c style) and pipeline snapshots
-  /// (Fig. 2 style). Costs memory; enable for short runs only.
+  /// Maintain the per-cycle issue/stall strings that trace observers
+  /// (api::TraceObserver, Fig. 1c/Fig. 2 views) consume. Costs string
+  /// building on the hot path; enable for short runs only.
   bool trace = false;
+
+  /// Structural sanity check. A zero depth on any of the queues below does
+  /// not fail loudly at runtime -- it deadlocks the scoreboard or indexes an
+  /// empty ring buffer -- so configuration errors are rejected up front with
+  /// a message. Called by api::Engine before every run and by the Simulator
+  /// constructor (which throws std::invalid_argument on failure).
+  [[nodiscard]] Status validate() const {
+    if (fpu_depth == 0) {
+      return Status::error("SimConfig: fpu_depth must be >= 1 (a zero-stage "
+                           "FPU pipeline cannot hold an op in flight)");
+    }
+    if (fp_queue_depth == 0) {
+      return Status::error("SimConfig: fp_queue_depth must be >= 1 (offload "
+                           "with a zero-entry queue deadlocks the int core)");
+    }
+    if (seq_buffer_depth == 0) {
+      return Status::error("SimConfig: seq_buffer_depth must be >= 1 (the "
+                           "FREP sequencer needs ring-buffer capacity)");
+    }
+    if (tcdm.num_banks == 0) {
+      return Status::error("SimConfig: tcdm.num_banks must be >= 1 (bank "
+                           "arbitration over zero banks divides by zero)");
+    }
+    if (max_cycles == 0) {
+      return Status::error("SimConfig: max_cycles must be >= 1");
+    }
+    return Status::ok();
+  }
 };
 
 } // namespace sch::sim

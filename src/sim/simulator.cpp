@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <sstream>
+#include <stdexcept>
 
 namespace sch::sim {
 
@@ -8,8 +9,9 @@ Simulator::Simulator(Program program, Memory& memory, const SimConfig& config)
     : prog_(std::move(program)),
       mem_(memory),
       cfg_(config),
-      tcdm_(config.tcdm),
-      trace_(config.trace) {
+      tcdm_(config.tcdm) {
+  const Status valid = cfg_.validate();
+  if (!valid.is_ok()) throw std::invalid_argument(valid.message());
   prog_.predecode();
   fp_ = std::make_unique<FpSubsystem>(cfg_, mem_, tcdm_, perf_);
   core_ = std::make_unique<IntCore>(prog_, mem_, tcdm_, cfg_, perf_, *fp_);
@@ -20,33 +22,6 @@ Simulator::Simulator(Program program, Memory& memory, const SimConfig& config)
 
 bool Simulator::fully_halted() const {
   return core_->halting() && fp_->quiescent() && core_->pending_empty();
-}
-
-void Simulator::record_trace() {
-  TraceEntry e;
-  e.cycle = cycle_;
-  e.int_issue = core_->last_issue();
-  e.fp_issue = fp_->last_issue();
-  e.fp_stall = fp_->last_stall();
-  const FpuPipeline& pipe = fp_->pipeline();
-  e.fpu_depth = pipe.depth();
-  for (u32 s = 0; s < pipe.depth() && s < 8; ++s) {
-    e.fpu_stage_seq[s] = pipe.stage(s).busy ? pipe.stage(s).seq : 0;
-  }
-  const u32 mask = fp_->chain_mask();
-  if (mask != 0) {
-    u8 reg = 0;
-    while (((mask >> reg) & 1u) == 0) ++reg;
-    e.chain_tracked = true;
-    e.chain_reg = reg;
-    e.chain_valid = fp_->chain().valid(reg);
-    e.chain_value = fp_->chain().value(reg);
-  }
-  for (u32 i = 0; i < ssr::kNumSsrs; ++i) {
-    e.ssr_read_fifo[i] = fp_->streamer(i).read_fifo_level();
-    e.ssr_write_fifo[i] = fp_->streamer(i).write_fifo_level();
-  }
-  trace_.record(std::move(e));
 }
 
 void Simulator::tick() {
@@ -70,7 +45,6 @@ void Simulator::tick() {
   ssr_rr_ = (ssr_rr_ + 1) % ssr::kNumSsrs;
 
   ++perf_.cycles;
-  if (trace_.enabled()) record_trace();
 
   // Progress watchdog.
   const u64 retired = perf_.total_retired() + perf_.offloads;

@@ -14,14 +14,14 @@
 #include "sim/int_core.hpp"
 #include "sim/perf.hpp"
 #include "sim/sim_config.hpp"
-#include "sim/trace.hpp"
 
 namespace sch::sim {
 
 class Simulator {
  public:
   /// The simulator keeps its own copy of the program (so temporaries are
-  /// safe); `memory` must outlive the simulator.
+  /// safe); `memory` must outlive the simulator. Throws
+  /// std::invalid_argument when `config.validate()` fails.
   Simulator(Program program, Memory& memory, const SimConfig& config = {});
 
   /// Run to halt. Loads the program's data image first.
@@ -35,7 +35,6 @@ class Simulator {
   [[nodiscard]] const Tcdm& tcdm() const { return tcdm_; }
   [[nodiscard]] const FpSubsystem& fp() const { return *fp_; }
   [[nodiscard]] const IntCore& core() const { return *core_; }
-  [[nodiscard]] const Trace& trace() const { return trace_; }
   [[nodiscard]] HaltReason halt_reason() const { return halt_; }
   [[nodiscard]] const std::string& error() const { return error_; }
 
@@ -44,7 +43,6 @@ class Simulator {
 
  private:
   void tick();
-  void record_trace();
   [[nodiscard]] bool fully_halted() const;
 
   Program prog_;
@@ -54,7 +52,6 @@ class Simulator {
   Tcdm tcdm_;
   std::unique_ptr<FpSubsystem> fp_;
   std::unique_ptr<IntCore> core_;
-  Trace trace_;
 
   Cycle cycle_ = 0;
   u32 ssr_rr_ = 0; // round-robin rotation of SSR port order

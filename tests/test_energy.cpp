@@ -4,7 +4,7 @@
 
 #include "energy/activity.hpp"
 #include "energy/energy_model.hpp"
-#include "kernels/runner.hpp"
+#include "api/engine.hpp"
 #include "kernels/stencil.hpp"
 #include "kernels/vecop.hpp"
 
@@ -81,7 +81,7 @@ TEST(EnergyModel, CalibrationBand) {
   // (58-64 mW) at the default operating point.
   const auto k = kernels::build_stencil(kernels::StencilKind::kBox3d1r,
                                         kernels::StencilVariant::kChaining, {});
-  const auto r = kernels::run_on_simulator(k);
+  const auto r = api::run(api::RunRequest::for_built(k));
   ASSERT_TRUE(r.ok) << r.error;
   EXPECT_GT(r.energy.power_mw, 55.0);
   EXPECT_LT(r.energy.power_mw, 67.0);

@@ -3,10 +3,11 @@
 #include <gtest/gtest.h>
 
 #include "kernels/gemv.hpp"
-#include "kernels/runner.hpp"
+#include "api/engine.hpp"
 
 namespace sch::kernels {
 namespace {
+
 
 class GemvVariants : public ::testing::TestWithParam<GemvVariant> {};
 
@@ -15,9 +16,9 @@ TEST_P(GemvVariants, ValidatesOnBothEngines) {
                              GemvParams{.m = 32, .n = 24},
                              GemvParams{.m = 4, .n = 1}}) {
     const BuiltKernel k = build_gemv(GetParam(), p);
-    const IssRunResult ir = run_on_iss(k);
+    const api::RunReport ir = api::run_built_iss(k);
     EXPECT_TRUE(ir.ok) << p.m << "x" << p.n << ": " << ir.error;
-    const RunResult sr = run_on_simulator(k);
+    const api::RunReport sr = api::run_built(k);
     EXPECT_TRUE(sr.ok) << p.m << "x" << p.n << ": " << sr.error;
   }
 }
@@ -35,8 +36,8 @@ TEST(Gemv, ChainingSavesRegistersAtEqualThroughput) {
   const GemvParams p{.m = 64, .n = 32};
   const BuiltKernel ku = build_gemv(GemvVariant::kUnrolledAcc, p);
   const BuiltKernel kc = build_gemv(GemvVariant::kChained, p);
-  const RunResult ru = run_on_simulator(ku);
-  const RunResult rc = run_on_simulator(kc);
+  const api::RunReport ru = api::run_built(ku);
+  const api::RunReport rc = api::run_built(kc);
   ASSERT_TRUE(ru.ok) << ru.error;
   ASSERT_TRUE(rc.ok) << rc.error;
   // Same throughput within 2%...

@@ -4,12 +4,13 @@
 // stalls of the baseline without the register cost of unrolling).
 #include <gtest/gtest.h>
 
-#include "kernels/runner.hpp"
+#include "api/engine.hpp"
 #include "kernels/stencil.hpp"
 #include "kernels/vecop.hpp"
 
 namespace sch::kernels {
 namespace {
+
 
 // --- vecop (Fig. 1) ---------------------------------------------------------
 
@@ -17,9 +18,9 @@ class VecopAllVariants : public ::testing::TestWithParam<VecopVariant> {};
 
 TEST_P(VecopAllVariants, IssAndSimValidate) {
   const BuiltKernel k = build_vecop(GetParam(), {.n = 64, .b = 2.0});
-  const IssRunResult ir = run_on_iss(k);
+  const api::RunReport ir = api::run_built_iss(k);
   EXPECT_TRUE(ir.ok) << ir.error;
-  const RunResult sr = run_on_simulator(k);
+  const api::RunReport sr = api::run_built(k);
   EXPECT_TRUE(sr.ok) << sr.error;
 }
 
@@ -38,8 +39,8 @@ INSTANTIATE_TEST_SUITE_P(AllVariants, VecopAllVariants,
 
 TEST(Vecop, ChainingRemovesBaselineStalls) {
   const VecopParams p{.n = 256, .b = 2.0};
-  const RunResult base = run_on_simulator(build_vecop(VecopVariant::kBaseline, p));
-  const RunResult chained = run_on_simulator(build_vecop(VecopVariant::kChained, p));
+  const api::RunReport base = api::run_built(build_vecop(VecopVariant::kBaseline, p));
+  const api::RunReport chained = api::run_built(build_vecop(VecopVariant::kChained, p));
   ASSERT_TRUE(base.ok) << base.error;
   ASSERT_TRUE(chained.ok) << chained.error;
   // Fig. 1a wastes fpu_depth cycles per element pair on the RAW dependency.
@@ -53,8 +54,8 @@ TEST(Vecop, ChainingMatchesUnrolledSpeedWithoutRegisterCost) {
   const VecopParams p{.n = 256, .b = 2.0};
   const BuiltKernel unrolled = build_vecop(VecopVariant::kUnrolled, p);
   const BuiltKernel chained = build_vecop(VecopVariant::kChained, p);
-  const RunResult ru = run_on_simulator(unrolled);
-  const RunResult rc = run_on_simulator(chained);
+  const api::RunReport ru = api::run_built(unrolled);
+  const api::RunReport rc = api::run_built(chained);
   ASSERT_TRUE(ru.ok) << ru.error;
   ASSERT_TRUE(rc.ok) << rc.error;
   // Same schedule quality (within 2%)...
@@ -68,8 +69,8 @@ TEST(Vecop, ChainingMatchesUnrolledSpeedWithoutRegisterCost) {
 
 TEST(Vecop, FrepEliminatesLoopOverhead) {
   const VecopParams p{.n = 1024, .b = 2.0};
-  const RunResult rc = run_on_simulator(build_vecop(VecopVariant::kChained, p));
-  const RunResult rf = run_on_simulator(build_vecop(VecopVariant::kChainedFrep, p));
+  const api::RunReport rc = api::run_built(build_vecop(VecopVariant::kChained, p));
+  const api::RunReport rf = api::run_built(build_vecop(VecopVariant::kChainedFrep, p));
   ASSERT_TRUE(rc.ok) << rc.error;
   ASSERT_TRUE(rf.ok) << rf.error;
   EXPECT_LT(rf.cycles, rc.cycles);
@@ -86,10 +87,10 @@ TEST(Vecop, DeeperPipelinesFavorChaining) {
     sim::SimConfig cfg;
     cfg.fpu_depth = depth;
     const VecopParams p{.n = 240, .b = 2.0, .unroll = depth + 1};
-    const RunResult base =
-        run_on_simulator(build_vecop(VecopVariant::kBaseline, p), cfg);
-    const RunResult chained =
-        run_on_simulator(build_vecop(VecopVariant::kChained, p), cfg);
+    const api::RunReport base =
+        api::run_built(build_vecop(VecopVariant::kBaseline, p), cfg);
+    const api::RunReport chained =
+        api::run_built(build_vecop(VecopVariant::kChained, p), cfg);
     ASSERT_TRUE(base.ok) << base.error;
     ASSERT_TRUE(chained.ok) << chained.error;
     const double gain = static_cast<double>(base.cycles) /
@@ -106,8 +107,8 @@ TEST(Vecop, ChainedUnrollBeyondFifoCapacityDeadlocks) {
   sim::SimConfig cfg;
   cfg.fpu_depth = 2; // capacity 3 < unroll 4
   cfg.deadlock_cycles = 2000;
-  const RunResult r =
-      run_on_simulator(build_vecop(VecopVariant::kChained, {.n = 64}), cfg);
+  const api::RunReport r =
+      api::run_built(build_vecop(VecopVariant::kChained, {.n = 64}), cfg);
   EXPECT_FALSE(r.ok);
   EXPECT_NE(r.error.find("deadlock"), std::string::npos) << r.error;
 }
@@ -124,9 +125,9 @@ class StencilAllVariants : public ::testing::TestWithParam<StencilCase> {};
 TEST_P(StencilAllVariants, IssAndSimValidateBitExact) {
   const StencilParams params{.nx = 8, .ny = 8, .nz = 8}; // 216 points
   const BuiltKernel k = build_stencil(GetParam().kind, GetParam().variant, params);
-  const IssRunResult ir = run_on_iss(k);
+  const api::RunReport ir = api::run_built_iss(k);
   EXPECT_TRUE(ir.ok) << ir.error;
-  const RunResult sr = run_on_simulator(k);
+  const api::RunReport sr = api::run_built(k);
   EXPECT_TRUE(sr.ok) << sr.error;
   EXPECT_EQ(sr.perf.fpu_ops >= k.useful_flops, true)
       << "fpu ops " << sr.perf.fpu_ops << " < useful flops " << k.useful_flops;
@@ -189,12 +190,12 @@ TEST(Stencil, UtilizationOrderingMatchesPaper) {
   // Base-- the lowest, for both stencils.
   const StencilParams p{.nx = 10, .ny = 10, .nz = 10}; // 512 points
   for (StencilKind kind : {StencilKind::kBox3d1r, StencilKind::kJ3d27pt}) {
-    const RunResult base_mm =
-        run_on_simulator(build_stencil(kind, StencilVariant::kBaseMM, p));
-    const RunResult base =
-        run_on_simulator(build_stencil(kind, StencilVariant::kBase, p));
-    const RunResult chain_plus =
-        run_on_simulator(build_stencil(kind, StencilVariant::kChainingPlus, p));
+    const api::RunReport base_mm =
+        api::run_built(build_stencil(kind, StencilVariant::kBaseMM, p));
+    const api::RunReport base =
+        api::run_built(build_stencil(kind, StencilVariant::kBase, p));
+    const api::RunReport chain_plus =
+        api::run_built(build_stencil(kind, StencilVariant::kChainingPlus, p));
     ASSERT_TRUE(base_mm.ok) << base_mm.error;
     ASSERT_TRUE(base.ok) << base.error;
     ASSERT_TRUE(chain_plus.ok) << chain_plus.error;
@@ -210,10 +211,10 @@ TEST(Stencil, CoefficientStreamingCostsL1Energy) {
   // Base streams every coefficient use from L1; Chaining reads them from the
   // RF. The paper attributes Base's higher power to exactly this traffic.
   const StencilParams p{.nx = 10, .ny = 10, .nz = 10};
-  const RunResult base =
-      run_on_simulator(build_stencil(StencilKind::kBox3d1r, StencilVariant::kBase, p));
-  const RunResult chained =
-      run_on_simulator(build_stencil(StencilKind::kBox3d1r, StencilVariant::kChaining, p));
+  const api::RunReport base =
+      api::run_built(build_stencil(StencilKind::kBox3d1r, StencilVariant::kBase, p));
+  const api::RunReport chained =
+      api::run_built(build_stencil(StencilKind::kBox3d1r, StencilVariant::kChaining, p));
   ASSERT_TRUE(base.ok) << base.error;
   ASSERT_TRUE(chained.ok) << chained.error;
   EXPECT_GT(base.tcdm_reads, chained.tcdm_reads);
@@ -238,9 +239,9 @@ TEST(Stencil, ProductionGridCrossValidation) {
   const StencilParams p{};
   for (StencilVariant v : {StencilVariant::kBase, StencilVariant::kChainingPlus}) {
     const BuiltKernel k = build_stencil(StencilKind::kJ3d27pt, v, p);
-    const IssRunResult ir = run_on_iss(k);
+    const api::RunReport ir = api::run_built_iss(k);
     ASSERT_TRUE(ir.ok) << ir.error;
-    const RunResult sr = run_on_simulator(k);
+    const api::RunReport sr = api::run_built(k);
     ASSERT_TRUE(sr.ok) << sr.error;
     // Both validated bit-exactly against the same golden; instruction-level
     // agreement follows. Sanity: the simulator executed at least as many

@@ -16,7 +16,6 @@
 #include "bench_common.hpp"
 #include "iss/iss.hpp"
 #include "kernels/gemv.hpp"
-#include "kernels/runner.hpp"
 #include "kernels/stencil.hpp"
 #include "kernels/vecop.hpp"
 #include "mem/memory.hpp"

@@ -12,12 +12,13 @@
 #include "kernels/conv2d.hpp"
 #include "kernels/dot.hpp"
 #include "kernels/gemm.hpp"
-#include "kernels/runner.hpp"
+#include "api/engine.hpp"
 #include "mem/memory.hpp"
 #include "sim/simulator.hpp"
 
 namespace sch::kernels {
 namespace {
+
 
 std::vector<BuiltKernel> new_kernels() {
   std::vector<BuiltKernel> out;
@@ -39,9 +40,9 @@ std::vector<BuiltKernel> new_kernels() {
 TEST(NewKernels, GoldenValidationOnBothEngines) {
   for (const BuiltKernel& k : new_kernels()) {
     SCOPED_TRACE(k.name);
-    const IssRunResult ir = run_on_iss(k);
+    const api::RunReport ir = api::run_built_iss(k);
     EXPECT_TRUE(ir.ok) << ir.error;
-    const RunResult sr = run_on_simulator(k);
+    const api::RunReport sr = api::run_built(k);
     EXPECT_TRUE(sr.ok) << sr.error;
     EXPECT_GE(sr.perf.fpu_ops, k.useful_flops);
   }
@@ -80,8 +81,8 @@ TEST(NewKernels, IssAndSimulatorLockstep) {
 
 TEST(NewKernels, AxpyChainingRemovesMulAddStalls) {
   const AxpyParams p{.n = 512};
-  const RunResult base = run_on_simulator(build_axpy(AxpyVariant::kBaseline, p));
-  const RunResult chained = run_on_simulator(build_axpy(AxpyVariant::kChained, p));
+  const api::RunReport base = api::run_built(build_axpy(AxpyVariant::kBaseline, p));
+  const api::RunReport chained = api::run_built(build_axpy(AxpyVariant::kChained, p));
   ASSERT_TRUE(base.ok) << base.error;
   ASSERT_TRUE(chained.ok) << chained.error;
   // The fadd waits ~fpu_depth-1 cycles on its product every element.
@@ -98,8 +99,8 @@ TEST(NewKernels, AxpyChainingRemovesMulAddStalls) {
 
 TEST(NewKernels, DotChainingBreaksTheSerialReduction) {
   const DotParams p{.n = 512};
-  const RunResult base = run_on_simulator(build_dot(DotVariant::kBaseline, p));
-  const RunResult chained = run_on_simulator(build_dot(DotVariant::kChained, p));
+  const api::RunReport base = api::run_built(build_dot(DotVariant::kBaseline, p));
+  const api::RunReport chained = api::run_built(build_dot(DotVariant::kChained, p));
   ASSERT_TRUE(base.ok) << base.error;
   ASSERT_TRUE(chained.ok) << chained.error;
   // Baseline: every fmadd stalls on the previous one -> utilization near
@@ -112,8 +113,8 @@ TEST(NewKernels, DotChainingBreaksTheSerialReduction) {
 
 TEST(NewKernels, GemmChainedInterleaveApproachesFullUtilization) {
   const GemmParams p{.m = 16, .k = 16, .n = 16};
-  const RunResult base = run_on_simulator(build_gemm(GemmVariant::kBaseline, p));
-  const RunResult chained = run_on_simulator(build_gemm(GemmVariant::kChained, p));
+  const api::RunReport base = api::run_built(build_gemm(GemmVariant::kBaseline, p));
+  const api::RunReport chained = api::run_built(build_gemm(GemmVariant::kChained, p));
   ASSERT_TRUE(base.ok) << base.error;
   ASSERT_TRUE(chained.ok) << chained.error;
   EXPECT_LT(base.fpu_utilization, 0.5);
@@ -127,8 +128,8 @@ TEST(NewKernels, GemmChainedInterleaveApproachesFullUtilization) {
 
 TEST(NewKernels, Conv2dChainedInterleaveBeatsSerialTaps) {
   const Conv2dParams p{.h = 12, .w = 18};
-  const RunResult base = run_on_simulator(build_conv2d(Conv2dVariant::kBaseline, p));
-  const RunResult chained = run_on_simulator(build_conv2d(Conv2dVariant::kChained, p));
+  const api::RunReport base = api::run_built(build_conv2d(Conv2dVariant::kBaseline, p));
+  const api::RunReport chained = api::run_built(build_conv2d(Conv2dVariant::kChained, p));
   ASSERT_TRUE(base.ok) << base.error;
   ASSERT_TRUE(chained.ok) << chained.error;
   EXPECT_LT(base.fpu_utilization, 0.5);
@@ -161,17 +162,17 @@ TEST(NewKernels, InvalidParamsRejected) {
 TEST(NewKernels, UnrollTracksPipelineDepth) {
   for (u32 unroll : {2u, 3u, 4u}) {
     SCOPED_TRACE(unroll);
-    const RunResult a = run_on_simulator(
+    const api::RunReport a = api::run_built(
         build_axpy(AxpyVariant::kChained, {.n = 240, .unroll = unroll}));
     EXPECT_TRUE(a.ok) << a.error;
-    const RunResult d = run_on_simulator(
+    const api::RunReport d = api::run_built(
         build_dot(DotVariant::kChained, {.n = 240, .unroll = unroll}));
     EXPECT_TRUE(d.ok) << d.error;
   }
   // unroll 6 needs a 5-deep FPU (capacity 6).
   sim::SimConfig cfg;
   cfg.fpu_depth = 5;
-  const RunResult d = run_on_simulator(
+  const api::RunReport d = api::run_built(
       build_dot(DotVariant::kChained, {.n = 240, .unroll = 6}), cfg);
   EXPECT_TRUE(d.ok) << d.error;
 }

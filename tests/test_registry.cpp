@@ -4,10 +4,11 @@
 #include <gtest/gtest.h>
 
 #include "kernels/registry.hpp"
-#include "kernels/runner.hpp"
+#include "api/engine.hpp"
 
 namespace sch::kernels {
 namespace {
+
 
 TEST(Registry, BuiltinsArePopulatedAndSorted) {
   Registry& r = Registry::instance();
@@ -69,7 +70,7 @@ TEST(Registry, EveryVariantBuildsAndValidatesAtDefaults) {
       SCOPED_TRACE(e->name + "/" + variant);
       const BuiltKernel k = e->build(variant, sizes);
       EXPECT_FALSE(k.expected.empty());
-      const IssRunResult r = run_on_iss(k);
+      const api::RunReport r = api::run_built_iss(k);
       EXPECT_TRUE(r.ok) << r.error;
     }
   }
@@ -83,8 +84,8 @@ TEST(Registry, ChainedVariantBeatsBaselineUtilization) {
   for (const KernelEntry* e : Registry::instance().entries()) {
     SCOPED_TRACE(e->name);
     const SizeMap sizes = e->resolve_sizes({});
-    const RunResult base = run_on_simulator(e->build(e->baseline_variant, sizes));
-    const RunResult chained = run_on_simulator(e->build(e->chained_variant, sizes));
+    const api::RunReport base = api::run_built(e->build(e->baseline_variant, sizes));
+    const api::RunReport chained = api::run_built(e->build(e->chained_variant, sizes));
     ASSERT_TRUE(base.ok) << base.error;
     ASSERT_TRUE(chained.ok) << chained.error;
     EXPECT_GE(chained.fpu_utilization, 0.98 * base.fpu_utilization);

@@ -211,20 +211,23 @@ TEST(Scenario, RunsJobsAndReportsResults) {
   ASSERT_EQ(jobs.value().size(), 3u);
   const auto results = run_jobs(jobs.value());
   ASSERT_EQ(results.size(), 3u);
-  EXPECT_TRUE(results[0].run.ok) << results[0].run.error;
-  EXPECT_TRUE(results[1].run.ok) << results[1].run.error;
-  EXPECT_FALSE(results[2].run.ok);
-  EXPECT_NE(results[2].run.error.find("multiple of unroll"), std::string::npos)
-      << results[2].run.error;
+  EXPECT_TRUE(results[0].ok) << results[0].error;
+  EXPECT_TRUE(results[1].ok) << results[1].error;
+  EXPECT_FALSE(results[2].ok);
+  EXPECT_NE(results[2].error.find("multiple of unroll"), std::string::npos)
+      << results[2].error;
   // The chained variant's story shows up in the counters.
-  EXPECT_GT(results[1].run.fpu_utilization, results[0].run.fpu_utilization);
+  EXPECT_GT(results[1].fpu_utilization, results[0].fpu_utilization);
 
-  const Json report = make_report(sc.value(), jobs.value(), results);
+  const Json report = make_report(sc.value(), jobs.value(), results,
+                                  api::default_engine().worker_count());
   EXPECT_EQ(report.get("scenario")->as_string(), "mini");
+  EXPECT_EQ(report.get("schema")->as_i64(), api::RunReport::kSchemaVersion);
   EXPECT_EQ(report.get("jobs")->as_i64(), 3);
   EXPECT_EQ(report.get("failures")->as_i64(), 1);
   ASSERT_EQ(report.get("results")->items().size(), 3u);
   const Json& row = report.get("results")->items()[0];
+  EXPECT_EQ(row.get("schema")->as_i64(), api::RunReport::kSchemaVersion);
   EXPECT_EQ(row.get("kernel")->as_string(), "dot");
   EXPECT_EQ(row.get("variant")->as_string(), "baseline");
   EXPECT_EQ(row.get("sizes")->get("n")->as_i64(), 64);

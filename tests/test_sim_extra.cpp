@@ -4,6 +4,7 @@
 // offload-queue saturation, and trace recording.
 #include <gtest/gtest.h>
 
+#include "api/engine.hpp"
 #include "asm/assembler.hpp"
 #include "iss/exec_semantics.hpp"
 #include "mem/memory.hpp"
@@ -384,21 +385,24 @@ v: .double 1.0, 2.0
   EXPECT_GT(r.perf.stall_offload_full, 10u);
 }
 
-TEST(SimTrace, RecordsIssueAndPipeline) {
-  Memory mem;
-  sim::SimConfig cfg;
-  cfg.trace = true;
-  sim::Simulator s(prog(R"(
+TEST(SimTrace, TraceObserverRecordsIssueAndPipeline) {
+  // Trace recording is an Observer client of the unified engine: one entry
+  // per simulated cycle, rebuilt from the public simulator surface.
+  api::RunRequest request = api::RunRequest::for_program(prog(R"(
     li a0, 1
     li a1, 2
     add a2, a0, a1
     ecall
-  )"), mem, cfg);
-  ASSERT_EQ(s.run(), HaltReason::kEcall) << s.error();
-  ASSERT_FALSE(s.trace().entries().empty());
-  EXPECT_EQ(s.trace().entries().size(), s.cycles());
+  )"));
+  request.config.trace = true;
+  api::TraceObserver tracer;
+  request.observers.push_back(&tracer);
+  const api::RunReport report = api::run(request);
+  ASSERT_TRUE(report.ok) << report.error;
+  ASSERT_FALSE(tracer.trace().entries().empty());
+  EXPECT_EQ(tracer.trace().entries().size(), report.cycles);
   // The issue table must mention the add.
-  EXPECT_NE(s.trace().format_issue_table().find("add a2, a0, a1"),
+  EXPECT_NE(tracer.trace().format_issue_table().find("add a2, a0, a1"),
             std::string::npos);
 }
 

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Validate a scenario/engine JSON report against the pinned RunReport schema.
+
+Usage: check_report_schema.py report.json [report2.json ...]
+
+The schema version and the per-row key set are pinned here AND in
+src/api/run_report.hpp (kSchemaVersion) plus the golden test in
+tests/test_api.cpp; all three must move together.
+"""
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+# Required keys of one RunReport row and their JSON types. "error" is
+# present only on failed rows, so it is checked conditionally.
+ROW_KEYS = {
+    "schema": int,
+    "name": str,
+    "kernel": str,
+    "variant": str,
+    "engine": str,
+    "ok": bool,
+    "cycles": int,
+    "retired": int,
+    "fpu_ops": int,
+    "fpu_utilization": (int, float),
+    "useful_flops": int,
+    "iss_instructions": int,
+    "mismatches": int,
+    "lockstep_mismatches": int,
+    "stalls": dict,
+    "tcdm": dict,
+    "energy": dict,
+    "regs": dict,
+    "wall_s": (int, float),
+}
+STALL_KEYS = [
+    "fp_raw", "fp_waw", "chain_empty", "chain_full", "ssr_empty", "ssr_wfull",
+    "fpu_busy", "fp_lsu", "offload_full", "int_raw", "int_lsu", "csr_barrier",
+    "branch_bubbles",
+]
+TCDM_KEYS = ["reads", "writes", "conflicts"]
+ENERGY_KEYS = ["power_mw", "energy_per_cycle_pj", "fpu_ops_per_joule"]
+REGS_KEYS = ["fp_used", "accumulator", "chained", "ssr"]
+ENGINES = {"iss", "cycle", "both"}
+
+
+def fail(path, message):
+    print(f"{path}: SCHEMA ERROR: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_row(path, i, row):
+    where = f"results[{i}]"
+    for key, ty in ROW_KEYS.items():
+        if key not in row:
+            fail(path, f"{where}: missing key '{key}'")
+        if not isinstance(row[key], ty) or isinstance(row[key], bool) != (ty is bool):
+            fail(path, f"{where}: key '{key}' has type {type(row[key]).__name__}")
+    if row["schema"] != SCHEMA_VERSION:
+        fail(path, f"{where}: schema {row['schema']} != pinned {SCHEMA_VERSION}")
+    if row["engine"] not in ENGINES:
+        fail(path, f"{where}: unknown engine '{row['engine']}'")
+    if not row["ok"] and "error" not in row:
+        fail(path, f"{where}: failed row without an 'error' message")
+    for key in STALL_KEYS:
+        if key not in row["stalls"]:
+            fail(path, f"{where}: stalls missing '{key}'")
+    for key in TCDM_KEYS:
+        if key not in row["tcdm"]:
+            fail(path, f"{where}: tcdm missing '{key}'")
+    for key in ENERGY_KEYS:
+        if key not in row["energy"]:
+            fail(path, f"{where}: energy missing '{key}'")
+    for key in REGS_KEYS:
+        if key not in row["regs"]:
+            fail(path, f"{where}: regs missing '{key}'")
+
+
+def check_report(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA_VERSION:
+        fail(path, f"top-level schema {doc.get('schema')} != pinned {SCHEMA_VERSION}")
+    for key in ("scenario", "jobs", "failures", "workers", "results"):
+        if key not in doc:
+            fail(path, f"missing top-level key '{key}'")
+    rows = doc["results"]
+    if len(rows) != doc["jobs"]:
+        fail(path, f"jobs={doc['jobs']} but {len(rows)} result rows")
+    failures = sum(1 for row in rows if not row.get("ok", False))
+    if failures != doc["failures"]:
+        fail(path, f"failures={doc['failures']} but {failures} failed rows")
+    for i, row in enumerate(rows):
+        check_row(path, i, row)
+    print(f"{path}: ok ({len(rows)} rows, schema {SCHEMA_VERSION})")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in sys.argv[1:]:
+        check_report(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

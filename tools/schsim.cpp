@@ -4,10 +4,16 @@
 //       Show every kernel family in the registry: variants, size
 //       parameters and defaults.
 //
-//   schsim run scenario.json [--out report.json]
+//   schsim run scenario.json [--out report.json] [--threads N]
+//              [--engine iss|cycle|both]
 //       Expand a declarative scenario file (kernel x variants x sizes x
-//       sim overrides x repeat) into a job batch, execute it on the worker
-//       pool and write one JSON report (see docs/ADDING_A_KERNEL.md).
+//       sim overrides x repeat) into a job batch, execute it on the unified
+//       engine's worker pool and write one JSON report (see docs/API.md).
+//         --threads N           worker threads (overrides SCH_SWEEP_THREADS
+//                               and hardware concurrency)
+//         --engine iss|cycle|both
+//                               execution engine; `both` cross-checks the
+//                               ISS against the cycle-level model
 //
 //   schsim [sim] [options] program.s
 //       Assemble a RISC-V source file (with the Xssr/Xfrep/Xchain
@@ -41,7 +47,8 @@ using namespace sch;
 void usage() {
   std::fprintf(stderr,
                "usage: schsim list-kernels\n"
-               "       schsim run scenario.json [--out report.json]\n"
+               "       schsim run scenario.json [--out report.json] [--threads N]\n"
+               "              [--engine iss|cycle|both]\n"
                "       schsim [sim] [--iss] [--trace] [--dataflow] [--energy]\n"
                "              [--banks N] [--fpu-depth N] [--strict-handoff]\n"
                "              [--max-cycles N] [--dump ADDR COUNT] program.s\n");
@@ -112,15 +119,28 @@ int cmd_list_kernels() {
 
 int cmd_run(int argc, char** argv) {
   std::string scenario_path;
-  std::string out_path;
+  scenario::ScenarioRunOptions options;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--out") {
+    auto next = [&](const char* what) -> const char* {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "schsim run: missing argument for --out\n");
+        std::fprintf(stderr, "schsim run: missing argument for %s\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      options.output_override = next("--out");
+    } else if (arg == "--threads") {
+      options.threads = parse_u32_arg(next("--threads"), "--threads", 1, 4096);
+    } else if (arg == "--engine") {
+      const char* name = next("--engine");
+      if (!api::parse_engine(name, options.engine)) {
+        std::fprintf(stderr,
+                     "schsim run: --engine: '%s' is not iss, cycle or both\n",
+                     name);
         return 2;
       }
-      out_path = argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "schsim run: unknown option: %s\n", arg.c_str());
       return 2;
@@ -132,11 +152,13 @@ int cmd_run(int argc, char** argv) {
     }
   }
   if (scenario_path.empty()) {
-    std::fprintf(stderr, "usage: schsim run scenario.json [--out report.json]\n");
+    std::fprintf(stderr,
+                 "usage: schsim run scenario.json [--out report.json] "
+                 "[--threads N] [--engine iss|cycle|both]\n");
     return 2;
   }
   const Result<scenario::ScenarioOutcome> outcome =
-      scenario::run_scenario_file(scenario_path, out_path, std::cout);
+      scenario::run_scenario_file(scenario_path, options, std::cout);
   if (!outcome.ok()) {
     std::fprintf(stderr, "%s\n", outcome.status().message().c_str());
     return 1;
@@ -212,44 +234,63 @@ int cmd_sim(int argc, char** argv) {
                  assembled.status().message().c_str());
     return 1;
   }
-  const Program program = std::move(assembled).value();
+  Program program = std::move(assembled).value();
   std::printf("%s: %zu instructions, %zu data bytes\n", path.c_str(),
               program.num_instrs(), program.data.size());
 
-  Memory memory;
+  // An Observer probe that snapshots the requested memory window while the
+  // final machine state is still alive (the engine owns the run's memory).
+  struct DumpObserver : api::Observer {
+    Addr addr = 0;
+    u32 count = 0;
+    std::vector<double> values;
+    void on_halt(const api::RunReport&, const sim::Simulator*,
+                 const Memory* memory) override {
+      if (memory == nullptr) return;
+      for (u32 i = 0; i < count; ++i) {
+        values.push_back(memory->load_f64(addr + 8 * i));
+      }
+    }
+  };
+
+  api::RunRequest request = api::RunRequest::for_program(
+      std::move(program), path, use_iss ? api::EngineSel::kIss : api::EngineSel::kCycle);
+  request.config = cfg;
+  api::ProgressObserver progress(std::cout);
+  api::TraceObserver tracer;
+  DumpObserver dumper;
+  dumper.addr = dump_addr;
+  dumper.count = dump_count;
+  request.observers.push_back(&progress);
+  if (want_trace || want_dataflow) request.observers.push_back(&tracer);
+  if (dump_count > 0) request.observers.push_back(&dumper);
+
+  const api::RunReport report = api::run(request);
   int status = 0;
+  if (!report.ok) {
+    std::fprintf(stderr, "abnormal halt: %s\n", report.error.c_str());
+    status = 1;
+  }
   if (use_iss) {
-    Iss iss(program, memory);
-    const HaltReason halt = iss.run();
-    if (halt != HaltReason::kEcall && halt != HaltReason::kEbreak) {
-      std::fprintf(stderr, "abnormal halt: %s\n", iss.error().c_str());
-      status = 1;
-    }
     std::printf("ISS: %llu instructions retired\n",
-                static_cast<unsigned long long>(iss.instret()));
+                static_cast<unsigned long long>(report.iss_instructions));
   } else {
-    sim::Simulator simulator(program, memory, cfg);
-    const HaltReason halt = simulator.run();
-    if (halt != HaltReason::kEcall && halt != HaltReason::kEbreak) {
-      std::fprintf(stderr, "abnormal halt: %s\n", simulator.error().c_str());
-      status = 1;
-    }
-    print_perf(simulator.perf());
+    print_perf(report.perf);
     if (want_energy) {
-      std::printf("%s", energy::format_report(energy::evaluate_run(simulator)).c_str());
+      std::printf("%s", energy::format_report(report.energy).c_str());
     }
     if (want_trace) {
-      std::printf("\n%s", simulator.trace().format_issue_table().c_str());
+      std::printf("\n%s", tracer.trace().format_issue_table().c_str());
     }
     if (want_dataflow) {
-      std::printf("\n%s", simulator.trace().format_dataflow(128).c_str());
+      std::printf("\n%s", tracer.trace().format_dataflow(128).c_str());
     }
   }
 
   if (dump_count > 0) {
     std::printf("\nmemory dump @ 0x%x:\n", dump_addr);
-    for (u32 i = 0; i < dump_count; ++i) {
-      std::printf("  [%3u] %g\n", i, memory.load_f64(dump_addr + 8 * i));
+    for (u32 i = 0; i < dumper.values.size(); ++i) {
+      std::printf("  [%3u] %g\n", i, dumper.values[i]);
     }
   }
   return status;
