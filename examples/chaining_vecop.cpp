@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
       case VecopVariant::kUnrolled: note = "+3 architectural registers (Fig. 1b)"; break;
       case VecopVariant::kChained: note = "chain FIFO on ft3, +0 registers (Fig. 1c)"; break;
       case VecopVariant::kChainedFrep: note = "+ hardware loop"; break;
+      case VecopVariant::kChainedPar: note = "cluster-partitioned"; break;
     }
     std::printf("%-14s %-10llu %-10.3f %-12llu %-10u %s\n",
                 kernels::vecop_variant_name(v),

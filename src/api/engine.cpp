@@ -102,7 +102,8 @@ RunReport execute(const RunRequest& request) {
   // --- resolve the workload -------------------------------------------------
   kernels::BuiltKernel registry_built;  // storage for registry-form builds
   const kernels::BuiltKernel* built = nullptr;
-  const Program* program = nullptr;
+  const Program* program = nullptr;          // single program (replicated)
+  const std::vector<Program>* programs = nullptr;  // one per core
   Validation validation = request.validation;
 
   if (request.built.has_value()) {
@@ -121,6 +122,9 @@ RunReport execute(const RunRequest& request) {
       return finish_failed(report.name + ": " + e.what());
     }
     built = &registry_built;
+  } else if (!request.programs.empty()) {
+    programs = &request.programs;
+    validation = Validation::kNone;  // no golden reference exists
   } else if (request.program.has_value()) {
     program = &*request.program;
     validation = Validation::kNone;  // no golden reference exists
@@ -132,24 +136,58 @@ RunReport execute(const RunRequest& request) {
     report.regs = built->regs;
     report.useful_flops = built->useful_flops;
   }
-  const Program& prog = built != nullptr ? built->program : *program;
 
   const Status config_ok = request.config.validate();
   if (!config_ok.is_ok()) {
     return finish_failed(report.name + ": " + config_ok.message());
   }
+  const u32 num_cores = request.config.num_cores;
+  report.num_cores = num_cores;
+  if (programs != nullptr && programs->size() != num_cores) {
+    return finish_failed(report.name + ": " + std::to_string(programs->size()) +
+                         " programs for " + std::to_string(num_cores) +
+                         " cores (config.num_cores must match)");
+  }
+  // Program of hart h (one per core, or one replicated across the cluster).
+  const auto hart_program = [&](u32 h) -> const Program& {
+    if (programs != nullptr) return (*programs)[h];
+    return built != nullptr ? built->program : *program;
+  };
 
   // --- functional ISS -------------------------------------------------------
+  // Harts run sequentially against one memory: every data image is loaded
+  // first, then hart 0..N-1 each execute to completion. This validates any
+  // program whose harts communicate only through disjoint memory (the _par
+  // kernels); programs that spin on another hart's stores (barriers) are
+  // cycle-engine-only and would exhaust the ISS step budget here.
   Memory iss_mem;
-  std::optional<Iss> iss;
+  std::vector<ArchState> iss_states;
   if (request.engine == EngineSel::kIss || request.engine == EngineSel::kBoth) {
-    iss.emplace(prog, iss_mem);
-    const HaltReason halt = iss->run();
-    report.iss_instructions = iss->instret();
-    if (!clean_halt(halt)) {
-      fail(report, report.name + ": ISS halted abnormally: " +
-                       (iss->error().empty() ? "(no message)" : iss->error()));
-    } else if (validation == Validation::kGolden && built != nullptr) {
+    iss_mem.load_image(hart_program(0).data_base, hart_program(0).data);
+    if (programs != nullptr) {
+      for (u32 h = 1; h < num_cores; ++h) {
+        iss_mem.load_image(hart_program(h).data_base, hart_program(h).data);
+      }
+    }
+    for (u32 h = 0; h < num_cores; ++h) {
+      IssConfig iss_cfg;
+      iss_cfg.hartid = h;
+      iss_cfg.num_harts = num_cores;
+      iss_cfg.load_image = false;  // preloaded above
+      Iss iss(hart_program(h), iss_mem, iss_cfg);
+      const HaltReason halt = iss.run();
+      report.iss_instructions += iss.instret();
+      iss_states.push_back(iss.state());
+      if (!clean_halt(halt)) {
+        const std::string who =
+            num_cores == 1 ? "ISS" : "ISS hart " + std::to_string(h);
+        fail(report, report.name + ": " + who + " halted abnormally: " +
+                         (iss.error().empty() ? "(no message)" : iss.error()));
+        break;
+      }
+    }
+    if (report.error.empty() && validation == Validation::kGolden &&
+        built != nullptr) {
       std::string detail;
       const u64 bad = count_mismatches(iss_mem, *built, detail);
       if (bad != 0) {
@@ -165,15 +203,30 @@ RunReport execute(const RunRequest& request) {
   Memory sim_mem;
   std::optional<sim::Simulator> simulator;
   if (request.engine == EngineSel::kCycle || request.engine == EngineSel::kBoth) {
-    simulator.emplace(prog, sim_mem, request.config);
+    if (programs != nullptr) {
+      simulator.emplace(*programs, sim_mem, request.config);
+    } else {
+      simulator.emplace(hart_program(0), sim_mem, request.config);
+    }
     drive_simulator(*simulator, request.observers);
     report.cycles = simulator->cycles();
     report.perf = simulator->perf();
-    report.fpu_utilization = simulator->perf().fpu_utilization();
+    // Cluster-mean utilization: reduces to fpu_ops / cycles for one core.
+    report.fpu_utilization = simulator->perf().fpu_utilization() / num_cores;
+    for (u32 h = 0; h < num_cores; ++h) {
+      const sim::Core& core = simulator->core_at(h);
+      RunReport::CoreReport cr;
+      cr.cycles = core.perf().cycles;
+      cr.perf = core.perf();
+      cr.fpu_utilization = core.perf().fpu_utilization();
+      report.cores.push_back(std::move(cr));
+    }
     report.energy = energy::evaluate_run(*simulator, request.energy);
     report.tcdm_reads = simulator->tcdm().stats().reads;
     report.tcdm_writes = simulator->tcdm().stats().writes;
     report.tcdm_conflicts = simulator->tcdm().stats().conflicts;
+    report.tcdm_out_of_range = simulator->tcdm().stats().out_of_range;
+    report.tcdm_top_banks = simulator->tcdm().top_conflict_banks(8);
     if (!clean_halt(simulator->halt_reason())) {
       fail(report,
            report.name + ": simulator halted abnormally: " +
@@ -192,28 +245,32 @@ RunReport execute(const RunRequest& request) {
 
   // --- lockstep cross-check -------------------------------------------------
   if (request.engine == EngineSel::kBoth && report.error.empty()) {
-    const ArchState& a = iss->state();
-    const ArchState b = simulator->arch_state();
     std::string first;
-    for (u8 r = 0; r < isa::kNumIntRegs; ++r) {
-      if (a.x[r] != b.x[r]) {
-        ++report.lockstep_mismatches;
-        if (first.empty()) {
-          std::ostringstream os;
-          os << "x" << static_cast<int>(r) << ": iss=" << a.x[r]
-             << " cycle=" << b.x[r];
-          first = os.str();
+    for (u32 h = 0; h < num_cores; ++h) {
+      const std::string hart_tag =
+          num_cores == 1 ? "" : "hart " + std::to_string(h) + " ";
+      const ArchState& a = iss_states[h];
+      const ArchState b = simulator->arch_state(h);
+      for (u8 r = 0; r < isa::kNumIntRegs; ++r) {
+        if (a.x[r] != b.x[r]) {
+          ++report.lockstep_mismatches;
+          if (first.empty()) {
+            std::ostringstream os;
+            os << hart_tag << "x" << static_cast<int>(r) << ": iss=" << a.x[r]
+               << " cycle=" << b.x[r];
+            first = os.str();
+          }
         }
       }
-    }
-    for (u8 r = 0; r < isa::kNumFpRegs; ++r) {
-      if (a.f[r] != b.f[r]) {
-        ++report.lockstep_mismatches;
-        if (first.empty()) {
-          std::ostringstream os;
-          os << "f" << static_cast<int>(r) << ": iss=0x" << std::hex << a.f[r]
-             << " cycle=0x" << b.f[r];
-          first = os.str();
+      for (u8 r = 0; r < isa::kNumFpRegs; ++r) {
+        if (a.f[r] != b.f[r]) {
+          ++report.lockstep_mismatches;
+          if (first.empty()) {
+            std::ostringstream os;
+            os << hart_tag << "f" << static_cast<int>(r) << ": iss=0x"
+               << std::hex << a.f[r] << " cycle=0x" << b.f[r];
+            first = os.str();
+          }
         }
       }
     }
@@ -244,9 +301,9 @@ RunReport execute(const RunRequest& request) {
   report.ok = report.error.empty();
   report.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
 
-  const Memory* final_mem = simulator.has_value()  ? &sim_mem
-                            : iss.has_value()      ? &iss_mem
-                                                   : nullptr;
+  const Memory* final_mem = simulator.has_value() ? &sim_mem
+                            : !iss_states.empty() ? &iss_mem
+                                                  : nullptr;
   const sim::Simulator* final_sim =
       simulator.has_value() ? &*simulator : nullptr;
   for (Observer* o : request.observers) o->on_halt(report, final_sim, final_mem);

@@ -62,7 +62,30 @@ Json RunReport::to_json() const {
   tcdm.set("reads", tcdm_reads);
   tcdm.set("writes", tcdm_writes);
   tcdm.set("conflicts", tcdm_conflicts);
+  tcdm.set("out_of_range", tcdm_out_of_range);
+  Json top = Json::array();
+  for (const auto& [bank, conflicts] : tcdm_top_banks) {
+    Json entry = Json::object();
+    entry.set("bank", static_cast<i64>(bank));
+    entry.set("conflicts", conflicts);
+    top.push_back(std::move(entry));
+  }
+  tcdm.set("top_banks", std::move(top));
   row.set("tcdm", std::move(tcdm));
+  row.set("num_cores", static_cast<i64>(num_cores));
+  Json core_rows = Json::array();
+  for (usize h = 0; h < cores.size(); ++h) {
+    const CoreReport& c = cores[h];
+    Json cr = Json::object();
+    cr.set("hart", static_cast<i64>(h));
+    cr.set("cycles", c.cycles);
+    cr.set("retired", c.perf.total_retired());
+    cr.set("fpu_ops", c.perf.fpu_ops);
+    cr.set("fpu_utilization", c.fpu_utilization);
+    cr.set("stalls", stalls_json(c.perf));
+    core_rows.push_back(std::move(cr));
+  }
+  row.set("cores", std::move(core_rows));
   Json en = Json::object();
   en.set("power_mw", energy.power_mw);
   en.set("energy_per_cycle_pj", energy.energy_per_cycle_pj);

@@ -9,6 +9,8 @@
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "energy/energy_model.hpp"
 #include "kernels/kernel_common.hpp"
@@ -35,7 +37,18 @@ struct RunReport {
   /// Version of the JSON serialization below. Bump on any key change and
   /// update tools/check_report_schema.py + the golden test in
   /// tests/test_api.cpp.
-  static constexpr i64 kSchemaVersion = 1;
+  /// v2: cluster support -- adds "num_cores", the per-core "cores" sections
+  /// and the TCDM "out_of_range"/"top_banks" contention keys; every v1 key
+  /// is unchanged (a num_cores=1 report matches a v1 report field-for-field
+  /// apart from the new sections).
+  static constexpr i64 kSchemaVersion = 2;
+
+  /// Per-core cycle-engine section of a cluster run.
+  struct CoreReport {
+    u64 cycles = 0;  // cycles the core was active (stops at its halt)
+    double fpu_utilization = 0;
+    sim::PerfCounters perf;
+  };
 
   std::string name;     // workload label, e.g. "vecop/chained+frep"
   std::string kernel;   // registry name ("" for raw-program workloads)
@@ -45,13 +58,22 @@ struct RunReport {
   bool ok = false;      // halted cleanly, validated, engines agreed
   std::string error;    // failure description when !ok
 
-  // Cycle-level engine results (zero when engine == kIss).
+  // Cycle-level engine results (zero when engine == kIss). With a cluster,
+  // `cycles` is the cluster cycle count, `perf` aggregates all cores and
+  // `fpu_utilization` is the per-core mean (total fpu_ops / (cycles *
+  // num_cores)); the per-core breakdown lives in `cores`.
   u64 cycles = 0;
   double fpu_utilization = 0;
   sim::PerfCounters perf;
+  u32 num_cores = 1;
+  std::vector<CoreReport> cores;  // size num_cores when the cycle engine ran
   u64 tcdm_reads = 0;
   u64 tcdm_writes = 0;
   u64 tcdm_conflicts = 0;
+  u64 tcdm_out_of_range = 0;
+  /// Hottest banks by conflict count (bank index, conflicts), hottest
+  /// first; at most 8 entries, zero-conflict banks omitted.
+  std::vector<std::pair<u32, u64>> tcdm_top_banks;
   energy::EnergyReport energy;
 
   // ISS results (zero when engine == kCycle).

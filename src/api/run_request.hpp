@@ -43,7 +43,14 @@ struct RunRequest {
   std::optional<kernels::BuiltKernel> built;
 
   /// (c) Raw-program form: an assembled Program and no golden reference.
+  /// With config.num_cores > 1 the program is replicated to every core of
+  /// the cluster (programs partition work by the mhartid/mnumharts CSRs).
   std::optional<Program> program;
+
+  /// (d) Cluster raw form: one program per core (config.num_cores must
+  /// equal programs.size()). No golden reference; all programs share one
+  /// address space and their data images load in hartid order.
+  std::vector<Program> programs;
 
   /// Report label override; defaults to the kernel's name ("kernel/variant"
   /// for registry workloads, "program" for raw programs).
@@ -83,6 +90,19 @@ struct RunRequest {
                                 EngineSel engine = EngineSel::kCycle) {
     RunRequest r;
     r.program = std::move(p);
+    r.label = std::move(label);
+    r.engine = engine;
+    r.validation = Validation::kNone;
+    return r;
+  }
+
+  /// One program per cluster core; sets config.num_cores to match.
+  static RunRequest for_programs(std::vector<Program> programs,
+                                 std::string label = "programs",
+                                 EngineSel engine = EngineSel::kCycle) {
+    RunRequest r;
+    r.config.num_cores = static_cast<u32>(programs.size());
+    r.programs = std::move(programs);
     r.label = std::move(label);
     r.engine = engine;
     r.validation = Validation::kNone;

@@ -25,6 +25,7 @@ const std::map<std::string, u32, std::less<>>& csr_names() {
       {"fcsr", isa::csr::kFcsr},       {"cycle", isa::csr::kCycle},
       {"instret", isa::csr::kInstret}, {"mcycle", isa::csr::kMcycle},
       {"minstret", isa::csr::kMinstret}, {"mhartid", isa::csr::kMhartid},
+      {"mnumharts", isa::csr::kMnumharts},
       {"ssr_enable", isa::csr::kSsrEnable},
       {"chain_mask", isa::csr::kChainMask},
   };

@@ -74,6 +74,8 @@ void ProgramBuilder::srai(u8 rd, u8 rs1, i32 s) { emit(isa::make_i(Mnemonic::kSr
 void ProgramBuilder::add(u8 rd, u8 rs1, u8 rs2) { emit(isa::make_r(Mnemonic::kAdd, rd, rs1, rs2)); }
 void ProgramBuilder::sub(u8 rd, u8 rs1, u8 rs2) { emit(isa::make_r(Mnemonic::kSub, rd, rs1, rs2)); }
 void ProgramBuilder::mul(u8 rd, u8 rs1, u8 rs2) { emit(isa::make_r(Mnemonic::kMul, rd, rs1, rs2)); }
+void ProgramBuilder::divu(u8 rd, u8 rs1, u8 rs2) { emit(isa::make_r(Mnemonic::kDivu, rd, rs1, rs2)); }
+void ProgramBuilder::remu(u8 rd, u8 rs1, u8 rs2) { emit(isa::make_r(Mnemonic::kRemu, rd, rs1, rs2)); }
 void ProgramBuilder::sll(u8 rd, u8 rs1, u8 rs2) { emit(isa::make_r(Mnemonic::kSll, rd, rs1, rs2)); }
 void ProgramBuilder::op_and(u8 rd, u8 rs1, u8 rs2) { emit(isa::make_r(Mnemonic::kAnd, rd, rs1, rs2)); }
 void ProgramBuilder::op_or(u8 rd, u8 rs1, u8 rs2) { emit(isa::make_r(Mnemonic::kOr, rd, rs1, rs2)); }

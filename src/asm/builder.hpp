@@ -55,6 +55,8 @@ class ProgramBuilder {
   void add(u8 rd, u8 rs1, u8 rs2);
   void sub(u8 rd, u8 rs1, u8 rs2);
   void mul(u8 rd, u8 rs1, u8 rs2);
+  void divu(u8 rd, u8 rs1, u8 rs2);
+  void remu(u8 rd, u8 rs1, u8 rs2);
   void sll(u8 rd, u8 rs1, u8 rs2);
   void op_and(u8 rd, u8 rs1, u8 rs2);
   void op_or(u8 rd, u8 rs1, u8 rs2);

@@ -23,6 +23,13 @@ inline constexpr u32 kTcdmSize = 128 * 1024;
 /// Bulk memory region (higher latency).
 inline constexpr Addr kMainBase = 0x2000'0000;
 inline constexpr u32 kMainSize = 4 * 1024 * 1024;
+
+/// True when `addr` falls into the L1 TCDM region (bank-arbitrated). The
+/// one definition of the window; Memory::in_tcdm and the Tcdm arbiter both
+/// delegate here.
+constexpr bool in_tcdm(Addr addr) {
+  return addr >= kTcdmBase && addr < kTcdmBase + kTcdmSize;
+}
 } // namespace memmap
 
 class Program {

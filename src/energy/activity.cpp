@@ -4,16 +4,21 @@ namespace sch::energy {
 
 ActivityCounts collect_activity(const sim::Simulator& simulator) {
   ActivityCounts a;
+  // TCDM stats are cluster-shared; streamer/chain/sequencer activity is
+  // per core and summed across the cluster.
   const TcdmStats& t = simulator.tcdm().stats();
   a.tcdm_reads = t.reads;
   a.tcdm_writes = t.writes;
-  for (u32 i = 0; i < ssr::kNumSsrs; ++i) {
-    const ssr::Streamer::Stats& s = simulator.fp().streamer(i).stats();
-    a.ssr_elements += s.elements_popped + s.elements_pushed;
+  for (u32 h = 0; h < simulator.num_cores(); ++h) {
+    const sim::FpSubsystem& fp = simulator.core_at(h).fp();
+    for (u32 i = 0; i < ssr::kNumSsrs; ++i) {
+      const ssr::Streamer::Stats& s = fp.streamer(i).stats();
+      a.ssr_elements += s.elements_popped + s.elements_pushed;
+    }
+    const chain::ChainUnit::Stats& c = fp.chain().stats();
+    a.chain_ops += c.pushes + c.pops;
+    a.seq_replays += fp.sequencer().stats().replayed_ops;
   }
-  const chain::ChainUnit::Stats& c = simulator.fp().chain().stats();
-  a.chain_ops = c.pushes + c.pops;
-  a.seq_replays = simulator.fp().sequencer().stats().replayed_ops;
   return a;
 }
 

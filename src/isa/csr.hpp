@@ -16,6 +16,10 @@ inline constexpr u32 kInstret = 0xC02;
 inline constexpr u32 kMcycle = 0xB00;
 inline constexpr u32 kMinstret = 0xB02;
 inline constexpr u32 kMhartid = 0xF14;
+/// Read-only core count of the cluster (custom, Snitch-runtime-style): lets
+/// one program partition work by hartid without baking the cluster size into
+/// the binary.
+inline constexpr u32 kMnumharts = 0xFC1;
 
 // Snitch-style custom extension CSRs.
 /// Stream-semantic-register global enable (bit 0), as in Snitch.

@@ -19,7 +19,7 @@ Iss::Iss(Program program, Memory& memory, const IssConfig& config)
   prog_.predecode();
   frep_validated_.assign(prog_.instrs.size(), 0);
   state_.pc = prog_.text_base;
-  mem_.load_image(prog_.data_base, prog_.data);
+  if (cfg_.load_image) mem_.load_image(prog_.data_base, prog_.data);
 }
 
 void Iss::halt_error(const std::string& message) {
@@ -77,7 +77,8 @@ u32 Iss::csr_read(u32 addr) {
     case isa::csr::kInstret:
     case isa::csr::kMinstret:
       return static_cast<u32>(instret_);
-    case isa::csr::kMhartid: return 0;
+    case isa::csr::kMhartid: return cfg_.hartid;
+    case isa::csr::kMnumharts: return cfg_.num_harts;
     case isa::csr::kSsrEnable: return ssrs_.enabled() ? 1u : 0u;
     case isa::csr::kChainMask: return chains_.mask().value();
     default: return 0;

@@ -22,6 +22,14 @@ namespace sch {
 
 struct IssConfig {
   u64 max_steps = 200'000'000;
+  /// Value of the mhartid CSR (multi-core validation runs one ISS per hart).
+  u32 hartid = 0;
+  /// Value of the mnumharts CSR (cluster core count the program sees).
+  u32 num_harts = 1;
+  /// Load the program's data image in the constructor. Engines running
+  /// several harts sequentially against one Memory preload every image once
+  /// and disable this, so hart N does not clobber hart N-1's output.
+  bool load_image = true;
 };
 
 class Iss {

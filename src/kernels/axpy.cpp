@@ -5,6 +5,7 @@
 #include "asm/builder.hpp"
 #include "isa/csr.hpp"
 #include "isa/reg.hpp"
+#include "kernels/partition.hpp"
 #include "kernels/registry.hpp"
 #include "ssr/ssr_config.hpp"
 
@@ -29,8 +30,80 @@ void arm_linear(ProgramBuilder& b, u32 ssr_id, u32 n, Addr base, bool is_write) 
 } // namespace
 
 const char* axpy_variant_name(AxpyVariant v) {
-  return v == AxpyVariant::kBaseline ? "baseline" : "chained";
+  switch (v) {
+    case AxpyVariant::kBaseline: return "baseline";
+    case AxpyVariant::kChained: return "chained";
+    case AxpyVariant::kChainedPar: return "chained_par";
+  }
+  return "?";
 }
+
+namespace {
+
+/// Cluster-parallel chained AXPY: the same chained schedule, but each hart
+/// claims a balanced share of the n/unroll element groups at runtime (by
+/// mhartid/mnumharts) and arms its SSRs with computed bounds/pointers. The
+/// output slices are disjoint, so no barrier is needed and the golden output
+/// is partition-independent.
+BuiltKernel build_axpy_par(const AxpyParams& p) {
+  const u32 u = p.unroll;
+  const u32 groups = p.n / u;
+  using ssr::CfgReg;
+  ProgramBuilder b;
+
+  std::vector<double> x(p.n), y(p.n);
+  for (u32 i = 0; i < p.n; ++i) {
+    x[i] = x_value(i);
+    y[i] = y_value(i);
+  }
+  const Addr x_base = b.data_f64(x);
+  const Addr y_base = b.data_f64(y);
+  const Addr z_base = b.data_zero(p.n * 8);
+  const Addr a_addr = b.data_f64({p.a});
+
+  BuiltKernel out;
+  out.name = std::string("axpy/") + axpy_variant_name(AxpyVariant::kChainedPar);
+  out.out_base = z_base;
+  out.expected.resize(p.n);
+  for (u32 i = 0; i < p.n; ++i) {
+    volatile const double t = p.a * x[i];
+    out.expected[i] = t + y[i];
+  }
+  out.useful_flops = 2ull * p.n;
+  out.regs.ssr_regs = 3;
+  out.regs.fp_regs_used = 5;
+  out.regs.accumulator_regs = 1;
+  out.regs.chained_regs = 1;
+
+  // a3 = hartid, a4 = nharts, s0 = first group, a5 = group count.
+  emit_group_partition(b, groups, isa::kA3, isa::kA4, isa::kS0, isa::kA5,
+                       isa::kT0, "par_done");
+  emit_linear_slice_ssrs(b, u, isa::kS0, isa::kA5, isa::kT0, isa::kA7,
+                         isa::kT1,
+                         {{0, x_base, false}, {1, y_base, false},
+                          {2, z_base, true}});
+
+  b.la(isa::kA0, a_addr);
+  b.fld(isa::kFa1, isa::kA0, 0);
+  b.csrwi(isa::csr::kSsrEnable, 1);
+  b.li(isa::kT2, 8); // chain ft3
+  b.csrs(isa::csr::kChainMask, isa::kT2);
+
+  b.addi(isa::kT3, isa::kA5, -1); // FREP reps = group count - 1
+  b.frep_o(isa::kT3, static_cast<i32>(2 * u));
+  for (u32 i = 0; i < u; ++i) b.fmul_d(isa::kFt3, isa::kFt0, isa::kFa1);
+  for (u32 i = 0; i < u; ++i) b.fadd_d(isa::kFt2, isa::kFt3, isa::kFt1);
+
+  b.csrw(isa::csr::kChainMask, 0);
+  b.csrwi(isa::csr::kSsrEnable, 0);
+  b.label("par_done");
+  b.ecall();
+
+  out.program = b.build();
+  return out;
+}
+
+} // namespace
 
 BuiltKernel build_axpy(AxpyVariant variant, const AxpyParams& p) {
   if (p.unroll < 2 || p.unroll > 8) {
@@ -39,6 +112,7 @@ BuiltKernel build_axpy(AxpyVariant variant, const AxpyParams& p) {
   if (p.n == 0 || p.n % p.unroll != 0) {
     throw std::invalid_argument("axpy: n must be a positive multiple of unroll");
   }
+  if (variant == AxpyVariant::kChainedPar) return build_axpy_par(p);
   const u32 u = p.unroll;
   ProgramBuilder b;
 
@@ -111,7 +185,7 @@ void register_axpy_kernels(Registry& r) {
   r.add(KernelEntry{
       .name = "axpy",
       .description = "z = a*x + y un-fused: mul->add producer/consumer chain",
-      .variants = {"baseline", "chained"},
+      .variants = {"baseline", "chained", "chained_par"},
       .baseline_variant = "baseline",
       .chained_variant = "chained",
       .params = {{"n", 256, "elements (multiple of unroll)"},
@@ -120,7 +194,8 @@ void register_axpy_kernels(Registry& r) {
         AxpyParams p;
         p.n = static_cast<u32>(size_or(sizes, "n", p.n));
         p.unroll = static_cast<u32>(size_or(sizes, "unroll", p.unroll));
-        for (AxpyVariant v : {AxpyVariant::kBaseline, AxpyVariant::kChained}) {
+        for (AxpyVariant v : {AxpyVariant::kBaseline, AxpyVariant::kChained,
+                              AxpyVariant::kChainedPar}) {
           if (variant == axpy_variant_name(v)) return build_axpy(v, p);
         }
         throw std::invalid_argument("axpy: unknown variant '" + variant + "'");

@@ -7,6 +7,10 @@
 //  * kChained  - the product register ft3 is chained: `unroll` products are
 //                pushed back-to-back and popped by the adds, hiding the FMA
 //                latency with ZERO extra architectural registers.
+//  * kChainedPar - the chained schedule, cluster-parallel: each hart reads
+//                mhartid/mnumharts at runtime and claims a balanced share of
+//                the n/unroll element groups (disjoint output slices, no
+//                barrier needed); one binary works at any cluster size.
 // SSR0 streams x, SSR1 streams y, SSR2 absorbs z (out-of-place so the golden
 // output is aliasing-free).
 #pragma once
@@ -15,7 +19,7 @@
 
 namespace sch::kernels {
 
-enum class AxpyVariant : u8 { kBaseline, kChained };
+enum class AxpyVariant : u8 { kBaseline, kChained, kChainedPar };
 
 const char* axpy_variant_name(AxpyVariant variant);
 

@@ -1,0 +1,58 @@
+#include "kernels/barrier.hpp"
+
+namespace sch::kernels {
+
+BarrierData alloc_barrier(ProgramBuilder& b, u32 max_harts) {
+  BarrierData bar;
+  bar.sense = b.data_align(4);
+  b.data_zero(4);
+  bar.arrive = b.data_zero(max_harts * 4);
+  return bar;
+}
+
+void emit_barrier(ProgramBuilder& b, const BarrierData& bar, u8 hart_reg,
+                  u8 nharts_reg, u8 sense_reg, u8 tmp0, u8 tmp1, u8 tmp2,
+                  const std::string& label_prefix) {
+  const std::string gather = label_prefix + "_gather";
+  const std::string gather_spin = label_prefix + "_gather_spin";
+  const std::string release = label_prefix + "_release";
+  const std::string wait = label_prefix + "_wait";
+  const std::string done = label_prefix + "_done";
+
+  // Flip the local sense and publish arrival.
+  b.xori(sense_reg, sense_reg, 1);
+  b.slli(tmp0, hart_reg, 2);
+  b.la(tmp1, bar.arrive);
+  b.add(tmp1, tmp1, tmp0);
+  b.sw(sense_reg, tmp1, 0);
+
+  b.bnez(hart_reg, wait);
+
+  // Hart 0: gather every other hart's arrival, then release.
+  b.li(tmp0, 1); // hart index being gathered
+  b.label(gather);
+  b.bge(tmp0, nharts_reg, release);
+  b.la(tmp1, bar.arrive);
+  b.slli(tmp2, tmp0, 2);
+  b.add(tmp1, tmp1, tmp2);
+  b.label(gather_spin);
+  b.lw(tmp2, tmp1, 0);
+  b.bne(tmp2, sense_reg, gather_spin);
+  b.addi(tmp0, tmp0, 1);
+  b.j(gather);
+  b.label(release);
+  b.la(tmp1, bar.sense);
+  b.sw(sense_reg, tmp1, 0);
+  b.j(done);
+
+  // Harts != 0: spin on the global sense word.
+  b.label(wait);
+  b.la(tmp1, bar.sense);
+  b.label(wait + "_spin");
+  b.lw(tmp2, tmp1, 0);
+  b.bne(tmp2, sense_reg, wait + "_spin");
+
+  b.label(done);
+}
+
+} // namespace sch::kernels

@@ -1,0 +1,47 @@
+// TCDM-based sense-reversing cluster barrier, emitted into generated
+// kernels so the harts of a cluster can synchronize phases of partitioned
+// work. The modeled ISA has no atomics, so the barrier is the classic
+// centralized sense-reversing construction over plain loads/stores:
+//
+//   words (u32, in the kernel's TCDM data segment):
+//     sense          global release flag, flipped by hart 0 each episode
+//     arrive[h]      per-hart arrival flag, holds the hart's local sense
+//
+//   per episode, each hart:
+//     1. flips its local sense (kept in a register across episodes)
+//     2. publishes it to arrive[hartid]
+//     3. hart 0 waits until every arrive[i] equals the new sense, then
+//        writes the global sense word (release); harts != 0 spin on the
+//        global sense word
+//
+// Spinning harts keep retiring branches, so the cluster's deadlock watchdog
+// never trips on a healthy barrier. The emitted code partitions by the
+// runtime mhartid/mnumharts CSRs; the same program works at any cluster
+// size up to `max_harts`.
+#pragma once
+
+#include <string>
+
+#include "asm/builder.hpp"
+
+namespace sch::kernels {
+
+/// Barrier storage allocated in `b`'s data segment.
+struct BarrierData {
+  Addr sense = 0;   // global sense word
+  Addr arrive = 0;  // max_harts arrival words
+};
+
+/// Reserve zero-initialized barrier words for up to `max_harts` harts.
+BarrierData alloc_barrier(ProgramBuilder& b, u32 max_harts);
+
+/// Emit one barrier episode. `sense_reg` carries the hart's local sense and
+/// must be initialized to 0 once before the first episode and preserved
+/// between episodes; `hart_reg` holds mhartid and `nharts_reg` holds
+/// mnumharts (both read-only here). `tmp0..tmp2` are scratch. Labels are
+/// prefixed with `label_prefix`, which must be unique per emitted episode.
+void emit_barrier(ProgramBuilder& b, const BarrierData& bar, u8 hart_reg,
+                  u8 nharts_reg, u8 sense_reg, u8 tmp0, u8 tmp1, u8 tmp2,
+                  const std::string& label_prefix);
+
+} // namespace sch::kernels

@@ -6,6 +6,7 @@
 #include "asm/builder.hpp"
 #include "isa/csr.hpp"
 #include "isa/reg.hpp"
+#include "kernels/partition.hpp"
 #include "kernels/registry.hpp"
 #include "ssr/ssr_config.hpp"
 
@@ -34,13 +35,116 @@ CfgReg plus(CfgReg base, u32 d) {
 } // namespace
 
 const char* gemv_variant_name(GemvVariant v) {
-  return v == GemvVariant::kUnrolledAcc ? "unrolled-acc" : "chained";
+  switch (v) {
+    case GemvVariant::kUnrolledAcc: return "unrolled-acc";
+    case GemvVariant::kChained: return "chained";
+    case GemvVariant::kChainedPar: return "chained_par";
+  }
+  return "?";
 }
+
+namespace {
+
+/// Cluster-parallel chained GEMV: row groups of 4 are split across harts at
+/// runtime; every SSR bound/pointer that depends on the hart's share is
+/// computed in registers before arming.
+BuiltKernel build_gemv_par(const GemvParams& p) {
+  ProgramBuilder b;
+
+  std::vector<double> a(static_cast<usize>(p.m) * p.n), x(p.n);
+  for (u32 r = 0; r < p.m; ++r) {
+    for (u32 c = 0; c < p.n; ++c) a[r * p.n + c] = a_value(r, c);
+  }
+  for (u32 c = 0; c < p.n; ++c) x[c] = x_value(c);
+  const Addr a_base = b.data_f64(a);
+  const Addr x_base = b.data_f64(x);
+  const Addr y_base = b.data_zero(p.m * 8);
+
+  BuiltKernel out;
+  out.name = std::string("gemv/") + gemv_variant_name(GemvVariant::kChainedPar);
+  out.out_base = y_base;
+  out.expected.resize(p.m);
+  for (u32 r = 0; r < p.m; ++r) {
+    double acc = 0.0;
+    for (u32 c = 0; c < p.n; ++c) acc = std::fma(a[r * p.n + c], x[c], acc);
+    out.expected[r] = acc;
+  }
+  out.useful_flops = static_cast<u64>(p.m) * p.n;
+  out.regs.ssr_regs = 3;
+  out.regs.accumulator_regs = 1;
+  out.regs.chained_regs = 1;
+  out.regs.fp_regs_used = 4;
+
+  const i64 row = static_cast<i64>(p.n) * 8;
+  const u32 groups = p.m / 4;
+
+  // a3 = hartid, a4 = nharts, s0 = first row group, a5 = group count.
+  emit_group_partition(b, groups, isa::kA3, isa::kA4, isa::kS0, isa::kA5,
+                       isa::kT0, "par_done");
+  b.addi(isa::kA6, isa::kA5, -1);          // group bound = cnt - 1
+  b.li(isa::kT1, static_cast<i64>(4 * row)); // bytes per 4-row group
+  b.mul(isa::kA7, isa::kS0, isa::kT1);     // A byte offset of the slice
+
+  // SSR0: this hart's slice of A in 4-row-interleaved k-major order.
+  cfg(b, 0, CfgReg::kBound0, 3);
+  cfg(b, 0, plus(CfgReg::kStride0, 0), row);
+  cfg(b, 0, plus(CfgReg::kBound0, 1), p.n - 1);
+  cfg(b, 0, plus(CfgReg::kStride0, 1), 8 - 3 * row);
+  b.scfgw(isa::kA6, ssr::cfg_index(0, plus(CfgReg::kBound0, 2)));
+  cfg(b, 0, plus(CfgReg::kStride0, 2), 8);
+  b.la(isa::kT1, a_base);
+  b.add(isa::kT1, isa::kT1, isa::kA7);
+  b.scfgw(isa::kT1, ssr::cfg_index(0, plus(CfgReg::kRptr0, 2)));
+
+  // SSR1: x, each element popped 4x, wrapped per group of this hart's share.
+  cfg(b, 1, CfgReg::kRepeat, 3);
+  cfg(b, 1, CfgReg::kBound0, p.n - 1);
+  cfg(b, 1, plus(CfgReg::kStride0, 0), 8);
+  b.scfgw(isa::kA6, ssr::cfg_index(1, plus(CfgReg::kBound0, 1)));
+  cfg(b, 1, plus(CfgReg::kStride0, 1), -static_cast<i64>(p.n - 1) * 8);
+  b.li(isa::kT1, static_cast<i64>(x_base));
+  b.scfgw(isa::kT1, ssr::cfg_index(1, plus(CfgReg::kRptr0, 1)));
+
+  // SSR2: this hart's y slice, contiguous (4 rows per group).
+  b.slli(isa::kT1, isa::kA5, 2);
+  b.addi(isa::kT1, isa::kT1, -1);
+  b.scfgw(isa::kT1, ssr::cfg_index(2, CfgReg::kBound0));
+  cfg(b, 2, plus(CfgReg::kStride0, 0), 8);
+  b.slli(isa::kT1, isa::kS0, 5); // first group * 4 rows * 8 bytes
+  b.la(isa::kT2, y_base);
+  b.add(isa::kT1, isa::kT1, isa::kT2);
+  b.scfgw(isa::kT1, ssr::cfg_index(2, CfgReg::kWptr0));
+
+  b.csrwi(isa::csr::kSsrEnable, 1);
+  b.li(isa::kT0, 8); // chain ft3
+  b.csrs(isa::csr::kChainMask, isa::kT0);
+  b.mv(isa::kT2, isa::kA5); // group counter
+  b.li(isa::kT3, static_cast<i64>(4 * p.n - 1));
+
+  b.label("par_group");
+  for (int i = 0; i < 4; ++i) b.fcvt_d_w(isa::kFt3, 0);
+  b.frep_o(isa::kT3, 1);
+  b.fmadd_d(isa::kFt3, isa::kFt0, isa::kFt1, isa::kFt3);
+  for (int i = 0; i < 4; ++i) b.fmv_d(isa::kFt2, isa::kFt3); // drain -> y
+  b.addi(isa::kT2, isa::kT2, -1);
+  b.bnez(isa::kT2, "par_group");
+
+  b.csrw(isa::csr::kChainMask, 0);
+  b.csrwi(isa::csr::kSsrEnable, 0);
+  b.label("par_done");
+  b.ecall();
+
+  out.program = b.build();
+  return out;
+}
+
+} // namespace
 
 BuiltKernel build_gemv(GemvVariant variant, const GemvParams& p) {
   if (p.m == 0 || p.m % 4 != 0 || p.n == 0) {
     throw std::invalid_argument("gemv: m must be a positive multiple of 4");
   }
+  if (variant == GemvVariant::kChainedPar) return build_gemv_par(p);
   ProgramBuilder b;
 
   std::vector<double> a(static_cast<usize>(p.m) * p.n), x(p.n);
@@ -146,7 +250,7 @@ void register_gemv_kernels(Registry& r) {
   r.add(KernelEntry{
       .name = "gemv",
       .description = "dense y = A*x, 4-row reduction interleave through SSRs",
-      .variants = {"unrolled-acc", "chained"},
+      .variants = {"unrolled-acc", "chained", "chained_par"},
       .baseline_variant = "unrolled-acc",
       .chained_variant = "chained",
       .params = {{"m", 32, "rows (multiple of 4)"}, {"n", 24, "columns"}},
@@ -154,7 +258,8 @@ void register_gemv_kernels(Registry& r) {
         GemvParams p;
         p.m = static_cast<u32>(size_or(sizes, "m", p.m));
         p.n = static_cast<u32>(size_or(sizes, "n", p.n));
-        for (GemvVariant v : {GemvVariant::kUnrolledAcc, GemvVariant::kChained}) {
+        for (GemvVariant v : {GemvVariant::kUnrolledAcc, GemvVariant::kChained,
+                              GemvVariant::kChainedPar}) {
           if (variant == gemv_variant_name(v)) return build_gemv(v, p);
         }
         throw std::invalid_argument("gemv: unknown variant '" + variant + "'");

@@ -14,7 +14,11 @@
 
 namespace sch::kernels {
 
-enum class GemvVariant : u8 { kUnrolledAcc, kChained };
+// kChainedPar is the chained schedule, cluster-parallel: each hart claims a
+// balanced share of the m/4 row groups at runtime (mhartid/mnumharts) and
+// arms its SSRs with computed bounds/pointers, so one binary row-partitions
+// y = A*x across any cluster size.
+enum class GemvVariant : u8 { kUnrolledAcc, kChained, kChainedPar };
 
 const char* gemv_variant_name(GemvVariant variant);
 

@@ -1,0 +1,45 @@
+#include "kernels/partition.hpp"
+
+#include "isa/csr.hpp"
+#include "ssr/ssr_config.hpp"
+
+namespace sch::kernels {
+
+void emit_group_partition(ProgramBuilder& b, u32 groups, u8 hart_reg,
+                          u8 nharts_reg, u8 gs_reg, u8 cnt_reg, u8 tmp,
+                          const std::string& empty_label) {
+  b.csrr(hart_reg, isa::csr::kMhartid);
+  b.csrr(nharts_reg, isa::csr::kMnumharts);
+  b.li(tmp, static_cast<i64>(groups));
+  // gs = hart * groups / nharts
+  b.mul(gs_reg, hart_reg, tmp);
+  b.divu(gs_reg, gs_reg, nharts_reg);
+  // cnt = (hart + 1) * groups / nharts - gs
+  b.addi(cnt_reg, hart_reg, 1);
+  b.mul(cnt_reg, cnt_reg, tmp);
+  b.divu(cnt_reg, cnt_reg, nharts_reg);
+  b.sub(cnt_reg, cnt_reg, gs_reg);
+  b.beqz(cnt_reg, empty_label);
+}
+
+void emit_linear_slice_ssrs(ProgramBuilder& b, u32 group_elems, u8 gs_reg,
+                            u8 cnt_reg, u8 bound_reg, u8 off_reg, u8 tmp,
+                            std::initializer_list<SliceStream> streams) {
+  using ssr::CfgReg;
+  b.li(tmp, static_cast<i64>(group_elems));
+  b.mul(bound_reg, cnt_reg, tmp);
+  b.addi(bound_reg, bound_reg, -1);
+  b.li(tmp, static_cast<i64>(8 * group_elems));
+  b.mul(off_reg, gs_reg, tmp);
+  for (const SliceStream& s : streams) {
+    b.scfgw(bound_reg, ssr::cfg_index(s.ssr_id, CfgReg::kBound0));
+    b.li(tmp, 8);
+    b.scfgw(tmp, ssr::cfg_index(s.ssr_id, CfgReg::kStride0));
+    b.la(tmp, s.base);
+    b.add(tmp, tmp, off_reg);
+    b.scfgw(tmp, ssr::cfg_index(s.ssr_id, s.is_write ? CfgReg::kWptr0
+                                                     : CfgReg::kRptr0));
+  }
+}
+
+} // namespace sch::kernels

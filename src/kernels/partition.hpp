@@ -1,0 +1,40 @@
+// Runtime work partitioning for cluster kernels: one program, replicated to
+// every core, splits its iteration groups by the mhartid/mnumharts CSRs, so
+// the binary never bakes in the cluster size. The partition is the standard
+// balanced split: hart h of N owns groups [h*G/N, (h+1)*G/N), which covers
+// every group exactly once for any G and N.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+
+#include "asm/builder.hpp"
+
+namespace sch::kernels {
+
+/// Emit the partition prologue: reads mhartid into `hart_reg` and mnumharts
+/// into `nharts_reg`, computes this hart's first group into `gs_reg` and its
+/// group count into `cnt_reg`, and branches to `empty_label` when the hart
+/// owns no groups (callers place that label after the compute section).
+/// `tmp` is scratch. `groups` is the build-time total group count.
+void emit_group_partition(ProgramBuilder& b, u32 groups, u8 hart_reg,
+                          u8 nharts_reg, u8 gs_reg, u8 cnt_reg, u8 tmp,
+                          const std::string& empty_label);
+
+/// One contiguous f64 stream of a sliced 1-D kernel.
+struct SliceStream {
+  u32 ssr_id;
+  Addr base;      // full-array base; the hart's offset is added at runtime
+  bool is_write;
+};
+
+/// Emit the slice SSR arming shared by the linear _par kernels: for a hart
+/// owning `cnt_reg` groups of `group_elems` elements starting at group
+/// `gs_reg`, arms every stream with bound = cnt*group_elems - 1, stride 8
+/// and pointer base + gs*group_elems*8. `bound_reg`/`off_reg` receive the
+/// computed bound and byte offset; `tmp` is scratch.
+void emit_linear_slice_ssrs(ProgramBuilder& b, u32 group_elems, u8 gs_reg,
+                            u8 cnt_reg, u8 bound_reg, u8 off_reg, u8 tmp,
+                            std::initializer_list<SliceStream> streams);
+
+} // namespace sch::kernels

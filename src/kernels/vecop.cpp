@@ -6,6 +6,7 @@
 #include "asm/builder.hpp"
 #include "isa/csr.hpp"
 #include "isa/reg.hpp"
+#include "kernels/partition.hpp"
 #include "kernels/registry.hpp"
 #include "ssr/ssr_config.hpp"
 
@@ -40,9 +41,73 @@ const char* vecop_variant_name(VecopVariant v) {
     case VecopVariant::kUnrolled: return "unrolled";
     case VecopVariant::kChained: return "chained";
     case VecopVariant::kChainedFrep: return "chained+frep";
+    case VecopVariant::kChainedPar: return "chained_par";
   }
   return "?";
 }
+
+namespace {
+
+/// Cluster-parallel chained+frep vecop: each hart claims a balanced share
+/// of the n/unroll element groups at runtime and arms its SSRs with
+/// computed bounds/pointers (see kernels/partition.hpp).
+BuiltKernel build_vecop_par(const VecopParams& p) {
+  const u32 u = p.unroll;
+  const u32 groups = p.n / u;
+  using ssr::CfgReg;
+  ProgramBuilder b;
+
+  std::vector<double> c(p.n), d(p.n);
+  for (u32 i = 0; i < p.n; ++i) {
+    c[i] = c_value(i);
+    d[i] = d_value(i);
+  }
+  const Addr c_base = b.data_f64(c);
+  const Addr d_base = b.data_f64(d);
+  const Addr a_base = b.data_zero(p.n * 8);
+  const Addr b_addr = b.data_f64({p.b});
+
+  BuiltKernel out;
+  out.expected.resize(p.n);
+  for (u32 i = 0; i < p.n; ++i) out.expected[i] = p.b * (c[i] + d[i]);
+  out.out_base = a_base;
+  out.name =
+      std::string("vecop/") + vecop_variant_name(VecopVariant::kChainedPar);
+  out.useful_flops = 2ull * p.n;
+  out.regs.ssr_regs = 3;
+  out.regs.fp_regs_used = 5; // ft0..ft3 + fa1
+  out.regs.accumulator_regs = 1;
+  out.regs.chained_regs = 1;
+
+  // a3 = hartid, a4 = nharts, s0 = first group, a5 = group count.
+  emit_group_partition(b, groups, isa::kA3, isa::kA4, isa::kS0, isa::kA5,
+                       isa::kT0, "par_done");
+  emit_linear_slice_ssrs(b, u, isa::kS0, isa::kA5, isa::kT0, isa::kA7,
+                         isa::kT1,
+                         {{0, c_base, false}, {1, d_base, false},
+                          {2, a_base, true}});
+
+  b.la(isa::kA0, b_addr);
+  b.fld(isa::kFa1, isa::kA0, 0);
+  b.csrwi(isa::csr::kSsrEnable, 1);
+  b.li(isa::kT2, 8); // chain ft3
+  b.csrs(isa::csr::kChainMask, isa::kT2);
+
+  b.addi(isa::kT3, isa::kA5, -1); // FREP reps = group count - 1
+  b.frep_o(isa::kT3, static_cast<i32>(2 * u));
+  for (u32 i = 0; i < u; ++i) b.fadd_d(isa::kFt3, isa::kFt0, isa::kFt1);
+  for (u32 i = 0; i < u; ++i) b.fmul_d(isa::kFt2, isa::kFt3, isa::kFa1);
+
+  b.csrw(isa::csr::kChainMask, 0);
+  b.csrwi(isa::csr::kSsrEnable, 0);
+  b.label("par_done");
+  b.ecall();
+
+  out.program = b.build();
+  return out;
+}
+
+} // namespace
 
 BuiltKernel build_vecop(VecopVariant variant, const VecopParams& p) {
   if (p.unroll < 2 || p.unroll > 8) {
@@ -51,6 +116,7 @@ BuiltKernel build_vecop(VecopVariant variant, const VecopParams& p) {
   if (p.n == 0 || p.n % p.unroll != 0) {
     throw std::invalid_argument("vecop: n must be a positive multiple of unroll");
   }
+  if (variant == VecopVariant::kChainedPar) return build_vecop_par(p);
   const u32 u = p.unroll;
   ProgramBuilder b;
 
@@ -87,6 +153,8 @@ BuiltKernel build_vecop(VecopVariant variant, const VecopParams& p) {
   out.regs.fp_regs_used = 4; // ft0..ft2 + fa1
 
   switch (variant) {
+    case VecopVariant::kChainedPar:
+      break; // dispatched to build_vecop_par above
     case VecopVariant::kBaseline: {
       // Fig. 1a: per element, fadd -> fmul with the RAW stall.
       b.li(isa::kA1, 0);
@@ -163,7 +231,8 @@ void register_vecop_kernels(Registry& r) {
   r.add(KernelEntry{
       .name = "vecop",
       .description = "Fig. 1 stream vecop a = b*(c+d), fadd->fmul per element",
-      .variants = {"baseline", "unrolled", "chained", "chained+frep"},
+      .variants = {"baseline", "unrolled", "chained", "chained+frep",
+                   "chained_par"},
       .baseline_variant = "baseline",
       .chained_variant = "chained+frep",
       .params = {{"n", 256, "elements (multiple of unroll)"},
@@ -174,7 +243,8 @@ void register_vecop_kernels(Registry& r) {
         p.unroll = static_cast<u32>(size_or(sizes, "unroll", p.unroll));
         for (VecopVariant v :
              {VecopVariant::kBaseline, VecopVariant::kUnrolled,
-              VecopVariant::kChained, VecopVariant::kChainedFrep}) {
+              VecopVariant::kChained, VecopVariant::kChainedFrep,
+              VecopVariant::kChainedPar}) {
           if (variant == vecop_variant_name(v)) return build_vecop(v, p);
         }
         throw std::invalid_argument("vecop: unknown variant '" + variant + "'");

@@ -8,13 +8,22 @@
 //                  same schedule with zero extra registers;
 //  * kChainedFrep - chaining + FREP hardware loop (the 8-instruction body
 //                  fits the sequencer, eliminating loop overhead too).
+//  * kChainedPar - the chained+frep schedule, cluster-parallel: each hart
+//                  claims a balanced share of the n/unroll element groups at
+//                  runtime via mhartid/mnumharts (disjoint output slices).
 #pragma once
 
 #include "kernels/kernel_common.hpp"
 
 namespace sch::kernels {
 
-enum class VecopVariant : u8 { kBaseline, kUnrolled, kChained, kChainedFrep };
+enum class VecopVariant : u8 {
+  kBaseline,
+  kUnrolled,
+  kChained,
+  kChainedFrep,
+  kChainedPar,
+};
 
 const char* vecop_variant_name(VecopVariant variant);
 

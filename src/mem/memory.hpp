@@ -37,9 +37,7 @@ class Memory {
   [[nodiscard]] std::vector<double> read_f64_block(Addr base, u32 count) const;
 
   /// True when `addr` falls into the L1 TCDM region (bank-arbitrated).
-  [[nodiscard]] static bool in_tcdm(Addr addr) {
-    return addr >= memmap::kTcdmBase && addr < memmap::kTcdmBase + memmap::kTcdmSize;
-  }
+  [[nodiscard]] static bool in_tcdm(Addr addr) { return memmap::in_tcdm(addr); }
 
  private:
   [[nodiscard]] const u8* ptr(Addr addr, u32 bytes) const;

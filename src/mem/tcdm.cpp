@@ -1,34 +1,60 @@
 #include "mem/tcdm.hpp"
 
-#include <cassert>
+#include <algorithm>
 
 namespace sch {
 
-Tcdm::Tcdm(const TcdmConfig& config) : cfg_(config) {
+Tcdm::Tcdm(const TcdmConfig& config, u32 num_requesters) : cfg_(config) {
   assert(is_pow2(cfg_.num_banks));
+  assert(num_requesters >= 1);
   bank_busy_.assign(cfg_.num_banks, false);
+  stats_.grants_per_port.assign(num_requesters, 0);
+  stats_.conflicts_per_port.assign(num_requesters, 0);
+  stats_.conflicts_per_bank.assign(cfg_.num_banks, 0);
 }
 
 void Tcdm::begin_cycle() {
   bank_busy_.assign(cfg_.num_banks, false);
 }
 
-bool Tcdm::request(TcdmPortId port, Addr addr, bool is_write) {
+bool Tcdm::request(u32 requester, Addr addr, bool is_write) {
+  assert(requester < num_requesters());
+  if (!memmap::in_tcdm(addr)) {
+    // The caller's TCDM range check failed: count the escape instead of
+    // wrapping into a bogus bank index (debug builds also assert).
+    assert(!"Tcdm::request called with an address outside the TCDM window");
+    ++stats_.out_of_range;
+    return true;
+  }
   const u32 bank = bank_of(addr);
-  const u32 p = static_cast<u32>(port);
   if (bank_busy_[bank]) {
     ++stats_.conflicts;
-    ++stats_.conflicts_per_port[p];
+    ++stats_.conflicts_per_port[requester];
+    ++stats_.conflicts_per_bank[bank];
     return false;
   }
   bank_busy_[bank] = true;
-  ++stats_.grants_per_port[p];
+  ++stats_.grants_per_port[requester];
   if (is_write) {
     ++stats_.writes;
   } else {
     ++stats_.reads;
   }
   return true;
+}
+
+std::vector<std::pair<u32, u64>> Tcdm::top_conflict_banks(u32 k) const {
+  std::vector<std::pair<u32, u64>> banks;
+  for (u32 b = 0; b < cfg_.num_banks; ++b) {
+    if (stats_.conflicts_per_bank[b] != 0) {
+      banks.emplace_back(b, stats_.conflicts_per_bank[b]);
+    }
+  }
+  std::sort(banks.begin(), banks.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (banks.size() > k) banks.resize(k);
+  return banks;
 }
 
 } // namespace sch

@@ -1,10 +1,19 @@
 // Timing model of the banked L1 scratchpad (TCDM). Storage lives in Memory;
-// this class models per-cycle bank arbitration between the core's LSU port
-// and the three SSR ports, and counts conflicts for the stall attribution
-// and the energy model.
+// this class models per-cycle bank arbitration between an arbitrary number of
+// requester ports (num_cores x 4: each core contributes its LSU port plus
+// three SSR ports), and counts conflicts for the stall attribution and the
+// energy model.
+//
+// Arbitration contract: callers invoke request() in priority order within a
+// cycle. Per core, the LSU port goes first (core wins ties) and the three
+// streamer ports rotate round-robin among themselves; across cores, the
+// cluster rotates the core service order each cycle (fair cross-core
+// round-robin), so no core is statically favored. The Tcdm itself is
+// first-come-first-served per bank per cycle.
 #pragma once
 
-#include <array>
+#include <cassert>
+#include <utility>
 #include <vector>
 
 #include "asm/program.hpp"
@@ -19,38 +28,74 @@ struct TcdmConfig {
   u32 bank_word_log2 = 3;
 };
 
-/// Requester ports in fixed priority order (core wins ties; SSR ports are
-/// rotated round-robin by the caller's invocation order each cycle).
+/// Per-core requester roles in fixed priority order (the LSU wins ties; the
+/// SSR ports are rotated round-robin by the caller's invocation order each
+/// cycle). Core h's global requester id is `requester_id(h, role)`.
 enum class TcdmPortId : u8 { kCoreLsu = 0, kSsr0 = 1, kSsr1 = 2, kSsr2 = 3 };
-inline constexpr u32 kNumTcdmPorts = 4;
+inline constexpr u32 kTcdmPortsPerCore = 4;
+/// Requester count of a single-core instance (back-compat name).
+inline constexpr u32 kNumTcdmPorts = kTcdmPortsPerCore;
 
 struct TcdmStats {
   u64 reads = 0;
   u64 writes = 0;
-  u64 conflicts = 0;  // denied port-cycles
-  std::array<u64, kNumTcdmPorts> grants_per_port{};
-  std::array<u64, kNumTcdmPorts> conflicts_per_port{};
+  u64 conflicts = 0;     // denied port-cycles
+  u64 out_of_range = 0;  // requests below/above the TCDM window (modeling bug
+                         // guard: counted instead of corrupting a bank index)
+  std::vector<u64> grants_per_port;     // sized num_requesters
+  std::vector<u64> conflicts_per_port;  // sized num_requesters
+  std::vector<u64> conflicts_per_bank;  // sized num_banks (conflict histogram)
 };
 
 class Tcdm {
  public:
-  explicit Tcdm(const TcdmConfig& config = {});
+  /// `num_requesters` is num_cores x kTcdmPortsPerCore for a cluster; the
+  /// default models one core.
+  explicit Tcdm(const TcdmConfig& config = {},
+                u32 num_requesters = kTcdmPortsPerCore);
+
+  /// Global requester id of `role` on core `hartid`.
+  [[nodiscard]] static constexpr u32 requester_id(u32 hartid, TcdmPortId role) {
+    return hartid * kTcdmPortsPerCore + static_cast<u32>(role);
+  }
 
   /// Clear per-cycle bank occupancy. Call once per simulated cycle.
   void begin_cycle();
 
-  /// Try to access the bank holding `addr` for `port`. Returns true when the
-  /// bank is free this cycle (access granted; data available next cycle).
-  /// Callers must invoke in priority order within a cycle.
-  bool request(TcdmPortId port, Addr addr, bool is_write);
+  /// Try to access the bank holding `addr` for requester `requester`.
+  /// Returns true when the bank is free this cycle (access granted; data
+  /// available next cycle). Callers must invoke in priority order within a
+  /// cycle. Out-of-window addresses are counted in stats().out_of_range and
+  /// granted without touching any bank (the caller's address check failed;
+  /// never corrupt a bank index because of it).
+  bool request(u32 requester, Addr addr, bool is_write);
+  bool request(TcdmPortId port, Addr addr, bool is_write) {
+    return request(static_cast<u32>(port), addr, is_write);
+  }
+
+  /// Record an access that bypassed bank arbitration because its address
+  /// lies outside the TCDM window (e.g. an SSR stream pointed at main
+  /// memory). Such accesses proceed un-arbitrated, like the LSU's
+  /// main-memory path.
+  void count_out_of_range() { ++stats_.out_of_range; }
 
   [[nodiscard]] u32 bank_of(Addr addr) const {
+    // Addresses below the TCDM base would wrap through the u32 subtraction
+    // into a bogus bank; callers must range-check first (see request()).
+    assert(memmap::in_tcdm(addr));
     return (static_cast<u32>(addr - memmap::kTcdmBase) >> cfg_.bank_word_log2) %
            cfg_.num_banks;
   }
 
+  /// The `k` banks with the most conflicts, hottest first (ties broken by
+  /// bank index for determinism). Banks with zero conflicts are omitted.
+  [[nodiscard]] std::vector<std::pair<u32, u64>> top_conflict_banks(u32 k) const;
+
   [[nodiscard]] const TcdmStats& stats() const { return stats_; }
   [[nodiscard]] const TcdmConfig& config() const { return cfg_; }
+  [[nodiscard]] u32 num_requesters() const {
+    return static_cast<u32>(stats_.grants_per_port.size());
+  }
 
  private:
   TcdmConfig cfg_;

@@ -173,7 +173,9 @@ Status apply_sim_overrides(const Json& overrides, sim::SimConfig& config) {
     const i64 min = key == "taken_branch_penalty" ? 0 : 1;
     // u32-destined keys must be representable: a silently-truncated
     // override would configure a different simulator than the report echoes.
-    const i64 max = is_u64_key ? std::numeric_limits<i64>::max() : 0xFFFFFFFFll;
+    const i64 max = is_u64_key   ? std::numeric_limits<i64>::max()
+                    : key == "cores" ? sim::SimConfig::kMaxCores
+                                     : 0xFFFFFFFFll;
     if (!v.is_integer() || v.as_i64() < min || v.as_i64() > max) {
       return type_error("sim." + key, min == 0 ? "a non-negative integer"
                                                : "a positive integer in range");
@@ -190,6 +192,7 @@ Status apply_sim_overrides(const Json& overrides, sim::SimConfig& config) {
     else if (key == "main_mem_latency") config.main_mem_latency = static_cast<u32>(n);
     else if (key == "taken_branch_penalty") config.taken_branch_penalty = static_cast<u32>(n);
     else if (key == "tcdm_banks") config.tcdm.num_banks = static_cast<u32>(n);
+    else if (key == "cores") config.num_cores = static_cast<u32>(n);
     else if (key == "max_cycles") config.max_cycles = n;
     else if (key == "deadlock_cycles") config.deadlock_cycles = n;
     else {

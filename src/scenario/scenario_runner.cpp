@@ -122,7 +122,10 @@ Result<ScenarioOutcome> run_scenario_file(const std::string& path,
 
   Result<std::vector<Job>> expanded = expand(scenario);
   if (!expanded.ok()) return expanded.status();
-  const std::vector<Job> jobs = std::move(expanded).value();
+  std::vector<Job> jobs = std::move(expanded).value();
+  if (options.cores_override != 0) {
+    for (Job& job : jobs) job.config.num_cores = options.cores_override;
+  }
 
   // --threads builds a dedicated engine; otherwise the process-wide shared
   // pool (SCH_SWEEP_THREADS / hardware concurrency) serves the batch.
@@ -138,8 +141,9 @@ Result<ScenarioOutcome> run_scenario_file(const std::string& path,
                           : static_cast<u32>(jobs.size());
 
   log << "scenario '" << scenario.name << "': " << jobs.size() << " jobs on "
-      << workers << " workers (engine: " << api::engine_name(options.engine)
-      << ")\n";
+      << workers << " workers (engine: " << api::engine_name(options.engine);
+  if (options.cores_override != 0) log << ", cores: " << options.cores_override;
+  log << ")\n";
   const std::vector<api::RunReport> reports =
       run_jobs(jobs, engine, options.engine);
 

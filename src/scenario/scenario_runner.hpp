@@ -58,6 +58,9 @@ struct ScenarioRunOptions {
   std::string output_override;  // non-empty wins over the scenario's "output"
   u32 threads = 0;              // 0 => SCH_SWEEP_THREADS / hw concurrency
   api::EngineSel engine = api::EngineSel::kCycle;
+  /// Non-zero forces every job's cluster core count (`--cores N`), winning
+  /// over any scenario "cores" override.
+  u32 cores_override = 0;
 };
 
 /// Load + expand + run + report in one call (the `schsim run` entry point).

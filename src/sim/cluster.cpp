@@ -1,0 +1,135 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace sch::sim {
+
+Cluster::Cluster(Program program, Memory& memory, const SimConfig& config)
+    : Cluster(
+          [&] {
+            std::vector<Program> programs;
+            programs.push_back(std::move(program));
+            return programs;
+          }(),
+          memory, config) {}
+
+Cluster::Cluster(std::vector<Program> programs, Memory& memory,
+                 const SimConfig& config)
+    : cfg_(config),
+      mem_(memory),
+      tcdm_(config.tcdm, std::max<u32>(config.num_cores, 1) * kTcdmPortsPerCore) {
+  const Status valid = cfg_.validate();
+  if (!valid.is_ok()) throw std::invalid_argument(valid.message());
+  if (programs.empty()) {
+    throw std::invalid_argument("Cluster: at least one program is required");
+  }
+  if (programs.size() != 1 && programs.size() != cfg_.num_cores) {
+    throw std::invalid_argument(
+        "Cluster: need one program total or one per core (" +
+        std::to_string(programs.size()) + " programs for " +
+        std::to_string(cfg_.num_cores) + " cores)");
+  }
+  cores_.reserve(cfg_.num_cores);
+  for (u32 h = 0; h < cfg_.num_cores; ++h) {
+    Program prog = programs.size() == 1 ? programs[0] : std::move(programs[h]);
+    cores_.push_back(
+        std::make_unique<Core>(std::move(prog), mem_, tcdm_, cfg_, h));
+  }
+}
+
+bool Cluster::fully_halted() const {
+  for (const auto& core : cores_) {
+    if (!core->fully_halted()) return false;
+  }
+  return true;
+}
+
+PerfCounters Cluster::perf() const {
+  if (cores_.size() == 1) return cores_[0]->perf();
+  PerfCounters agg;
+  for (const auto& core : cores_) agg += core->perf();
+  agg.cycles = cycle_; // cluster cycles, not the sum of active spans
+  return agg;
+}
+
+void Cluster::tick() {
+  ++cycle_;
+  tcdm_.begin_cycle();
+
+  // Rotate the core service order each cycle so no core is statically
+  // favored in the bank arbiter (fair cross-core round-robin). With one
+  // core the rotation is the identity.
+  const u32 n = num_cores();
+  const u32 start = static_cast<u32>(cycle_ % n);
+  for (u32 k = 0; k < n; ++k) {
+    cores_[(start + k) % n]->tick(cycle_);
+  }
+
+  // Progress watchdog across the whole cluster (a spinning barrier still
+  // retires branches, so only a true wedge trips it).
+  u64 retired = 0;
+  for (const auto& core : cores_) {
+    retired += core->perf().total_retired() + core->perf().offloads;
+  }
+  if (retired != last_progress_retired_) {
+    last_progress_retired_ = retired;
+    last_progress_cycle_ = cycle_;
+  } else if (cycle_ - last_progress_cycle_ > cfg_.deadlock_cycles) {
+    const PerfCounters p = perf();
+    // Report the first still-running core's pc (the wedged one, usually).
+    Addr pc = cores_[0]->int_core().pc();
+    for (const auto& core : cores_) {
+      if (!core->fully_halted()) {
+        pc = core->int_core().pc();
+        break;
+      }
+    }
+    std::ostringstream os;
+    os << "deadlock: no instruction retired for " << cfg_.deadlock_cycles
+       << " cycles at cycle " << cycle_ << " (pc=0x" << std::hex << pc
+       << std::dec << ", chain-empty=" << p.stall_chain_empty
+       << ", ssr-empty=" << p.stall_ssr_empty
+       << ", chain-full=" << p.stall_chain_full << ")";
+    halt_ = HaltReason::kError;
+    error_ = os.str();
+  }
+
+  for (u32 h = 0; h < n; ++h) {
+    if (cores_[h]->has_error()) {
+      halt_ = HaltReason::kError;
+      error_ = n == 1 ? cores_[h]->error()
+                      : "hart " + std::to_string(h) + ": " + cores_[h]->error();
+      break;
+    }
+  }
+}
+
+bool Cluster::step() {
+  if (halt_ != HaltReason::kNone) return false;
+  if (!started_) {
+    for (const auto& core : cores_) core->load_image();
+    started_ = true;
+  }
+  tick();
+  if (halt_ != HaltReason::kNone) return false;
+  if (fully_halted()) {
+    halt_ = cores_[0]->halt_reason();
+    return false;
+  }
+  if (cycle_ >= cfg_.max_cycles) {
+    halt_ = HaltReason::kMaxSteps;
+    error_ = "cycle budget exhausted";
+    return false;
+  }
+  return true;
+}
+
+HaltReason Cluster::run() {
+  while (step()) {
+  }
+  return halt_;
+}
+
+} // namespace sch::sim

@@ -1,0 +1,57 @@
+#include "sim/core.hpp"
+
+namespace sch::sim {
+
+Core::Core(Program program, Memory& memory, Tcdm& tcdm,
+           const SimConfig& config, u32 hartid)
+    : prog_(std::move(program)),
+      mem_(memory),
+      tcdm_(tcdm),
+      cfg_(config),
+      hartid_(hartid) {
+  prog_.predecode();
+  fp_ = std::make_unique<FpSubsystem>(cfg_, mem_, tcdm_, perf_, hartid_);
+  core_ = std::make_unique<IntCore>(prog_, mem_, tcdm_, cfg_, perf_, *fp_,
+                                    hartid_);
+  fp_->set_int_wb_sink([this](const IntWriteback& wb) {
+    core_->schedule_write(wb.rd, wb.value, wb.ready_at);
+  });
+}
+
+void Core::load_image() {
+  mem_.load_image(prog_.data_base, prog_.data);
+}
+
+void Core::tick(Cycle now) {
+  if (halted_at_ != 0) return; // drained; freeze per-core counters
+  fp_->begin_cycle(now);
+  CorePort port;
+
+  core_->commit_pending(now);
+  fp_->tick(now, port);
+  core_->tick(now, port);
+
+  // SSR streamers fetch last: the core's LSU has bank priority within the
+  // cycle; the three streamer ports rotate round-robin among themselves.
+  static constexpr TcdmPortId kSsrPorts[3] = {
+      TcdmPortId::kSsr0, TcdmPortId::kSsr1, TcdmPortId::kSsr2};
+  for (u32 k = 0; k < ssr::kNumSsrs; ++k) {
+    const u32 i = (ssr_rr_ + k) % ssr::kNumSsrs;
+    fp_->streamer(i).tick_fetch(now, tcdm_, mem_,
+                                Tcdm::requester_id(hartid_, kSsrPorts[i]));
+  }
+  ssr_rr_ = (ssr_rr_ + 1) % ssr::kNumSsrs;
+
+  ++perf_.cycles;
+  if (fully_halted()) halted_at_ = now;
+}
+
+ArchState Core::arch_state() const {
+  ArchState s;
+  s.pc = core_->pc();
+  for (u8 r = 0; r < isa::kNumIntRegs; ++r) s.x[r] = core_->regs()[r];
+  s.f = fp_->fregs();
+  return s;
+}
+
+} // namespace sch::sim

@@ -1,0 +1,79 @@
+// One chaining core of the cluster: the integer core, the FP subsystem
+// (offload queue, FREP sequencer, FPU, chain unit) and the three SSR
+// streamers, wired to the cluster-shared Memory and banked Tcdm. The
+// Cluster invokes tick() once per cycle in a rotating core order; within the
+// tick the core runs the same phase sequence the single-core Simulator
+// always ran (commit pending writes, FP tick, integer tick, SSR fetches with
+// the rotating streamer priority).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "asm/program.hpp"
+#include "iss/arch_state.hpp"
+#include "mem/memory.hpp"
+#include "mem/tcdm.hpp"
+#include "sim/fp_subsystem.hpp"
+#include "sim/int_core.hpp"
+#include "sim/perf.hpp"
+#include "sim/sim_config.hpp"
+
+namespace sch::sim {
+
+class Core {
+ public:
+  /// The core keeps its own copy of the program; `memory`, `tcdm` and
+  /// `config` are cluster-owned and must outlive the core. `hartid` is the
+  /// mhartid CSR value and selects the core's TCDM requester block.
+  Core(Program program, Memory& memory, Tcdm& tcdm, const SimConfig& config,
+       u32 hartid);
+
+  /// Load this core's program data image into the shared memory. The
+  /// cluster calls this once, in hartid order, before the first cycle.
+  void load_image();
+
+  /// Run one cycle of every unit. A fully-halted core is a no-op (its
+  /// perf().cycles stops counting, so per-core cycle counts report the
+  /// core's active span under load imbalance).
+  void tick(Cycle now);
+
+  /// Integer core halted, FP subsystem drained, no pending writebacks.
+  [[nodiscard]] bool fully_halted() const {
+    return core_->halting() && fp_->quiescent() && core_->pending_empty();
+  }
+
+  [[nodiscard]] u32 hartid() const { return hartid_; }
+  [[nodiscard]] const Program& program() const { return prog_; }
+  [[nodiscard]] const PerfCounters& perf() const { return perf_; }
+  [[nodiscard]] const IntCore& int_core() const { return *core_; }
+  [[nodiscard]] const FpSubsystem& fp() const { return *fp_; }
+  [[nodiscard]] HaltReason halt_reason() const { return core_->halt_reason(); }
+  /// Cycle at which the core fully halted (0 while still running).
+  [[nodiscard]] Cycle halted_at() const { return halted_at_; }
+
+  [[nodiscard]] bool has_error() const {
+    return fp_->has_error() || core_->has_error();
+  }
+  /// FP-subsystem errors win (mirrors the original Simulator check order).
+  [[nodiscard]] const std::string& error() const {
+    return fp_->has_error() ? fp_->error() : core_->error();
+  }
+
+  /// Architectural state snapshot (for ISS cross-validation).
+  [[nodiscard]] ArchState arch_state() const;
+
+ private:
+  Program prog_;
+  Memory& mem_;
+  Tcdm& tcdm_;
+  const SimConfig& cfg_;
+  const u32 hartid_;
+  PerfCounters perf_;
+  std::unique_ptr<FpSubsystem> fp_;
+  std::unique_ptr<IntCore> core_;
+  u32 ssr_rr_ = 0; // round-robin rotation of this core's SSR port order
+  Cycle halted_at_ = 0;
+};
+
+} // namespace sch::sim

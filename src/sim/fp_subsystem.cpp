@@ -11,11 +11,12 @@ using isa::Mnemonic;
 using isa::RegClass;
 
 FpSubsystem::FpSubsystem(const SimConfig& cfg, Memory& mem, Tcdm& tcdm,
-                         PerfCounters& perf)
+                         PerfCounters& perf, u32 hartid)
     : cfg_(cfg),
       mem_(mem),
       tcdm_(tcdm),
       perf_(perf),
+      lsu_req_(Tcdm::requester_id(hartid, TcdmPortId::kCoreLsu)),
       seq_(cfg.fp_queue_depth, cfg.seq_buffer_depth),
       pipe_(cfg.fpu_depth),
       chain_(cfg.strict_chain_handoff),
@@ -256,7 +257,7 @@ void FpSubsystem::fill_load(const FpOp& op, Cycle now, CorePort& port) {
       last_stall_ = "lsu-port";
       return;
     }
-    if (!tcdm_.request(TcdmPortId::kCoreLsu, ea, /*is_write=*/false)) {
+    if (!tcdm_.request(lsu_req_, ea, /*is_write=*/false)) {
       ++perf_.stall_fp_lsu;
       last_stall_ = "lsu-bank";
       return;
@@ -294,7 +295,7 @@ void FpSubsystem::fill_store(const FpOp& op, Cycle now, CorePort& port) {
       last_stall_ = "lsu-port";
       return;
     }
-    if (!tcdm_.request(TcdmPortId::kCoreLsu, ea, /*is_write=*/true)) {
+    if (!tcdm_.request(lsu_req_, ea, /*is_write=*/true)) {
       ++perf_.stall_fp_lsu;
       last_stall_ = "lsu-bank";
       return;

@@ -43,8 +43,10 @@ struct IntWriteback {
 
 class FpSubsystem {
  public:
+  /// `hartid` selects this subsystem's TCDM requester block (it shares the
+  /// owning core's LSU port priority).
   FpSubsystem(const SimConfig& cfg, Memory& mem, Tcdm& tcdm,
-              PerfCounters& perf);
+              PerfCounters& perf, u32 hartid = 0);
 
   /// Wire the channel for FP->integer writebacks (compares, conversions).
   void set_int_wb_sink(std::function<void(const IntWriteback&)> sink) {
@@ -131,6 +133,7 @@ class FpSubsystem {
   Memory& mem_;
   Tcdm& tcdm_;
   PerfCounters& perf_;
+  const u32 lsu_req_; // the owning core's LSU requester id in the shared TCDM
 
   Sequencer seq_;
   FpuPipeline pipe_;

@@ -15,9 +15,12 @@ using isa::Mnemonic;
 using isa::PredecodedInstr;
 
 IntCore::IntCore(const Program& prog, Memory& mem, Tcdm& tcdm,
-                 const SimConfig& cfg, PerfCounters& perf, FpSubsystem& fp)
+                 const SimConfig& cfg, PerfCounters& perf, FpSubsystem& fp,
+                 u32 hartid)
     : prog_(prog), mem_(mem), tcdm_(tcdm), cfg_(cfg), perf_(perf), fp_(fp),
-      trace_(cfg.trace), pc_(prog.text_base) {}
+      trace_(cfg.trace), hartid_(hartid),
+      lsu_req_(Tcdm::requester_id(hartid, TcdmPortId::kCoreLsu)),
+      pc_(prog.text_base) {}
 
 void IntCore::fail(const std::string& message) {
   if (halt_ != HaltReason::kNone) return;
@@ -62,7 +65,9 @@ u32 IntCore::csr_read(u32 addr, Cycle now) const {
     case isa::csr::kMinstret:
       return static_cast<u32>(perf_.total_retired());
     case isa::csr::kMhartid:
-      return 0;
+      return hartid_;
+    case isa::csr::kMnumharts:
+      return cfg_.num_cores;
     case isa::csr::kSsrEnable:
       return fp_.ssr_enabled() ? 1u : 0u;
     case isa::csr::kChainMask:
@@ -250,7 +255,7 @@ bool IntCore::load_issue(const Instr& in, const PredecodedInstr& pre,
       ++perf_.stall_int_lsu;
       return false;
     }
-    if (!tcdm_.request(TcdmPortId::kCoreLsu, ea, false)) {
+    if (!tcdm_.request(lsu_req_, ea, false)) {
       ++perf_.stall_int_lsu;
       return false;
     }
@@ -318,7 +323,7 @@ void IntCore::h_store(const Instr& in, const PredecodedInstr& pre, Cycle,
       ++perf_.stall_int_lsu;
       return;
     }
-    if (!tcdm_.request(TcdmPortId::kCoreLsu, ea, true)) {
+    if (!tcdm_.request(lsu_req_, ea, true)) {
       ++perf_.stall_int_lsu;
       return;
     }

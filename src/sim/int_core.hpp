@@ -25,8 +25,10 @@ namespace sch::sim {
 
 class IntCore {
  public:
+  /// `hartid` selects this core's mhartid CSR value and its TCDM requester
+  /// block (hartid * kTcdmPortsPerCore + role).
   IntCore(const Program& prog, Memory& mem, Tcdm& tcdm, const SimConfig& cfg,
-          PerfCounters& perf, FpSubsystem& fp);
+          PerfCounters& perf, FpSubsystem& fp, u32 hartid = 0);
 
   /// Commit scheduled register writes (loads, muls, FP->int results) whose
   /// latency has elapsed. Call at the start of each cycle.
@@ -110,6 +112,8 @@ class IntCore {
   PerfCounters& perf_;
   FpSubsystem& fp_;
   const bool trace_;
+  const u32 hartid_;
+  const u32 lsu_req_; // this core's LSU requester id in the shared TCDM
 
   Addr pc_;
   std::array<u32, isa::kNumIntRegs> x_{};

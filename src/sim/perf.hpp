@@ -59,6 +59,48 @@ struct PerfCounters {
     return cycles == 0 ? 0.0 : static_cast<double>(fpu_ops) / static_cast<double>(cycles);
   }
   [[nodiscard]] u64 total_retired() const { return int_instrs + fp_instrs; }
+
+  /// Field-wise sum (cluster aggregation). Lives next to the field list so
+  /// a new counter cannot be forgotten; `cycles` is summed too — the
+  /// cluster overwrites it with its own cycle count afterwards.
+  PerfCounters& operator+=(const PerfCounters& o) {
+    cycles += o.cycles;
+    int_instrs += o.int_instrs;
+    fp_instrs += o.fp_instrs;
+    offloads += o.offloads;
+    fpu_ops += o.fpu_ops;
+    int_alu_ops += o.int_alu_ops;
+    int_mul_ops += o.int_mul_ops;
+    int_div_ops += o.int_div_ops;
+    int_loads += o.int_loads;
+    int_stores += o.int_stores;
+    branches += o.branches;
+    csr_ops += o.csr_ops;
+    fp_mac_ops += o.fp_mac_ops;
+    fp_div_ops += o.fp_div_ops;
+    fp_loads += o.fp_loads;
+    fp_stores += o.fp_stores;
+    rf_int_reads += o.rf_int_reads;
+    rf_int_writes += o.rf_int_writes;
+    rf_fp_reads += o.rf_fp_reads;
+    rf_fp_writes += o.rf_fp_writes;
+    stall_fp_raw += o.stall_fp_raw;
+    stall_fp_waw += o.stall_fp_waw;
+    stall_chain_empty += o.stall_chain_empty;
+    stall_chain_full += o.stall_chain_full;
+    stall_ssr_empty += o.stall_ssr_empty;
+    stall_ssr_wfull += o.stall_ssr_wfull;
+    stall_fpu_busy += o.stall_fpu_busy;
+    stall_fp_lsu += o.stall_fp_lsu;
+    fp_queue_empty += o.fp_queue_empty;
+    stall_offload_full += o.stall_offload_full;
+    stall_int_raw += o.stall_int_raw;
+    stall_int_lsu += o.stall_int_lsu;
+    stall_csr_barrier += o.stall_csr_barrier;
+    branch_bubbles += o.branch_bubbles;
+    int_div_busy += o.int_div_busy;
+    return *this;
+  }
 };
 
 } // namespace sch::sim

@@ -40,6 +40,13 @@ struct SimConfig {
   /// Forbid same-cycle chain-FIFO pop->push handoff (ablation A3).
   bool strict_chain_handoff = false;
 
+  /// Cores in the cluster, all sharing the banked TCDM (each contributes its
+  /// LSU port + three SSR ports to the arbiter). 1 reproduces the paper's
+  /// single-core configuration bit-exactly.
+  u32 num_cores = 1;
+  /// Upper bound on num_cores (requester bookkeeping stays sane).
+  static constexpr u32 kMaxCores = 64;
+
   TcdmConfig tcdm{};
   ssr::StreamerConfig ssr{};
 
@@ -77,6 +84,10 @@ struct SimConfig {
     }
     if (max_cycles == 0) {
       return Status::error("SimConfig: max_cycles must be >= 1");
+    }
+    if (num_cores == 0 || num_cores > kMaxCores) {
+      return Status::error("SimConfig: num_cores must be in 1..64 (a cluster "
+                           "needs at least one core)");
     }
     return Status::ok();
   }

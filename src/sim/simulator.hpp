@@ -1,65 +1,14 @@
-// Top-level cycle-level simulator: wires the integer core, FP subsystem,
-// SSR streamers and banked TCDM into one synchronous model and runs it to
-// completion. See DESIGN.md §4 for the per-cycle phase ordering.
+// Historical name of the cycle-level model. The single-core Simulator grew
+// into a Cluster of chaining cores sharing the banked TCDM; with the default
+// num_cores == 1 the cluster is cycle-for-cycle identical to the original
+// single-core model, so the old name is kept as an alias and every
+// single-core accessor (core(), fp(), perf(), arch_state()) still works.
 #pragma once
 
-#include <memory>
-#include <string>
-
-#include "asm/program.hpp"
-#include "iss/arch_state.hpp"
-#include "mem/memory.hpp"
-#include "mem/tcdm.hpp"
-#include "sim/fp_subsystem.hpp"
-#include "sim/int_core.hpp"
-#include "sim/perf.hpp"
-#include "sim/sim_config.hpp"
+#include "sim/cluster.hpp"
 
 namespace sch::sim {
 
-class Simulator {
- public:
-  /// The simulator keeps its own copy of the program (so temporaries are
-  /// safe); `memory` must outlive the simulator. Throws
-  /// std::invalid_argument when `config.validate()` fails.
-  Simulator(Program program, Memory& memory, const SimConfig& config = {});
-
-  /// Run to halt. Loads the program's data image first.
-  HaltReason run();
-
-  /// Single-step one cycle (tests/traces). Returns false once halted.
-  bool step();
-
-  [[nodiscard]] Cycle cycles() const { return cycle_; }
-  [[nodiscard]] const PerfCounters& perf() const { return perf_; }
-  [[nodiscard]] const Tcdm& tcdm() const { return tcdm_; }
-  [[nodiscard]] const FpSubsystem& fp() const { return *fp_; }
-  [[nodiscard]] const IntCore& core() const { return *core_; }
-  [[nodiscard]] HaltReason halt_reason() const { return halt_; }
-  [[nodiscard]] const std::string& error() const { return error_; }
-
-  /// Architectural state snapshot (for ISS cross-validation).
-  [[nodiscard]] ArchState arch_state() const;
-
- private:
-  void tick();
-  [[nodiscard]] bool fully_halted() const;
-
-  Program prog_;
-  Memory& mem_;
-  SimConfig cfg_;
-  PerfCounters perf_;
-  Tcdm tcdm_;
-  std::unique_ptr<FpSubsystem> fp_;
-  std::unique_ptr<IntCore> core_;
-
-  Cycle cycle_ = 0;
-  u32 ssr_rr_ = 0; // round-robin rotation of SSR port order
-  u64 last_progress_retired_ = 0;
-  Cycle last_progress_cycle_ = 0;
-  HaltReason halt_ = HaltReason::kNone;
-  std::string error_;
-  bool started_ = false;
-};
+using Simulator = Cluster;
 
 } // namespace sch::sim

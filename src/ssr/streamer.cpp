@@ -2,7 +2,25 @@
 
 #include <cassert>
 
+#include "mem/memory.hpp"
+
 namespace sch::ssr {
+
+namespace {
+
+/// Arbitrate `addr` for `requester` when it lies in the TCDM window; an
+/// address outside the window (user-settable stream pointers can leave it)
+/// bypasses the banks un-arbitrated and is counted instead of wrapping
+/// into a bogus bank index. Returns false when the bank denied the access.
+bool request_or_bypass(Tcdm& tcdm, u32 requester, Addr addr, bool is_write) {
+  if (!Memory::in_tcdm(addr)) {
+    tcdm.count_out_of_range();
+    return true;
+  }
+  return tcdm.request(requester, addr, is_write);
+}
+
+} // namespace
 
 Streamer::Streamer(const StreamerConfig& config) : scfg_(config) {}
 
@@ -63,9 +81,9 @@ bool Streamer::fifo_has_room() const {
 }
 
 void Streamer::fetch_index_word(Cycle now, Tcdm& tcdm, Memory& mem,
-                                TcdmPortId port) {
+                                u32 requester) {
   const Addr word_addr = gen_.peek() & ~Addr{7};
-  if (!tcdm.request(port, word_addr, /*is_write=*/false)) {
+  if (!request_or_bypass(tcdm, requester, word_addr, /*is_write=*/false)) {
     ++stats_.conflict_retries;
     return;
   }
@@ -99,14 +117,14 @@ void Streamer::consume_data_addr() {
   }
 }
 
-void Streamer::tick_fetch(Cycle now, Tcdm& tcdm, Memory& mem, TcdmPortId port) {
+void Streamer::tick_fetch(Cycle now, Tcdm& tcdm, Memory& mem, u32 requester) {
   if (dir_ == StreamDir::kNone) return;
 
   if (dir_ == StreamDir::kRead) {
     // Prefer a data fetch; fall back to an index-word fetch.
     if (data_addr_known(now) && fifo_has_room()) {
       const Addr addr = next_data_addr();
-      if (!tcdm.request(port, addr, /*is_write=*/false)) {
+      if (!request_or_bypass(tcdm, requester, addr, /*is_write=*/false)) {
         ++stats_.conflict_retries;
         return;
       }
@@ -117,7 +135,7 @@ void Streamer::tick_fetch(Cycle now, Tcdm& tcdm, Memory& mem, TcdmPortId port) {
     }
     if (cfg_.indirect() && !gen_.done() &&
         idx_q_.size() < scfg_.idx_queue_depth) {
-      fetch_index_word(now, tcdm, mem, port);
+      fetch_index_word(now, tcdm, mem, requester);
     }
     return;
   }
@@ -126,13 +144,13 @@ void Streamer::tick_fetch(Cycle now, Tcdm& tcdm, Memory& mem, TcdmPortId port) {
   if (write_fifo_.empty()) return;
   if (cfg_.indirect() && !data_addr_known(now)) {
     if (!gen_.done() && idx_q_.size() < scfg_.idx_queue_depth) {
-      fetch_index_word(now, tcdm, mem, port);
+      fetch_index_word(now, tcdm, mem, requester);
     }
     return;
   }
   if (!data_addr_known(now)) return; // affine stream exhausted: drop nothing, program bug
   const Addr addr = next_data_addr();
-  if (!tcdm.request(port, addr, /*is_write=*/true)) {
+  if (!request_or_bypass(tcdm, requester, addr, /*is_write=*/true)) {
     ++stats_.conflict_retries;
     return;
   }

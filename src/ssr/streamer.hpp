@@ -50,8 +50,12 @@ class Streamer {
   // --- simulation loop interface ---
   /// Commit data that became visible this cycle. Call before the FP stage.
   void begin_cycle(Cycle now);
-  /// Issue at most one TCDM request. Call after the FP stage.
-  void tick_fetch(Cycle now, Tcdm& tcdm, Memory& mem, TcdmPortId port);
+  /// Issue at most one TCDM request as `requester` (a global requester id;
+  /// see Tcdm::requester_id). Call after the FP stage.
+  void tick_fetch(Cycle now, Tcdm& tcdm, Memory& mem, u32 requester);
+  void tick_fetch(Cycle now, Tcdm& tcdm, Memory& mem, TcdmPortId port) {
+    tick_fetch(now, tcdm, mem, static_cast<u32>(port));
+  }
 
   struct Stats {
     u64 data_reads = 0;   // granted data fetches
@@ -82,7 +86,7 @@ class Streamer {
   [[nodiscard]] bool data_addr_known(Cycle now) const;
   [[nodiscard]] Addr next_data_addr() const;
   void consume_data_addr();
-  void fetch_index_word(Cycle now, Tcdm& tcdm, Memory& mem, TcdmPortId port);
+  void fetch_index_word(Cycle now, Tcdm& tcdm, Memory& mem, u32 requester);
 
   StreamerConfig scfg_;
   SsrRawConfig cfg_;

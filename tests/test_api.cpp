@@ -272,8 +272,8 @@ TEST(Engine, ObservedRunMatchesUnobservedTiming) {
 
 // --- JSON schema golden ------------------------------------------------------
 
-TEST(RunReportJson, GoldenSchemaV1) {
-  ASSERT_EQ(RunReport::kSchemaVersion, 1);
+TEST(RunReportJson, GoldenSchemaV2) {
+  ASSERT_EQ(RunReport::kSchemaVersion, 2);
   RunReport r;
   r.name = "vecop/chained";
   r.kernel = "vecop";
@@ -298,15 +298,29 @@ TEST(RunReportJson, GoldenSchemaV1) {
   r.regs.accumulator_regs = 1;
   r.regs.chained_regs = 1;
   r.regs.ssr_regs = 3;
+  r.tcdm_out_of_range = 2;
+  r.tcdm_top_banks = {{4, 9}, {0, 1}};
+  r.num_cores = 1;
+  RunReport::CoreReport core;
+  core.cycles = 100;
+  core.fpu_utilization = 0.5;
+  core.perf = r.perf;
+  r.cores.push_back(core);
   r.wall_s = 0.25;
   const std::string golden =
-      R"({"schema":1,"name":"vecop/chained","kernel":"vecop","variant":"chained",)"
+      R"({"schema":2,"name":"vecop/chained","kernel":"vecop","variant":"chained",)"
       R"("engine":"both","ok":true,"cycles":100,"retired":100,"fpu_ops":50,)"
       R"("fpu_utilization":0.5,"useful_flops":48,"iss_instructions":90,)"
       R"("mismatches":0,"lockstep_mismatches":0,"stalls":{"fp_raw":3,"fp_waw":0,)"
       R"("chain_empty":0,"chain_full":0,"ssr_empty":0,"ssr_wfull":0,"fpu_busy":0,)"
       R"("fp_lsu":0,"offload_full":0,"int_raw":0,"int_lsu":0,"csr_barrier":0,)"
-      R"("branch_bubbles":0},"tcdm":{"reads":7,"writes":5,"conflicts":1},)"
+      R"("branch_bubbles":0},"tcdm":{"reads":7,"writes":5,"conflicts":1,)"
+      R"("out_of_range":2,"top_banks":[{"bank":4,"conflicts":9},)"
+      R"({"bank":0,"conflicts":1}]},"num_cores":1,"cores":[{"hart":0,)"
+      R"("cycles":100,"retired":100,"fpu_ops":50,"fpu_utilization":0.5,)"
+      R"("stalls":{"fp_raw":3,"fp_waw":0,"chain_empty":0,"chain_full":0,)"
+      R"("ssr_empty":0,"ssr_wfull":0,"fpu_busy":0,"fp_lsu":0,"offload_full":0,)"
+      R"("int_raw":0,"int_lsu":0,"csr_barrier":0,"branch_bubbles":0}}],)"
       R"("energy":{"power_mw":60.25,"energy_per_cycle_pj":54.5,)"
       R"("fpu_ops_per_joule":0.5},"regs":{"fp_used":6,"accumulator":1,)"
       R"("chained":1,"ssr":3},"wall_s":0.25})";

@@ -10,10 +10,12 @@ tests/test_api.cpp; all three must move together.
 import json
 import sys
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 # Required keys of one RunReport row and their JSON types. "error" is
 # present only on failed rows, so it is checked conditionally.
+# v2 adds "num_cores", the per-core "cores" sections and the TCDM
+# "out_of_range"/"top_banks" keys; every v1 key is unchanged.
 ROW_KEYS = {
     "schema": int,
     "name": str,
@@ -31,6 +33,8 @@ ROW_KEYS = {
     "lockstep_mismatches": int,
     "stalls": dict,
     "tcdm": dict,
+    "num_cores": int,
+    "cores": list,
     "energy": dict,
     "regs": dict,
     "wall_s": (int, float),
@@ -40,7 +44,8 @@ STALL_KEYS = [
     "fpu_busy", "fp_lsu", "offload_full", "int_raw", "int_lsu", "csr_barrier",
     "branch_bubbles",
 ]
-TCDM_KEYS = ["reads", "writes", "conflicts"]
+TCDM_KEYS = ["reads", "writes", "conflicts", "out_of_range", "top_banks"]
+CORE_KEYS = ["hart", "cycles", "retired", "fpu_ops", "fpu_utilization", "stalls"]
 ENERGY_KEYS = ["power_mw", "energy_per_cycle_pj", "fpu_ops_per_joule"]
 REGS_KEYS = ["fp_used", "accumulator", "chained", "ssr"]
 ENGINES = {"iss", "cycle", "both"}
@@ -70,6 +75,26 @@ def check_row(path, i, row):
     for key in TCDM_KEYS:
         if key not in row["tcdm"]:
             fail(path, f"{where}: tcdm missing '{key}'")
+    for entry in row["tcdm"]["top_banks"]:
+        for key in ("bank", "conflicts"):
+            if key not in entry:
+                fail(path, f"{where}: tcdm.top_banks entry missing '{key}'")
+    if row["num_cores"] < 1:
+        fail(path, f"{where}: num_cores {row['num_cores']} < 1")
+    # The cycle engine reports one core section per core; the ISS-only
+    # engine reports none.
+    if row["cores"] and len(row["cores"]) != row["num_cores"]:
+        fail(path, f"{where}: {len(row['cores'])} core sections for "
+                   f"num_cores={row['num_cores']}")
+    for h, core in enumerate(row["cores"]):
+        for key in CORE_KEYS:
+            if key not in core:
+                fail(path, f"{where}: cores[{h}] missing '{key}'")
+        if core["hart"] != h:
+            fail(path, f"{where}: cores[{h}] has hart={core['hart']}")
+        for key in STALL_KEYS:
+            if key not in core["stalls"]:
+                fail(path, f"{where}: cores[{h}].stalls missing '{key}'")
     for key in ENERGY_KEYS:
         if key not in row["energy"]:
             fail(path, f"{where}: energy missing '{key}'")

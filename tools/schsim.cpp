@@ -5,7 +5,7 @@
 //       parameters and defaults.
 //
 //   schsim run scenario.json [--out report.json] [--threads N]
-//              [--engine iss|cycle|both]
+//              [--engine iss|cycle|both] [--cores N]
 //       Expand a declarative scenario file (kernel x variants x sizes x
 //       sim overrides x repeat) into a job batch, execute it on the unified
 //       engine's worker pool and write one JSON report (see docs/API.md).
@@ -14,6 +14,8 @@
 //         --engine iss|cycle|both
 //                               execution engine; `both` cross-checks the
 //                               ISS against the cycle-level model
+//         --cores N             force every job's cluster core count
+//                               (wins over scenario "cores" overrides)
 //
 //   schsim [sim] [options] program.s
 //       Assemble a RISC-V source file (with the Xssr/Xfrep/Xchain
@@ -24,6 +26,8 @@
 //         --dataflow            print the FPU-pipeline/chain-FIFO occupancy
 //         --energy              print the energy/power report
 //         --banks N             TCDM banks (default 32)
+//         --cores N             cluster cores sharing the TCDM (default 1;
+//                               the program is replicated, split by mhartid)
 //         --fpu-depth N         FPU pipeline depth (default 3)
 //         --strict-handoff      forbid same-cycle chain pop->push handoff
 //         --max-cycles N        simulation budget
@@ -48,10 +52,11 @@ void usage() {
   std::fprintf(stderr,
                "usage: schsim list-kernels\n"
                "       schsim run scenario.json [--out report.json] [--threads N]\n"
-               "              [--engine iss|cycle|both]\n"
+               "              [--engine iss|cycle|both] [--cores N]\n"
                "       schsim [sim] [--iss] [--trace] [--dataflow] [--energy]\n"
-               "              [--banks N] [--fpu-depth N] [--strict-handoff]\n"
-               "              [--max-cycles N] [--dump ADDR COUNT] program.s\n");
+               "              [--banks N] [--cores N] [--fpu-depth N]\n"
+               "              [--strict-handoff] [--max-cycles N]\n"
+               "              [--dump ADDR COUNT] program.s\n");
 }
 
 /// Checked unsigned parse (decimal or 0x hex). Exits with a usage error on
@@ -133,6 +138,9 @@ int cmd_run(int argc, char** argv) {
       options.output_override = next("--out");
     } else if (arg == "--threads") {
       options.threads = parse_u32_arg(next("--threads"), "--threads", 1, 4096);
+    } else if (arg == "--cores") {
+      options.cores_override = parse_u32_arg(next("--cores"), "--cores", 1,
+                                             sim::SimConfig::kMaxCores);
     } else if (arg == "--engine") {
       const char* name = next("--engine");
       if (!api::parse_engine(name, options.engine)) {
@@ -190,6 +198,9 @@ int cmd_sim(int argc, char** argv) {
     else if (arg == "--strict-handoff") cfg.strict_chain_handoff = true;
     else if (arg == "--banks") {
       cfg.tcdm.num_banks = parse_u32_arg(next("--banks"), "--banks", 1, 1024);
+    } else if (arg == "--cores") {
+      cfg.num_cores = parse_u32_arg(next("--cores"), "--cores", 1,
+                                    sim::SimConfig::kMaxCores);
     } else if (arg == "--fpu-depth") {
       cfg.fpu_depth = parse_u32_arg(next("--fpu-depth"), "--fpu-depth", 1, 64);
     } else if (arg == "--max-cycles") {
