@@ -125,6 +125,13 @@ int main(int argc, char** argv) {
   results.push_back(time_kernel(
       "conv2d_chained", build("conv2d", "chained", {{"h", 34}, {"w", 34}}),
       repeat));
+  results.push_back(time_kernel(
+      "axpy_chained_dbuf",
+      build("axpy", "chained_dbuf", {{"n", 1024}, {"tile", 64}}), repeat));
+  results.push_back(time_kernel(
+      "gemv_chained_dbuf",
+      build("gemv", "chained_dbuf", {{"m", 64}, {"n", 48}, {"rtile", 8}}),
+      repeat));
 
   // Full Fig. 3 sweep wall-clock (build + simulate + validate, all 10
   // configurations), as shipped: parallel workers over self-contained runs.

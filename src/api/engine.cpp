@@ -160,9 +160,14 @@ RunReport execute(const RunRequest& request) {
   // program whose harts communicate only through disjoint memory (the _par
   // kernels); programs that spin on another hart's stores (barriers) are
   // cycle-engine-only and would exhaust the ISS step budget here.
+  // Both engine sections run under a catch-all: a stray access to unmapped
+  // memory anywhere on the execution path (e.g. an SSR stream pointed at a
+  // hole in the address map) surfaces as a failed bus-error report instead
+  // of an exception escaping Engine::run mid-batch.
   Memory iss_mem;
   std::vector<ArchState> iss_states;
   if (request.engine == EngineSel::kIss || request.engine == EngineSel::kBoth) {
+    try {
     iss_mem.load_image(hart_program(0).data_base, hart_program(0).data);
     if (programs != nullptr) {
       for (u32 h = 1; h < num_cores; ++h) {
@@ -186,6 +191,9 @@ RunReport execute(const RunRequest& request) {
         break;
       }
     }
+    } catch (const std::exception& e) {
+      fail(report, report.name + ": ISS: " + e.what());
+    }
     if (report.error.empty() && validation == Validation::kGolden &&
         built != nullptr) {
       std::string detail;
@@ -203,12 +211,16 @@ RunReport execute(const RunRequest& request) {
   Memory sim_mem;
   std::optional<sim::Simulator> simulator;
   if (request.engine == EngineSel::kCycle || request.engine == EngineSel::kBoth) {
-    if (programs != nullptr) {
-      simulator.emplace(*programs, sim_mem, request.config);
-    } else {
-      simulator.emplace(hart_program(0), sim_mem, request.config);
+    try {
+      if (programs != nullptr) {
+        simulator.emplace(*programs, sim_mem, request.config);
+      } else {
+        simulator.emplace(hart_program(0), sim_mem, request.config);
+      }
+      drive_simulator(*simulator, request.observers);
+    } catch (const std::exception& e) {
+      return finish_failed(report.name + ": simulator: " + e.what());
     }
-    drive_simulator(*simulator, request.observers);
     report.cycles = simulator->cycles();
     report.perf = simulator->perf();
     // Cluster-mean utilization: reduces to fpu_ops / cycles for one core.
@@ -227,6 +239,14 @@ RunReport execute(const RunRequest& request) {
     report.tcdm_conflicts = simulator->tcdm().stats().conflicts;
     report.tcdm_out_of_range = simulator->tcdm().stats().out_of_range;
     report.tcdm_top_banks = simulator->tcdm().top_conflict_banks(8);
+    const dma::EngineStats& ds = simulator->dma().stats();
+    report.dma.transfers = ds.transfers_completed;
+    report.dma.bytes = ds.bytes_moved;
+    report.dma.busy_cycles = ds.busy_cycles;
+    report.dma.startup_cycles = ds.startup_cycles;
+    report.dma.tcdm_conflicts = ds.tcdm_conflicts;
+    report.dma.queue_full_stalls = ds.queue_full_stalls;
+    report.dma.achieved_bytes_per_cycle = ds.achieved_bytes_per_cycle();
     if (!clean_halt(simulator->halt_reason())) {
       fail(report,
            report.name + ": simulator halted abnormally: " +

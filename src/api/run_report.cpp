@@ -34,6 +34,7 @@ Json stalls_json(const sim::PerfCounters& p) {
   o.set("int_raw", p.stall_int_raw);
   o.set("int_lsu", p.stall_int_lsu);
   o.set("csr_barrier", p.stall_csr_barrier);
+  o.set("dma_full", p.stall_dma_full);
   o.set("branch_bubbles", p.branch_bubbles);
   return o;
 }
@@ -72,6 +73,15 @@ Json RunReport::to_json() const {
   }
   tcdm.set("top_banks", std::move(top));
   row.set("tcdm", std::move(tcdm));
+  Json dm = Json::object();
+  dm.set("transfers", dma.transfers);
+  dm.set("bytes", dma.bytes);
+  dm.set("busy_cycles", dma.busy_cycles);
+  dm.set("startup_cycles", dma.startup_cycles);
+  dm.set("tcdm_conflicts", dma.tcdm_conflicts);
+  dm.set("queue_full_stalls", dma.queue_full_stalls);
+  dm.set("achieved_bytes_per_cycle", dma.achieved_bytes_per_cycle);
+  row.set("dma", std::move(dm));
   row.set("num_cores", static_cast<i64>(num_cores));
   Json core_rows = Json::array();
   for (usize h = 0; h < cores.size(); ++h) {

@@ -41,7 +41,11 @@ struct RunReport {
   /// and the TCDM "out_of_range"/"top_banks" contention keys; every v1 key
   /// is unchanged (a num_cores=1 report matches a v1 report field-for-field
   /// apart from the new sections).
-  static constexpr i64 kSchemaVersion = 2;
+  /// v3: Xdma -- adds the "dma" section (transfers/bytes/busy_cycles/
+  /// startup_cycles/tcdm_conflicts/queue_full_stalls/achieved
+  /// bytes-per-cycle) and the "dma_full" stall key; every v2 key is
+  /// unchanged (a DMA-free run reports an all-zero section).
+  static constexpr i64 kSchemaVersion = 3;
 
   /// Per-core cycle-engine section of a cluster run.
   struct CoreReport {
@@ -74,6 +78,21 @@ struct RunReport {
   /// Hottest banks by conflict count (bank index, conflicts), hottest
   /// first; at most 8 entries, zero-conflict banks omitted.
   std::vector<std::pair<u32, u64>> tcdm_top_banks;
+
+  /// Cluster DMA engine activity (all zero when the workload issues no
+  /// transfers or the cycle engine did not run).
+  struct DmaReport {
+    u64 transfers = 0;      // completed transfers
+    u64 bytes = 0;          // bytes moved
+    u64 busy_cycles = 0;    // cycles with >= 1 channel active
+    u64 startup_cycles = 0; // CHANNEL-cycles spent in main-memory latency
+                            // (can exceed busy_cycles when several harts'
+                            // transfers start up concurrently)
+    u64 tcdm_conflicts = 0; // beats denied by the bank arbiter
+    u64 queue_full_stalls = 0;
+    double achieved_bytes_per_cycle = 0;
+  };
+  DmaReport dma;
   energy::EnergyReport energy;
 
   // ISS results (zero when engine == kCycle).

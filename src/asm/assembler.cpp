@@ -538,6 +538,43 @@ class AssemblerImpl {
       return cls == isa::RegClass::kFp ? c.fp_reg() : c.int_reg();
     };
 
+    // Xdma operand shapes (custom-1 space) before the stock format parsers.
+    switch (m) {
+      case Mnemonic::kDmSrc: case Mnemonic::kDmDst: {
+        const u8 rs1 = c.int_reg(); c.end();
+        emit(isa::make_i(m, 0, rs1, 0), line);
+        return;
+      }
+      case Mnemonic::kDmStr: {
+        const u8 rs1 = c.int_reg(); c.comma();
+        const u8 rs2 = c.int_reg(); c.end();
+        emit(isa::make_r(m, 0, rs1, rs2), line);
+        return;
+      }
+      case Mnemonic::kDmCpy: {
+        const u8 rd = c.int_reg(); c.comma();
+        const u8 rs1 = c.int_reg(); c.end();
+        emit(isa::make_i(m, rd, rs1, 0), line);
+        return;
+      }
+      case Mnemonic::kDmCpy2d: {
+        const u8 rd = c.int_reg(); c.comma();
+        const u8 rs1 = c.int_reg(); c.comma();
+        const u8 rs2 = c.int_reg(); c.end();
+        emit(isa::make_r(m, rd, rs1, rs2), line);
+        return;
+      }
+      case Mnemonic::kDmStat: {
+        const u8 rd = c.int_reg(); c.comma();
+        const i64 imm = c.imm_expr(); c.end();
+        if (!fits_simm(imm, 12)) fail(line, "immediate out of range");
+        emit(isa::make_i(m, rd, 0, static_cast<i32>(imm)), line);
+        return;
+      }
+      default:
+        break;
+    }
+
     switch (mi.fmt) {
       case isa::Format::kR: {
         const u8 rd = reg(mi.rd); c.comma();

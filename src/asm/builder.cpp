@@ -172,6 +172,12 @@ void ProgramBuilder::frep_o(u8 rs1, i32 n_instr) { emit(isa::make_i(Mnemonic::kF
 void ProgramBuilder::frep_i(u8 rs1, i32 n_instr) { emit(isa::make_i(Mnemonic::kFrepI, 0, rs1, n_instr)); }
 void ProgramBuilder::scfgw(u8 rs1, i32 idx) { emit(isa::make_i(Mnemonic::kScfgw, 0, rs1, idx)); }
 void ProgramBuilder::scfgr(u8 rd, i32 idx) { emit(isa::make_i(Mnemonic::kScfgr, rd, 0, idx)); }
+void ProgramBuilder::dmsrc(u8 rs1) { emit(isa::make_i(Mnemonic::kDmSrc, 0, rs1, 0)); }
+void ProgramBuilder::dmdst(u8 rs1) { emit(isa::make_i(Mnemonic::kDmDst, 0, rs1, 0)); }
+void ProgramBuilder::dmstr(u8 rs1, u8 rs2) { emit(isa::make_r(Mnemonic::kDmStr, 0, rs1, rs2)); }
+void ProgramBuilder::dmcpy(u8 rd, u8 rs1) { emit(isa::make_i(Mnemonic::kDmCpy, rd, rs1, 0)); }
+void ProgramBuilder::dmcpy2d(u8 rd, u8 rs1, u8 rs2) { emit(isa::make_r(Mnemonic::kDmCpy2d, rd, rs1, rs2)); }
+void ProgramBuilder::dmstat(u8 rd, i32 sel) { emit(isa::make_i(Mnemonic::kDmStat, rd, 0, sel)); }
 
 // --- data ----------------------------------------------------------------
 

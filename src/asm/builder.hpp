@@ -124,6 +124,17 @@ class ProgramBuilder {
   void scfgw(u8 rs1, i32 cfg_index);
   /// SSR config read: rd <- config word index.
   void scfgr(u8 rd, i32 cfg_index);
+  /// Xdma: latch the DMA source / destination base address.
+  void dmsrc(u8 rs1);
+  void dmdst(u8 rs1);
+  /// Xdma: latch 2-D row strides (rs1 = source, rs2 = destination).
+  void dmstr(u8 rs1, u8 rs2);
+  /// Xdma: start a 1-D copy of rs1 bytes; rd <- per-hart transfer id.
+  void dmcpy(u8 rd, u8 rs1);
+  /// Xdma: start a 2-D copy of rs2 rows of rs1 bytes each.
+  void dmcpy2d(u8 rd, u8 rs1, u8 rs2);
+  /// Xdma status read: sel 0 = completed count, 1 = outstanding count.
+  void dmstat(u8 rd, i32 sel);
 
   // --- data segment -----------------------------------------------------------
   /// Align the data cursor to `align` bytes (power of two).

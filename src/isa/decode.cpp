@@ -293,14 +293,30 @@ Instr decode(u32 w) {
       i.rd = i.rs2 = i.rs3 = 0; i.rm = 0;
       return i;
     }
-    case 0x2B: { // custom-1: scfg
-      Mnemonic mn = f3 == 0 ? Mnemonic::kScfgw : f3 == 1 ? Mnemonic::kScfgr : Mnemonic::kInvalid;
-      if (mn == Mnemonic::kInvalid) return invalid(w);
+    case 0x2B: { // custom-1: scfg (f3 0-1) + Xdma (f3 2-7)
+      static constexpr Mnemonic kD[] = {
+          Mnemonic::kScfgw, Mnemonic::kScfgr, Mnemonic::kDmSrc,
+          Mnemonic::kDmDst, Mnemonic::kDmStr, Mnemonic::kDmCpy,
+          Mnemonic::kDmCpy2d, Mnemonic::kDmStat};
+      const Mnemonic mn = kD[f3];
       Instr i = fill(mn, w);
-      i.imm = imm_i(w);
-      i.rs2 = i.rs3 = 0; i.rm = 0;
-      if (mn == Mnemonic::kScfgw) i.rd = 0;
-      if (mn == Mnemonic::kScfgr) i.rs1 = 0;
+      i.rs3 = 0; i.rm = 0; i.imm = 0;
+      switch (mn) {
+        case Mnemonic::kScfgw:
+          i.imm = imm_i(w); i.rd = 0; i.rs2 = 0; break;
+        case Mnemonic::kScfgr:
+          i.imm = imm_i(w); i.rs1 = 0; i.rs2 = 0; break;
+        case Mnemonic::kDmSrc: case Mnemonic::kDmDst:
+          i.rd = 0; i.rs2 = 0; break;
+        case Mnemonic::kDmStr:
+          i.rd = 0; break;
+        case Mnemonic::kDmCpy:
+          i.rs2 = 0; break;
+        case Mnemonic::kDmCpy2d:
+          break;
+        default: // kDmStat
+          i.imm = imm_i(w); i.rs1 = 0; i.rs2 = 0; break;
+      }
       return i;
     }
     default:

@@ -29,6 +29,27 @@ std::string disassemble(const Instr& in) {
   auto rs2 = [&] { return reg_name(mi.rs2, in.rs2); };
   auto rs3 = [&] { return reg_name(mi.rs3, in.rs3); };
 
+  // Xdma operand shapes do not follow the stock format printers.
+  switch (in.mn) {
+    case Mnemonic::kDmSrc: case Mnemonic::kDmDst:
+      os << " " << rs1();
+      return os.str();
+    case Mnemonic::kDmStr:
+      os << " " << rs1() << ", " << rs2();
+      return os.str();
+    case Mnemonic::kDmCpy:
+      os << " " << rd() << ", " << rs1();
+      return os.str();
+    case Mnemonic::kDmCpy2d:
+      os << " " << rd() << ", " << rs1() << ", " << rs2();
+      return os.str();
+    case Mnemonic::kDmStat:
+      os << " " << rd() << ", " << in.imm;
+      return os.str();
+    default:
+      break;
+  }
+
   switch (mi.fmt) {
     case Format::kR:
       if (mi.rs2 == RegClass::kNone) {

@@ -116,6 +116,10 @@ ISpec i_spec(Mnemonic mn) {
     case Mnemonic::kFrepI: return {kCustom0, 0x1};
     case Mnemonic::kScfgw: return {kCustom1, 0x0};
     case Mnemonic::kScfgr: return {kCustom1, 0x1};
+    case Mnemonic::kDmSrc: return {kCustom1, 0x2};
+    case Mnemonic::kDmDst: return {kCustom1, 0x3};
+    case Mnemonic::kDmCpy: return {kCustom1, 0x5};
+    case Mnemonic::kDmStat: return {kCustom1, 0x7};
     default: throw std::logic_error("i_spec: not an I-type");
   }
 }
@@ -192,6 +196,13 @@ u32 encode(const Instr& in) {
       return enc_i(kSystem, 0x6, in.rd, in.rs1, 0) | place(static_cast<u32>(in.imm), 12, 20);
     case Mnemonic::kCsrrci:
       return enc_i(kSystem, 0x7, in.rd, in.rs1, 0) | place(static_cast<u32>(in.imm), 12, 20);
+    // Xdma two-source forms use an R-type layout in the custom-1 space.
+    case Mnemonic::kDmStr:
+      return place(in.rs2, 5, 20) | place(in.rs1, 5, 15) | place(0x4u, 3, 12) |
+             kCustom1;
+    case Mnemonic::kDmCpy2d:
+      return place(in.rs2, 5, 20) | place(in.rs1, 5, 15) | place(0x6u, 3, 12) |
+             place(in.rd, 5, 7) | kCustom1;
     default:
       break;
   }

@@ -142,6 +142,18 @@ constexpr std::array<MnemonicInfo, kCount> build_table() {
   set(M::kScfgw, {"scfgw", F::kI, R::kNone, R::kInt, R::kNone, R::kNone, E::kScfg, false, 0, false});
   // scfgr rd, imm: read SSR config word `imm` into rd.
   set(M::kScfgr, {"scfgr", F::kI, R::kInt, R::kNone, R::kNone, R::kNone, E::kScfg, false, 0, false});
+  // Xdma: cluster DMA engine (custom-1 space next to Xssr; see docs/ISA.md).
+  // dmsrc rs1 / dmdst rs1: latch the source / destination base address.
+  set(M::kDmSrc, {"dmsrc", F::kI, R::kNone, R::kInt, R::kNone, R::kNone, E::kDma, false, 0, false});
+  set(M::kDmDst, {"dmdst", F::kI, R::kNone, R::kInt, R::kNone, R::kNone, E::kDma, false, 0, false});
+  // dmstr rs1, rs2: latch 2-D row strides (rs1 = source, rs2 = destination).
+  set(M::kDmStr, {"dmstr", F::kR, R::kNone, R::kInt, R::kInt, R::kNone, E::kDma, false, 0, false});
+  // dmcpy rd, rs1: start a 1-D copy of rs1 bytes; rd <- transfer id.
+  set(M::kDmCpy, {"dmcpy", F::kI, R::kInt, R::kInt, R::kNone, R::kNone, E::kDma, false, 0, false});
+  // dmcpy2d rd, rs1, rs2: start a 2-D copy, rs2 rows of rs1 bytes.
+  set(M::kDmCpy2d, {"dmcpy2d", F::kR, R::kInt, R::kInt, R::kInt, R::kNone, E::kDma, false, 0, false});
+  // dmstat rd, imm: read DMA status word `imm` (0 completed, 1 outstanding).
+  set(M::kDmStat, {"dmstat", F::kI, R::kInt, R::kNone, R::kNone, R::kNone, E::kDma, false, 0, false});
 
   return t;
 }

@@ -10,7 +10,8 @@
 namespace sch::isa {
 
 /// Every instruction the core understands. RV32IMFD + Zicsr + the custom
-/// Xfrep (hardware loop), Xssr (stream config) extensions.
+/// Xfrep (hardware loop), Xssr (stream config) and Xdma (cluster DMA)
+/// extensions.
 enum class Mnemonic : u16 {
   kInvalid = 0,
   // --- RV32I ---
@@ -43,6 +44,8 @@ enum class Mnemonic : u16 {
   kFrepO, kFrepI,
   // --- Xssr (stream configuration) ---
   kScfgw, kScfgr,
+  // --- Xdma (cluster DMA engine) ---
+  kDmSrc, kDmDst, kDmStr, kDmCpy, kDmCpy2d, kDmStat,
 
   kCount,
 };
@@ -74,6 +77,7 @@ enum class ExecClass : u8 {
   kFpStore,   // fsw/fsd
   kFrep,      // hardware-loop marker (consumed by the sequencer)
   kScfg,      // stream config access
+  kDma,       // cluster DMA engine access (Xdma)
 };
 
 /// Static description of one mnemonic.

@@ -37,6 +37,15 @@ ExecHandler classify(const Instr& in, const MnemonicInfo& mi) {
     case ExecClass::kScfg:
       return in.mn == Mnemonic::kScfgw ? ExecHandler::kScfgW
                                        : ExecHandler::kScfgR;
+    case ExecClass::kDma:
+      switch (in.mn) {
+        case Mnemonic::kDmSrc: return ExecHandler::kDmaSrc;
+        case Mnemonic::kDmDst: return ExecHandler::kDmaDst;
+        case Mnemonic::kDmStr: return ExecHandler::kDmaStr;
+        case Mnemonic::kDmCpy: return ExecHandler::kDmaCpy;
+        case Mnemonic::kDmCpy2d: return ExecHandler::kDmaCpy2d;
+        default: return ExecHandler::kDmaStat;
+      }
   }
   return ExecHandler::kInvalid;
 }

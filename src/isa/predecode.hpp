@@ -45,6 +45,12 @@ enum class ExecHandler : u8 {
   kFrep,
   kScfgW,
   kScfgR,
+  kDmaSrc,
+  kDmaDst,
+  kDmaStr,
+  kDmaCpy,
+  kDmaCpy2d,
+  kDmaStat,
   kCount,
 };
 

@@ -302,6 +302,47 @@ void Iss::h_scfg_r(const Instr& in, const PredecodedInstr&) {
   state_.write_x(in.rd, ssrs_.cfg_read(in.imm));
 }
 
+// Xdma: the functional model copies instantly at issue; dmstat reports all
+// transfers completed, which matches the cycle engine at every
+// well-synchronized poll (see dma/dma.hpp).
+
+void Iss::h_dma_src(const Instr& in, const PredecodedInstr&) {
+  dma_.set_src(state_.read_x(in.rs1));
+}
+
+void Iss::h_dma_dst(const Instr& in, const PredecodedInstr&) {
+  dma_.set_dst(state_.read_x(in.rs1));
+}
+
+void Iss::h_dma_str(const Instr& in, const PredecodedInstr&) {
+  dma_.set_strides(static_cast<i32>(state_.read_x(in.rs1)),
+                   static_cast<i32>(state_.read_x(in.rs2)));
+}
+
+void Iss::h_dma_cpy(const Instr& in, const PredecodedInstr&) {
+  const Result<u32> id = dma_.copy(mem_, state_.read_x(in.rs1), 1);
+  if (!id.ok()) {
+    halt_error(id.status().message());
+    return;
+  }
+  state_.write_x(in.rd, id.value());
+}
+
+void Iss::h_dma_cpy2d(const Instr& in, const PredecodedInstr&) {
+  const Result<u32> id =
+      dma_.copy(mem_, state_.read_x(in.rs1), state_.read_x(in.rs2));
+  if (!id.ok()) {
+    halt_error(id.status().message());
+    return;
+  }
+  state_.write_x(in.rd, id.value());
+}
+
+void Iss::h_dma_stat(const Instr& in, const PredecodedInstr& pre) {
+  const u32 sel = static_cast<u32>(pre.aux);
+  state_.write_x(in.rd, sel == 0 ? dma_.completed() : dma_.outstanding());
+}
+
 const Iss::Handler Iss::kHandlers[static_cast<usize>(ExecHandler::kCount)] = {
     &Iss::h_invalid,     // kInvalid
     &Iss::h_lui,         // kLui
@@ -332,6 +373,12 @@ const Iss::Handler Iss::kHandlers[static_cast<usize>(ExecHandler::kCount)] = {
     &Iss::h_frep,        // kFrep
     &Iss::h_scfg_w,      // kScfgW
     &Iss::h_scfg_r,      // kScfgR
+    &Iss::h_dma_src,     // kDmaSrc
+    &Iss::h_dma_dst,     // kDmaDst
+    &Iss::h_dma_str,     // kDmaStr
+    &Iss::h_dma_cpy,     // kDmaCpy
+    &Iss::h_dma_cpy2d,   // kDmaCpy2d
+    &Iss::h_dma_stat,    // kDmaStat
 };
 
 void Iss::exec_frep(const Instr& in) {

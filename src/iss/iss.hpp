@@ -14,6 +14,7 @@
 #include "asm/program.hpp"
 #include "common/types.hpp"
 #include "core/arch_chain.hpp"
+#include "dma/dma.hpp"
 #include "iss/arch_state.hpp"
 #include "mem/memory.hpp"
 #include "ssr/ssr_file.hpp"
@@ -98,6 +99,12 @@ class Iss {
   void h_frep(const isa::Instr& in, const isa::PredecodedInstr& pre);
   void h_scfg_w(const isa::Instr& in, const isa::PredecodedInstr& pre);
   void h_scfg_r(const isa::Instr& in, const isa::PredecodedInstr& pre);
+  void h_dma_src(const isa::Instr& in, const isa::PredecodedInstr& pre);
+  void h_dma_dst(const isa::Instr& in, const isa::PredecodedInstr& pre);
+  void h_dma_str(const isa::Instr& in, const isa::PredecodedInstr& pre);
+  void h_dma_cpy(const isa::Instr& in, const isa::PredecodedInstr& pre);
+  void h_dma_cpy2d(const isa::Instr& in, const isa::PredecodedInstr& pre);
+  void h_dma_stat(const isa::Instr& in, const isa::PredecodedInstr& pre);
 
   /// Validate a frep body once per static frep site (cached), then run it.
   void exec_frep(const isa::Instr& in);
@@ -108,6 +115,7 @@ class Iss {
   ArchState state_;
   ssr::FunctionalSsrFile ssrs_;
   chain::ArchChainFile chains_;
+  dma::FunctionalDma dma_;
   HaltReason halt_ = HaltReason::kNone;
   std::string error_;
   u64 instret_ = 0;

@@ -5,6 +5,7 @@
 #include "asm/builder.hpp"
 #include "isa/csr.hpp"
 #include "isa/reg.hpp"
+#include "kernels/dma_util.hpp"
 #include "kernels/partition.hpp"
 #include "kernels/registry.hpp"
 #include "ssr/ssr_config.hpp"
@@ -34,6 +35,8 @@ const char* axpy_variant_name(AxpyVariant v) {
     case AxpyVariant::kBaseline: return "baseline";
     case AxpyVariant::kChained: return "chained";
     case AxpyVariant::kChainedPar: return "chained_par";
+    case AxpyVariant::kChainedDma: return "chained_dma";
+    case AxpyVariant::kChainedDbuf: return "chained_dbuf";
   }
   return "?";
 }
@@ -103,6 +106,154 @@ BuiltKernel build_axpy_par(const AxpyParams& p) {
   return out;
 }
 
+/// Main-memory AXPY staged through TCDM with the Xdma engine. Data (x, y, z
+/// and the scalar) lives in bulk memory; each hart claims a balanced share
+/// of the n/tile tiles and streams them through a private TCDM window of
+/// two buffers x 3 regions (x, y, z) x tile elements. With `overlap` the
+/// loop prefetches tile i+1 while computing tile i and lets the copy-back
+/// of tile i-1 drain in the background (double-buffering); without it every
+/// transfer is issued and waited for in place (the copy-then-compute lower
+/// bound). Correctness leans on two ordering facts: per-hart transfers
+/// complete in issue order (shared FIFO), and the ssr_enable=0 write
+/// serializes on FP quiescence, so the copy-back never reads a half-drained
+/// z buffer.
+BuiltKernel build_axpy_dbuf(const AxpyParams& p, bool overlap) {
+  const u32 u = p.unroll;
+  const u32 tile = p.tile;
+  const u32 tiles = p.n / tile;
+  const i64 tile_bytes = static_cast<i64>(tile) * 8;
+  using ssr::CfgReg;
+  ProgramBuilder b(memmap::kTextBase, memmap::kMainBase);
+
+  std::vector<double> x(p.n), y(p.n);
+  for (u32 i = 0; i < p.n; ++i) {
+    x[i] = x_value(i);
+    y[i] = y_value(i);
+  }
+  const Addr x_base = b.data_f64(x);
+  const Addr y_base = b.data_f64(y);
+  const Addr z_base = b.data_zero(p.n * 8);
+  const Addr a_addr = b.data_f64({p.a});
+
+  BuiltKernel out;
+  out.name = std::string("axpy/") +
+             axpy_variant_name(overlap ? AxpyVariant::kChainedDbuf
+                                       : AxpyVariant::kChainedDma);
+  out.out_base = z_base;
+  out.expected.resize(p.n);
+  for (u32 i = 0; i < p.n; ++i) {
+    volatile const double t = p.a * x[i];
+    out.expected[i] = t + y[i];
+  }
+  out.useful_flops = 2ull * p.n;
+  out.regs.ssr_regs = 3;
+  out.regs.fp_regs_used = 5;
+  out.regs.accumulator_regs = 1;
+  out.regs.chained_regs = 1;
+
+  // a3 = hartid, a4 = nharts, s0 = first tile, a5 = tile count.
+  emit_group_partition(b, tiles, isa::kA3, isa::kA4, isa::kS0, isa::kA5,
+                       isa::kT0, "dbuf_done");
+
+  // s1 = this hart's TCDM window: two buffers x 3 tile regions (x, y, z).
+  b.li(isa::kT0, 6 * tile_bytes);
+  b.mul(isa::kS1, isa::kA3, isa::kT0);
+  b.li(isa::kT0, static_cast<i64>(memmap::kTcdmBase));
+  b.add(isa::kS1, isa::kS1, isa::kT0);
+  b.li(isa::kA6, tile_bytes);              // a6 = bytes per tile region
+  b.mv(isa::kS2, isa::kS1);                // s2 = current buffer
+  b.li(isa::kT0, 3 * tile_bytes);
+  b.add(isa::kS3, isa::kS1, isa::kT0);     // s3 = next buffer
+
+  // Main-memory tile cursors of this hart's slice.
+  b.mul(isa::kT1, isa::kS0, isa::kA6);
+  b.la(isa::kS4, x_base);
+  b.add(isa::kS4, isa::kS4, isa::kT1);
+  b.la(isa::kS5, y_base);
+  b.add(isa::kS5, isa::kS5, isa::kT1);
+  b.la(isa::kS6, z_base);
+  b.add(isa::kS6, isa::kS6, isa::kT1);
+
+  // Tile-shaped SSR bounds/strides, set once; only pointers re-arm per tile.
+  for (u32 s = 0; s < 3; ++s) {
+    b.li(isa::kT0, static_cast<i64>(tile) - 1);
+    b.scfgw(isa::kT0, ssr::cfg_index(s, CfgReg::kBound0));
+    b.li(isa::kT0, 8);
+    b.scfgw(isa::kT0, ssr::cfg_index(s, CfgReg::kStride0));
+  }
+
+  b.la(isa::kT0, a_addr);
+  b.fld(isa::kFa1, isa::kT0, 0);
+  b.li(isa::kT0, 8); // chain ft3
+  b.csrs(isa::csr::kChainMask, isa::kT0);
+  b.li(isa::kA7, static_cast<i64>(tile / u) - 1); // FREP reps per tile
+  b.mv(isa::kS7, isa::kA5);                       // tile loop counter
+
+  // Fetch x and y of one tile into the buffer at `buf`; the y copy's id
+  // (the newest) lands in want_rd.
+  const auto fetch_tile = [&](u8 buf, u8 want_rd) {
+    emit_dma_copy(b, isa::kS4, buf, isa::kA6, isa::kT6);
+    b.add(isa::kT0, buf, isa::kA6);
+    b.dmsrc(isa::kS5);
+    b.dmdst(isa::kT0);
+    b.dmcpy(want_rd, isa::kA6);
+    b.add(isa::kS4, isa::kS4, isa::kA6);
+    b.add(isa::kS5, isa::kS5, isa::kA6);
+  };
+
+  if (overlap) fetch_tile(isa::kS2, isa::kS8); // prologue: tile 0 in flight
+
+  b.label("dbuf_tile");
+  if (!overlap) fetch_tile(isa::kS2, isa::kS8);
+  emit_dma_wait(b, isa::kT5, isa::kS8, "dbuf_wait");
+  if (overlap) {
+    // Prefetch the next tile into the other buffer (skipped on the last).
+    b.addi(isa::kT0, isa::kS7, -1);
+    b.beqz(isa::kT0, "dbuf_skip_pf");
+    fetch_tile(isa::kS3, isa::kS9);
+    b.label("dbuf_skip_pf");
+  }
+
+  // Arm the streams at the current buffer and run the chained tile.
+  b.scfgw(isa::kS2, ssr::cfg_index(0, CfgReg::kRptr0));
+  b.add(isa::kT0, isa::kS2, isa::kA6);
+  b.scfgw(isa::kT0, ssr::cfg_index(1, CfgReg::kRptr0));
+  b.add(isa::kT0, isa::kT0, isa::kA6);
+  b.scfgw(isa::kT0, ssr::cfg_index(2, CfgReg::kWptr0));
+  b.csrwi(isa::csr::kSsrEnable, 1);
+  b.frep_o(isa::kA7, static_cast<i32>(2 * u));
+  for (u32 i = 0; i < u; ++i) b.fmul_d(isa::kFt3, isa::kFt0, isa::kFa1);
+  for (u32 i = 0; i < u; ++i) b.fadd_d(isa::kFt2, isa::kFt3, isa::kFt1);
+  // The stream-CSR write below serializes on FP quiescence, so the z region
+  // is fully drained before the copy-back reads it.
+  b.csrwi(isa::csr::kSsrEnable, 0);
+
+  // Copy-back this tile's z region.
+  b.add(isa::kT0, isa::kS2, isa::kA6);
+  b.add(isa::kT0, isa::kT0, isa::kA6);
+  emit_dma_copy(b, isa::kT0, isa::kS6, isa::kA6, isa::kT6);
+  b.add(isa::kS6, isa::kS6, isa::kA6);
+
+  if (overlap) {
+    b.mv(isa::kS8, isa::kS9); // the prefetch is what the next tile waits on
+    b.mv(isa::kT0, isa::kS2); // swap buffers
+    b.mv(isa::kS2, isa::kS3);
+    b.mv(isa::kS3, isa::kT0);
+  } else {
+    emit_dma_drain(b, isa::kT5, "dbuf_zdrain"); // full serialization
+  }
+  b.addi(isa::kS7, isa::kS7, -1);
+  b.bnez(isa::kS7, "dbuf_tile");
+
+  if (overlap) emit_dma_drain(b, isa::kT5, "dbuf_drain");
+  b.csrw(isa::csr::kChainMask, 0);
+  b.label("dbuf_done");
+  b.ecall();
+
+  out.program = b.build();
+  return out;
+}
+
 } // namespace
 
 BuiltKernel build_axpy(AxpyVariant variant, const AxpyParams& p) {
@@ -113,6 +264,20 @@ BuiltKernel build_axpy(AxpyVariant variant, const AxpyParams& p) {
     throw std::invalid_argument("axpy: n must be a positive multiple of unroll");
   }
   if (variant == AxpyVariant::kChainedPar) return build_axpy_par(p);
+  if (variant == AxpyVariant::kChainedDma ||
+      variant == AxpyVariant::kChainedDbuf) {
+    if (p.tile == 0 || p.tile % p.unroll != 0 || p.n % p.tile != 0) {
+      throw std::invalid_argument(
+          "axpy: tile must be a positive multiple of unroll dividing n");
+    }
+    if (6ull * p.tile * 8 > memmap::kTcdmSize) {
+      throw std::invalid_argument(
+          "axpy: tile double-buffer exceeds the TCDM (each hart's window is "
+          "6*tile*8 bytes; num_cores windows must all fit, so multi-core "
+          "runs need proportionally smaller tiles)");
+    }
+    return build_axpy_dbuf(p, variant == AxpyVariant::kChainedDbuf);
+  }
   const u32 u = p.unroll;
   ProgramBuilder b;
 
@@ -185,17 +350,23 @@ void register_axpy_kernels(Registry& r) {
   r.add(KernelEntry{
       .name = "axpy",
       .description = "z = a*x + y un-fused: mul->add producer/consumer chain",
-      .variants = {"baseline", "chained", "chained_par"},
+      .variants = {"baseline", "chained", "chained_par", "chained_dma",
+                   "chained_dbuf"},
       .baseline_variant = "baseline",
       .chained_variant = "chained",
       .params = {{"n", 256, "elements (multiple of unroll)"},
-                 {"unroll", 4, "chained interleave depth (<= fpu_depth + 1)"}},
+                 {"unroll", 4, "chained interleave depth (<= fpu_depth + 1)"},
+                 {"tile", 64, "elements per DMA-staged tile (main-memory "
+                              "variants; multiple of unroll dividing n)"}},
       .build = [](const std::string& variant, const SizeMap& sizes) {
         AxpyParams p;
         p.n = static_cast<u32>(size_or(sizes, "n", p.n));
         p.unroll = static_cast<u32>(size_or(sizes, "unroll", p.unroll));
+        p.tile = static_cast<u32>(size_or(sizes, "tile", p.tile));
         for (AxpyVariant v : {AxpyVariant::kBaseline, AxpyVariant::kChained,
-                              AxpyVariant::kChainedPar}) {
+                              AxpyVariant::kChainedPar,
+                              AxpyVariant::kChainedDma,
+                              AxpyVariant::kChainedDbuf}) {
           if (variant == axpy_variant_name(v)) return build_axpy(v, p);
         }
         throw std::invalid_argument("axpy: unknown variant '" + variant + "'");

@@ -11,6 +11,14 @@
 //                mhartid/mnumharts at runtime and claims a balanced share of
 //                the n/unroll element groups (disjoint output slices, no
 //                barrier needed); one binary works at any cluster size.
+//  * kChainedDma - data starts in MAIN memory: each hart stages its tiles
+//                through its private TCDM window with the Xdma engine,
+//                strictly copy -> wait -> compute -> wait (no overlap); the
+//                honest lower bound the dbuf variant must beat.
+//  * kChainedDbuf - the same staging, double-buffered: the DMA copies tile
+//                i+1 while the FPU computes tile i and the copy-back of
+//                tile i-1 drains in the background, so the main-memory
+//                latency is hidden behind compute.
 // SSR0 streams x, SSR1 streams y, SSR2 absorbs z (out-of-place so the golden
 // output is aliasing-free).
 #pragma once
@@ -19,16 +27,23 @@
 
 namespace sch::kernels {
 
-enum class AxpyVariant : u8 { kBaseline, kChained, kChainedPar };
+enum class AxpyVariant : u8 {
+  kBaseline, kChained, kChainedPar, kChainedDma, kChainedDbuf,
+};
 
 const char* axpy_variant_name(AxpyVariant variant);
 
 struct AxpyParams {
-  u32 n = 256;     // elements; multiple of `unroll`
+  u32 n = 256;     // elements; multiple of `unroll` (and of `tile` for the
+                   // main-memory variants)
   double a = 1.5;  // the scalar constant (exactly representable)
   /// Chained interleave depth (2..8); must be <= fpu_depth + 1 (the logical
   /// chain-FIFO capacity) or the chained variant deadlocks.
   u32 unroll = 4;
+  /// Elements per staged tile of the main-memory variants; multiple of
+  /// `unroll`, divides `n`. Each hart's double-buffer footprint is
+  /// 6*tile*8 bytes of TCDM.
+  u32 tile = 64;
 };
 
 /// Build the kernel and its golden output (two roundings per element,

@@ -1,0 +1,25 @@
+#include "kernels/dma_util.hpp"
+
+namespace sch::kernels {
+
+void emit_dma_copy(ProgramBuilder& b, u8 src_reg, u8 dst_reg, u8 bytes_reg,
+                   u8 id_rd) {
+  b.dmsrc(src_reg);
+  b.dmdst(dst_reg);
+  b.dmcpy(id_rd, bytes_reg);
+}
+
+void emit_dma_wait(ProgramBuilder& b, u8 poll_reg, u8 want_reg,
+                   const std::string& label) {
+  b.label(label);
+  b.dmstat(poll_reg, 0);
+  b.blt(poll_reg, want_reg, label);
+}
+
+void emit_dma_drain(ProgramBuilder& b, u8 poll_reg, const std::string& label) {
+  b.label(label);
+  b.dmstat(poll_reg, 1);
+  b.bnez(poll_reg, label);
+}
+
+} // namespace sch::kernels

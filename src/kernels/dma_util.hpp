@@ -1,0 +1,29 @@
+// Xdma emission helpers shared by the double-buffered streaming kernels:
+// issue helpers around dmsrc/dmdst/dmcpy and the two lockstep-safe wait
+// idioms (poll the per-hart completed count up to a known id; drain until
+// nothing is outstanding). Both idioms leave the poll register with the
+// same final value on the functional ISS and the cycle engine, so kernels
+// built from them cross-validate under `--engine both`.
+#pragma once
+
+#include <string>
+
+#include "asm/builder.hpp"
+
+namespace sch::kernels {
+
+/// Emit dmsrc/dmdst from `src_reg`/`dst_reg` and a 1-D dmcpy of `bytes_reg`
+/// bytes; the per-hart transfer id lands in `id_rd`.
+void emit_dma_copy(ProgramBuilder& b, u8 src_reg, u8 dst_reg, u8 bytes_reg,
+                   u8 id_rd);
+
+/// Spin until this hart's completed-transfer count reaches `want_reg`
+/// (normally the id returned by the newest dmcpy). `poll_reg` is clobbered;
+/// `label` must be unique per emitted wait.
+void emit_dma_wait(ProgramBuilder& b, u8 poll_reg, u8 want_reg,
+                   const std::string& label);
+
+/// Spin until this hart has no outstanding transfers (`poll_reg` ends 0).
+void emit_dma_drain(ProgramBuilder& b, u8 poll_reg, const std::string& label);
+
+} // namespace sch::kernels

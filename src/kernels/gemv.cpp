@@ -6,6 +6,7 @@
 #include "asm/builder.hpp"
 #include "isa/csr.hpp"
 #include "isa/reg.hpp"
+#include "kernels/dma_util.hpp"
 #include "kernels/partition.hpp"
 #include "kernels/registry.hpp"
 #include "ssr/ssr_config.hpp"
@@ -39,6 +40,8 @@ const char* gemv_variant_name(GemvVariant v) {
     case GemvVariant::kUnrolledAcc: return "unrolled-acc";
     case GemvVariant::kChained: return "chained";
     case GemvVariant::kChainedPar: return "chained_par";
+    case GemvVariant::kChainedDma: return "chained_dma";
+    case GemvVariant::kChainedDbuf: return "chained_dbuf";
   }
   return "?";
 }
@@ -138,6 +141,161 @@ BuiltKernel build_gemv_par(const GemvParams& p) {
   return out;
 }
 
+/// Main-memory GEMV staged through TCDM with the Xdma engine: x is copied
+/// into each hart's window once, then blocks of `rtile` rows of A stream
+/// through two ping-pong buffers while the per-block y slice is computed
+/// into a TCDM staging buffer and DMA'd back out. `overlap` selects
+/// double-buffering (prefetch block i+1 during compute of block i) versus
+/// the strict copy-then-compute sequence.
+BuiltKernel build_gemv_dbuf(const GemvParams& p, bool overlap) {
+  const u32 rt = p.rtile;
+  const u32 blocks = p.m / rt;
+  const i64 row = static_cast<i64>(p.n) * 8;
+  const i64 xb = row;                          // x buffer bytes
+  const i64 ab = static_cast<i64>(rt) * row;   // A block bytes
+  const i64 yb = static_cast<i64>(rt) * 8;     // y block bytes
+  ProgramBuilder b(memmap::kTextBase, memmap::kMainBase);
+
+  std::vector<double> a(static_cast<usize>(p.m) * p.n), x(p.n);
+  for (u32 r = 0; r < p.m; ++r) {
+    for (u32 c = 0; c < p.n; ++c) a[r * p.n + c] = a_value(r, c);
+  }
+  for (u32 c = 0; c < p.n; ++c) x[c] = x_value(c);
+  const Addr a_base = b.data_f64(a);
+  const Addr x_base = b.data_f64(x);
+  const Addr y_base = b.data_zero(p.m * 8);
+
+  BuiltKernel out;
+  out.name = std::string("gemv/") +
+             gemv_variant_name(overlap ? GemvVariant::kChainedDbuf
+                                       : GemvVariant::kChainedDma);
+  out.out_base = y_base;
+  out.expected.resize(p.m);
+  for (u32 r = 0; r < p.m; ++r) {
+    double acc = 0.0;
+    for (u32 c = 0; c < p.n; ++c) acc = std::fma(a[r * p.n + c], x[c], acc);
+    out.expected[r] = acc;
+  }
+  out.useful_flops = static_cast<u64>(p.m) * p.n;
+  out.regs.ssr_regs = 3;
+  out.regs.accumulator_regs = 1;
+  out.regs.chained_regs = 1;
+  out.regs.fp_regs_used = 4;
+
+  // a3 = hartid, a4 = nharts, s0 = first block, a5 = block count.
+  emit_group_partition(b, blocks, isa::kA3, isa::kA4, isa::kS0, isa::kA5,
+                       isa::kT0, "gd_done");
+
+  // Per-hart TCDM window: [x][A ping][A pong][y ping][y pong].
+  b.li(isa::kT0, xb + 2 * ab + 2 * yb);
+  b.mul(isa::kS1, isa::kA3, isa::kT0);
+  b.li(isa::kT0, static_cast<i64>(memmap::kTcdmBase));
+  b.add(isa::kS1, isa::kS1, isa::kT0);
+  b.li(isa::kA6, ab);
+  b.li(isa::kA7, yb);
+  b.li(isa::kT0, xb);
+  b.add(isa::kS2, isa::kS1, isa::kT0);   // s2 = A ping
+  b.add(isa::kS3, isa::kS2, isa::kA6);   // s3 = A pong
+  b.add(isa::kS4, isa::kS3, isa::kA6);   // s4 = y ping
+  b.add(isa::kS5, isa::kS4, isa::kA7);   // s5 = y pong
+
+  // Main-memory block cursors of this hart's slice.
+  b.mul(isa::kT1, isa::kS0, isa::kA6);
+  b.la(isa::kS6, a_base);
+  b.add(isa::kS6, isa::kS6, isa::kT1);
+  b.mul(isa::kT1, isa::kS0, isa::kA7);
+  b.la(isa::kS7, y_base);
+  b.add(isa::kS7, isa::kS7, isa::kT1);
+
+  // Block-shaped SSR bounds/strides, set once; pointers re-arm per block.
+  // SSR0: the A block in 4-row-interleaved k-major order.
+  cfg(b, 0, CfgReg::kBound0, 3);
+  cfg(b, 0, plus(CfgReg::kStride0, 0), row);
+  cfg(b, 0, plus(CfgReg::kBound0, 1), p.n - 1);
+  cfg(b, 0, plus(CfgReg::kStride0, 1), 8 - 3 * row);
+  cfg(b, 0, plus(CfgReg::kBound0, 2), rt / 4 - 1);
+  cfg(b, 0, plus(CfgReg::kStride0, 2), 8);
+  // SSR1: x, each element popped 4x, wrapped per group of the block.
+  cfg(b, 1, CfgReg::kRepeat, 3);
+  cfg(b, 1, CfgReg::kBound0, p.n - 1);
+  cfg(b, 1, plus(CfgReg::kStride0, 0), 8);
+  cfg(b, 1, plus(CfgReg::kBound0, 1), rt / 4 - 1);
+  cfg(b, 1, plus(CfgReg::kStride0, 1), -static_cast<i64>(p.n - 1) * 8);
+  // SSR2: the block's y slice, contiguous.
+  cfg(b, 2, CfgReg::kBound0, rt - 1);
+  cfg(b, 2, plus(CfgReg::kStride0, 0), 8);
+
+  b.li(isa::kT0, 8); // chain ft3
+  b.csrs(isa::csr::kChainMask, isa::kT0);
+  b.li(isa::kT3, static_cast<i64>(4 * p.n - 1));
+  b.mv(isa::kS8, isa::kA5); // block loop counter
+
+  // Prologue: stage x once, then the first A block; the A copy's id is the
+  // newest, so waiting on it covers the x copy too (FIFO completion).
+  b.la(isa::kT0, x_base);
+  b.dmsrc(isa::kT0);
+  b.dmdst(isa::kS1);
+  b.li(isa::kT0, xb);
+  b.dmcpy(isa::kT6, isa::kT0);
+  const auto fetch_block = [&](u8 buf, u8 want_rd) {
+    emit_dma_copy(b, isa::kS6, buf, isa::kA6, want_rd);
+    b.add(isa::kS6, isa::kS6, isa::kA6);
+  };
+  if (overlap) fetch_block(isa::kS2, isa::kS9);
+
+  b.label("gd_block");
+  if (!overlap) fetch_block(isa::kS2, isa::kS9);
+  emit_dma_wait(b, isa::kT5, isa::kS9, "gd_wait");
+  if (overlap) {
+    b.addi(isa::kT0, isa::kS8, -1);
+    b.beqz(isa::kT0, "gd_skip_pf");
+    fetch_block(isa::kS3, isa::kS11);
+    b.label("gd_skip_pf");
+  }
+
+  // Arm the streams at the current buffers and run the chained block.
+  b.scfgw(isa::kS2, ssr::cfg_index(0, plus(CfgReg::kRptr0, 2)));
+  b.scfgw(isa::kS1, ssr::cfg_index(1, plus(CfgReg::kRptr0, 1)));
+  b.scfgw(isa::kS4, ssr::cfg_index(2, CfgReg::kWptr0));
+  b.csrwi(isa::csr::kSsrEnable, 1);
+  b.li(isa::kT2, static_cast<i64>(rt / 4)); // group counter within the block
+  b.label("gd_group");
+  for (int i = 0; i < 4; ++i) b.fcvt_d_w(isa::kFt3, 0);
+  b.frep_o(isa::kT3, 1);
+  b.fmadd_d(isa::kFt3, isa::kFt0, isa::kFt1, isa::kFt3);
+  for (int i = 0; i < 4; ++i) b.fmv_d(isa::kFt2, isa::kFt3); // drain -> y buf
+  b.addi(isa::kT2, isa::kT2, -1);
+  b.bnez(isa::kT2, "gd_group");
+  // Serializes on FP quiescence: the y staging buffer is fully drained
+  // before the copy-back below reads it.
+  b.csrwi(isa::csr::kSsrEnable, 0);
+
+  emit_dma_copy(b, isa::kS4, isa::kS7, isa::kA7, isa::kT6);
+  b.add(isa::kS7, isa::kS7, isa::kA7);
+
+  if (overlap) {
+    b.mv(isa::kS9, isa::kS11);
+    b.mv(isa::kT0, isa::kS2); // swap A buffers
+    b.mv(isa::kS2, isa::kS3);
+    b.mv(isa::kS3, isa::kT0);
+    b.mv(isa::kT0, isa::kS4); // swap y buffers
+    b.mv(isa::kS4, isa::kS5);
+    b.mv(isa::kS5, isa::kT0);
+  } else {
+    emit_dma_drain(b, isa::kT5, "gd_ydrain");
+  }
+  b.addi(isa::kS8, isa::kS8, -1);
+  b.bnez(isa::kS8, "gd_block");
+
+  if (overlap) emit_dma_drain(b, isa::kT5, "gd_drain");
+  b.csrw(isa::csr::kChainMask, 0);
+  b.label("gd_done");
+  b.ecall();
+
+  out.program = b.build();
+  return out;
+}
+
 } // namespace
 
 BuiltKernel build_gemv(GemvVariant variant, const GemvParams& p) {
@@ -145,6 +303,22 @@ BuiltKernel build_gemv(GemvVariant variant, const GemvParams& p) {
     throw std::invalid_argument("gemv: m must be a positive multiple of 4");
   }
   if (variant == GemvVariant::kChainedPar) return build_gemv_par(p);
+  if (variant == GemvVariant::kChainedDma ||
+      variant == GemvVariant::kChainedDbuf) {
+    if (p.rtile == 0 || p.rtile % 4 != 0 || p.m % p.rtile != 0) {
+      throw std::invalid_argument(
+          "gemv: rtile must be a positive multiple of 4 dividing m");
+    }
+    const u64 per_hart =
+        (static_cast<u64>(p.n) + 2ull * p.rtile * p.n + 2ull * p.rtile) * 8;
+    if (per_hart > memmap::kTcdmSize) {
+      throw std::invalid_argument(
+          "gemv: rtile double-buffer exceeds the TCDM (each hart's window is "
+          "(n + 2*rtile*n + 2*rtile)*8 bytes; num_cores windows must all "
+          "fit, so multi-core runs need proportionally smaller rtile)");
+    }
+    return build_gemv_dbuf(p, variant == GemvVariant::kChainedDbuf);
+  }
   ProgramBuilder b;
 
   std::vector<double> a(static_cast<usize>(p.m) * p.n), x(p.n);
@@ -250,16 +424,22 @@ void register_gemv_kernels(Registry& r) {
   r.add(KernelEntry{
       .name = "gemv",
       .description = "dense y = A*x, 4-row reduction interleave through SSRs",
-      .variants = {"unrolled-acc", "chained", "chained_par"},
+      .variants = {"unrolled-acc", "chained", "chained_par", "chained_dma",
+                   "chained_dbuf"},
       .baseline_variant = "unrolled-acc",
       .chained_variant = "chained",
-      .params = {{"m", 32, "rows (multiple of 4)"}, {"n", 24, "columns"}},
+      .params = {{"m", 32, "rows (multiple of 4)"}, {"n", 24, "columns"},
+                 {"rtile", 8, "rows per DMA-staged block (main-memory "
+                              "variants; multiple of 4 dividing m)"}},
       .build = [](const std::string& variant, const SizeMap& sizes) {
         GemvParams p;
         p.m = static_cast<u32>(size_or(sizes, "m", p.m));
         p.n = static_cast<u32>(size_or(sizes, "n", p.n));
+        p.rtile = static_cast<u32>(size_or(sizes, "rtile", p.rtile));
         for (GemvVariant v : {GemvVariant::kUnrolledAcc, GemvVariant::kChained,
-                              GemvVariant::kChainedPar}) {
+                              GemvVariant::kChainedPar,
+                              GemvVariant::kChainedDma,
+                              GemvVariant::kChainedDbuf}) {
           if (variant == gemv_variant_name(v)) return build_gemv(v, p);
         }
         throw std::invalid_argument("gemv: unknown variant '" + variant + "'");

@@ -18,13 +18,26 @@ namespace sch::kernels {
 // balanced share of the m/4 row groups at runtime (mhartid/mnumharts) and
 // arms its SSRs with computed bounds/pointers, so one binary row-partitions
 // y = A*x across any cluster size.
-enum class GemvVariant : u8 { kUnrolledAcc, kChained, kChainedPar };
+//
+// kChainedDma / kChainedDbuf start with A, x and y in MAIN memory and stage
+// row blocks of `rtile` rows through each hart's private TCDM window with
+// the Xdma engine (x is copied once per hart in the prologue). kChainedDma
+// runs copy -> wait -> compute -> drain per block (no overlap);
+// kChainedDbuf double-buffers the A blocks so the next block's DMA overlaps
+// the current block's compute and the y copy-back drains in the background.
+enum class GemvVariant : u8 {
+  kUnrolledAcc, kChained, kChainedPar, kChainedDma, kChainedDbuf,
+};
 
 const char* gemv_variant_name(GemvVariant variant);
 
 struct GemvParams {
-  u32 m = 32;  // rows, multiple of 4
+  u32 m = 32;  // rows, multiple of 4 (and of `rtile` for DMA variants)
   u32 n = 24;  // columns
+  /// Rows per DMA-staged block of the main-memory variants; a multiple of 4
+  /// dividing m. Each hart's TCDM footprint is (n + 2*rtile*n + 2*rtile)*8
+  /// bytes.
+  u32 rtile = 8;
 };
 
 /// Build the kernel, its data image and the golden output (bit-exact FMA

@@ -1,5 +1,6 @@
 #include "mem/memory.hpp"
 
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -23,8 +24,9 @@ const u8* Memory::ptr(Addr addr, u32 bytes) const {
   if (addr >= memmap::kMainBase && end <= memmap::kMainBase + memmap::kMainSize) {
     return main_.data() + (addr - memmap::kMainBase);
   }
-  throw std::out_of_range("memory access to unmapped address 0x" +
-                          std::to_string(addr));
+  std::ostringstream os;
+  os << "bus error: access to unmapped address 0x" << std::hex << addr;
+  throw std::out_of_range(os.str());
 }
 
 u8* Memory::ptr(Addr addr, u32 bytes) {

@@ -20,7 +20,8 @@ class Memory {
   [[nodiscard]] bool valid(Addr addr, u32 bytes) const;
 
   /// Little-endian load, zero-extended into 64 bits. `bytes` in {1,2,4,8}.
-  /// Throws std::out_of_range on unmapped access (modeling a bus error).
+  /// Throws std::out_of_range with a "bus error" message on unmapped
+  /// access; api::Engine converts the escape into a failed RunReport.
   [[nodiscard]] u64 load(Addr addr, u32 bytes) const;
   void store(Addr addr, u64 value, u32 bytes);
 

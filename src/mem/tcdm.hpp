@@ -59,6 +59,12 @@ class Tcdm {
     return hartid * kTcdmPortsPerCore + static_cast<u32>(role);
   }
 
+  /// Global requester id of the cluster DMA engine (one extra port after
+  /// every core's block; the cluster sizes the arbiter accordingly).
+  [[nodiscard]] static constexpr u32 dma_requester_id(u32 num_cores) {
+    return num_cores * kTcdmPortsPerCore;
+  }
+
   /// Clear per-cycle bank occupancy. Call once per simulated cycle.
   void begin_cycle();
 

@@ -190,6 +190,8 @@ Status apply_sim_overrides(const Json& overrides, sim::SimConfig& config) {
     else if (key == "seq_buffer_depth") config.seq_buffer_depth = static_cast<u32>(n);
     else if (key == "load_latency") config.load_latency = static_cast<u32>(n);
     else if (key == "main_mem_latency") config.main_mem_latency = static_cast<u32>(n);
+    else if (key == "main_mem_bytes_per_cycle") config.main_mem_bytes_per_cycle = static_cast<u32>(n);
+    else if (key == "dma_queue_depth") config.dma_queue_depth = static_cast<u32>(n);
     else if (key == "taken_branch_penalty") config.taken_branch_penalty = static_cast<u32>(n);
     else if (key == "tcdm_banks") config.tcdm.num_banks = static_cast<u32>(n);
     else if (key == "cores") config.num_cores = static_cast<u32>(n);

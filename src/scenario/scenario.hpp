@@ -58,8 +58,9 @@ Result<Scenario> load_scenario_file(const std::string& path);
 /// Apply a `"sim"` override object onto `config`. Accepted keys:
 /// fpu_depth, fdiv_latency, fsqrt_latency, int_mul_latency,
 /// int_div_latency, fp_queue_depth, seq_buffer_depth, load_latency,
-/// main_mem_latency, taken_branch_penalty, tcdm_banks, cores (cluster
-/// cores, 1..SimConfig::kMaxCores), max_cycles, deadlock_cycles (integers)
+/// main_mem_latency, main_mem_bytes_per_cycle, dma_queue_depth,
+/// taken_branch_penalty, tcdm_banks, cores (cluster cores,
+/// 1..SimConfig::kMaxCores), max_cycles, deadlock_cycles (integers)
 /// and strict_handoff (bool). Unknown keys or wrong types are errors.
 Status apply_sim_overrides(const Json& overrides, sim::SimConfig& config);
 

@@ -126,6 +126,14 @@ Result<ScenarioOutcome> run_scenario_file(const std::string& path,
   if (options.cores_override != 0) {
     for (Job& job : jobs) job.config.num_cores = options.cores_override;
   }
+  if (options.mem_latency_override != 0) {
+    for (Job& job : jobs) job.config.main_mem_latency = options.mem_latency_override;
+  }
+  if (options.mem_bw_override != 0) {
+    for (Job& job : jobs) {
+      job.config.main_mem_bytes_per_cycle = options.mem_bw_override;
+    }
+  }
 
   // --threads builds a dedicated engine; otherwise the process-wide shared
   // pool (SCH_SWEEP_THREADS / hardware concurrency) serves the batch.

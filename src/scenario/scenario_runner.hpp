@@ -61,6 +61,11 @@ struct ScenarioRunOptions {
   /// Non-zero forces every job's cluster core count (`--cores N`), winning
   /// over any scenario "cores" override.
   u32 cores_override = 0;
+  /// Non-zero forces every job's main-memory latency (`--mem-latency N`) /
+  /// bandwidth in bytes per cycle (`--mem-bw N`), winning over scenario
+  /// "main_mem_latency" / "main_mem_bytes_per_cycle" overrides.
+  u32 mem_latency_override = 0;
+  u32 mem_bw_override = 0;
 };
 
 /// Load + expand + run + report in one call (the `schsim run` entry point).

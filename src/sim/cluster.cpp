@@ -19,7 +19,14 @@ Cluster::Cluster(std::vector<Program> programs, Memory& memory,
                  const SimConfig& config)
     : cfg_(config),
       mem_(memory),
-      tcdm_(config.tcdm, std::max<u32>(config.num_cores, 1) * kTcdmPortsPerCore) {
+      // One requester block per core plus the cluster DMA engine's port.
+      tcdm_(config.tcdm,
+            std::max<u32>(config.num_cores, 1) * kTcdmPortsPerCore + 1),
+      dma_(dma::EngineConfig{config.main_mem_latency,
+                             config.main_mem_bytes_per_cycle,
+                             config.dma_queue_depth, 1024},
+           memory, std::max<u32>(config.num_cores, 1),
+           Tcdm::dma_requester_id(std::max<u32>(config.num_cores, 1))) {
   const Status valid = cfg_.validate();
   if (!valid.is_ok()) throw std::invalid_argument(valid.message());
   if (programs.empty()) {
@@ -35,7 +42,7 @@ Cluster::Cluster(std::vector<Program> programs, Memory& memory,
   for (u32 h = 0; h < cfg_.num_cores; ++h) {
     Program prog = programs.size() == 1 ? programs[0] : std::move(programs[h]);
     cores_.push_back(
-        std::make_unique<Core>(std::move(prog), mem_, tcdm_, cfg_, h));
+        std::make_unique<Core>(std::move(prog), mem_, tcdm_, cfg_, h, &dma_));
   }
 }
 
@@ -58,18 +65,29 @@ void Cluster::tick() {
   ++cycle_;
   tcdm_.begin_cycle();
 
-  // Rotate the core service order each cycle so no core is statically
-  // favored in the bank arbiter (fair cross-core round-robin). With one
-  // core the rotation is the identity.
+  // Rotate the service order each cycle so no requester is statically
+  // favored in the bank arbiter (fair round-robin): the rotation covers the
+  // cores plus one slot for the cluster DMA engine, which contends for
+  // banks like any other requester but can never starve a core. An idle
+  // engine makes no requests, so with DMA off the cores see exactly the
+  // pre-Xdma arbitration.
   const u32 n = num_cores();
-  const u32 start = static_cast<u32>(cycle_ % n);
-  for (u32 k = 0; k < n; ++k) {
-    cores_[(start + k) % n]->tick(cycle_);
+  const u32 slots = n + 1;
+  const u32 start = static_cast<u32>(cycle_ % slots);
+  for (u32 k = 0; k < slots; ++k) {
+    const u32 slot = (start + k) % slots;
+    if (slot < n) {
+      cores_[slot]->tick(cycle_);
+    } else {
+      dma_.tick(cycle_, tcdm_);
+    }
   }
 
   // Progress watchdog across the whole cluster (a spinning barrier still
-  // retires branches, so only a true wedge trips it).
-  u64 retired = 0;
+  // retires branches and a draining DMA still moves bytes or burns startup
+  // latency, so only a true wedge trips it -- even a transfer whose
+  // startup alone exceeds deadlock_cycles counts as progress).
+  u64 retired = dma_.stats().bytes_moved + dma_.stats().startup_cycles;
   for (const auto& core : cores_) {
     retired += core->perf().total_retired() + core->perf().offloads;
   }
@@ -114,7 +132,9 @@ bool Cluster::step() {
   }
   tick();
   if (halt_ != HaltReason::kNone) return false;
-  if (fully_halted()) {
+  // The cluster keeps ticking a draining DMA queue after every core has
+  // halted, so a final copy-back still commits its bytes.
+  if (fully_halted() && dma_.idle()) {
     halt_ = cores_[0]->halt_reason();
     return false;
   }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "asm/program.hpp"
+#include "dma/dma.hpp"
 #include "iss/arch_state.hpp"
 #include "mem/memory.hpp"
 #include "mem/tcdm.hpp"
@@ -48,6 +49,7 @@ class Cluster {
   [[nodiscard]] Cycle cycles() const { return cycle_; }
   [[nodiscard]] u32 num_cores() const { return static_cast<u32>(cores_.size()); }
   [[nodiscard]] const Tcdm& tcdm() const { return tcdm_; }
+  [[nodiscard]] const dma::Engine& dma() const { return dma_; }
   [[nodiscard]] HaltReason halt_reason() const { return halt_; }
   [[nodiscard]] const std::string& error() const { return error_; }
 
@@ -75,6 +77,7 @@ class Cluster {
   SimConfig cfg_;
   Memory& mem_;
   Tcdm tcdm_;
+  dma::Engine dma_;
   std::vector<std::unique_ptr<Core>> cores_;
 
   Cycle cycle_ = 0;

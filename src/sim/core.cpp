@@ -3,7 +3,7 @@
 namespace sch::sim {
 
 Core::Core(Program program, Memory& memory, Tcdm& tcdm,
-           const SimConfig& config, u32 hartid)
+           const SimConfig& config, u32 hartid, dma::Engine* dma)
     : prog_(std::move(program)),
       mem_(memory),
       tcdm_(tcdm),
@@ -12,7 +12,7 @@ Core::Core(Program program, Memory& memory, Tcdm& tcdm,
   prog_.predecode();
   fp_ = std::make_unique<FpSubsystem>(cfg_, mem_, tcdm_, perf_, hartid_);
   core_ = std::make_unique<IntCore>(prog_, mem_, tcdm_, cfg_, perf_, *fp_,
-                                    hartid_);
+                                    hartid_, dma);
   fp_->set_int_wb_sink([this](const IntWriteback& wb) {
     core_->schedule_write(wb.rd, wb.value, wb.ready_at);
   });

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "asm/program.hpp"
+#include "dma/dma.hpp"
 #include "iss/arch_state.hpp"
 #include "mem/memory.hpp"
 #include "mem/tcdm.hpp"
@@ -23,11 +24,11 @@ namespace sch::sim {
 
 class Core {
  public:
-  /// The core keeps its own copy of the program; `memory`, `tcdm` and
-  /// `config` are cluster-owned and must outlive the core. `hartid` is the
+  /// The core keeps its own copy of the program; `memory`, `tcdm`, `config`
+  /// and `dma` are cluster-owned and must outlive the core. `hartid` is the
   /// mhartid CSR value and selects the core's TCDM requester block.
   Core(Program program, Memory& memory, Tcdm& tcdm, const SimConfig& config,
-       u32 hartid);
+       u32 hartid, dma::Engine* dma = nullptr);
 
   /// Load this core's program data image into the shared memory. The
   /// cluster calls this once, in hartid order, before the first cycle.

@@ -16,9 +16,9 @@ using isa::PredecodedInstr;
 
 IntCore::IntCore(const Program& prog, Memory& mem, Tcdm& tcdm,
                  const SimConfig& cfg, PerfCounters& perf, FpSubsystem& fp,
-                 u32 hartid)
+                 u32 hartid, dma::Engine* dma)
     : prog_(prog), mem_(mem), tcdm_(tcdm), cfg_(cfg), perf_(perf), fp_(fp),
-      trace_(cfg.trace), hartid_(hartid),
+      dma_(dma), trace_(cfg.trace), hartid_(hartid),
       lsu_req_(Tcdm::requester_id(hartid, TcdmPortId::kCoreLsu)),
       pc_(prog.text_base) {}
 
@@ -486,6 +486,135 @@ void IntCore::h_scfg_r(const Instr& in, const PredecodedInstr&, Cycle,
   pc_ += 4;
 }
 
+// --- Xdma ------------------------------------------------------------------
+
+void IntCore::h_dma_src(const Instr& in, const PredecodedInstr&, Cycle,
+                        CorePort&) {
+  if (!ready_x(in.rs1)) {
+    ++perf_.stall_int_raw;
+    return;
+  }
+  if (dma_ == nullptr) {
+    fail("dmsrc without a cluster DMA engine");
+    return;
+  }
+  ++perf_.rf_int_reads;
+  dma_->set_src(hartid_, read_x(in.rs1));
+  ++perf_.csr_ops;
+  ++perf_.int_instrs;
+  note_issue(in);
+  pc_ += 4;
+}
+
+void IntCore::h_dma_dst(const Instr& in, const PredecodedInstr&, Cycle,
+                        CorePort&) {
+  if (!ready_x(in.rs1)) {
+    ++perf_.stall_int_raw;
+    return;
+  }
+  if (dma_ == nullptr) {
+    fail("dmdst without a cluster DMA engine");
+    return;
+  }
+  ++perf_.rf_int_reads;
+  dma_->set_dst(hartid_, read_x(in.rs1));
+  ++perf_.csr_ops;
+  ++perf_.int_instrs;
+  note_issue(in);
+  pc_ += 4;
+}
+
+void IntCore::h_dma_str(const Instr& in, const PredecodedInstr&, Cycle,
+                        CorePort&) {
+  if (!ready_x(in.rs1) || !ready_x(in.rs2)) {
+    ++perf_.stall_int_raw;
+    return;
+  }
+  if (dma_ == nullptr) {
+    fail("dmstr without a cluster DMA engine");
+    return;
+  }
+  perf_.rf_int_reads += 2;
+  dma_->set_strides(hartid_, static_cast<i32>(read_x(in.rs1)),
+                    static_cast<i32>(read_x(in.rs2)));
+  ++perf_.csr_ops;
+  ++perf_.int_instrs;
+  note_issue(in);
+  pc_ += 4;
+}
+
+void IntCore::dma_issue(const Instr& in, Cycle now, u32 row_bytes, u32 rows) {
+  // Cheap queue check first: a retry against a full queue must not re-walk
+  // the O(rows) footprint validation every cycle (the latches cannot change
+  // while this hart is stalled here).
+  if (!dma_->can_issue(hartid_)) {
+    ++perf_.stall_dma_full;
+    dma_->note_queue_full();
+    return;
+  }
+  const Status valid =
+      dma::validate_copy(mem_, dma_->snapshot(hartid_, row_bytes, rows));
+  if (!valid.is_ok()) {
+    fail(valid.message());
+    return;
+  }
+  const u32 id = dma_->issue(hartid_, row_bytes, rows, now);
+  write_x(in.rd, id);
+  ++perf_.rf_int_writes;
+  ++perf_.csr_ops;
+  ++perf_.int_instrs;
+  note_issue(in);
+  pc_ += 4;
+}
+
+void IntCore::h_dma_cpy(const Instr& in, const PredecodedInstr&, Cycle now,
+                        CorePort&) {
+  if (!ready_x(in.rs1) || !ready_x(in.rd)) {
+    ++perf_.stall_int_raw;
+    return;
+  }
+  if (dma_ == nullptr) {
+    fail("dmcpy without a cluster DMA engine");
+    return;
+  }
+  ++perf_.rf_int_reads;
+  dma_issue(in, now, read_x(in.rs1), 1);
+}
+
+void IntCore::h_dma_cpy2d(const Instr& in, const PredecodedInstr&, Cycle now,
+                          CorePort&) {
+  if (!ready_x(in.rs1) || !ready_x(in.rs2) || !ready_x(in.rd)) {
+    ++perf_.stall_int_raw;
+    return;
+  }
+  if (dma_ == nullptr) {
+    fail("dmcpy2d without a cluster DMA engine");
+    return;
+  }
+  perf_.rf_int_reads += 2;
+  dma_issue(in, now, read_x(in.rs1), read_x(in.rs2));
+}
+
+void IntCore::h_dma_stat(const Instr& in, const PredecodedInstr& pre, Cycle,
+                         CorePort&) {
+  if (!ready_x(in.rd)) {
+    ++perf_.stall_int_raw;
+    return;
+  }
+  if (dma_ == nullptr) {
+    fail("dmstat without a cluster DMA engine");
+    return;
+  }
+  const u32 sel = static_cast<u32>(pre.aux);
+  write_x(in.rd, sel == 0 ? dma_->completed(hartid_)
+                          : dma_->outstanding(hartid_));
+  ++perf_.rf_int_writes;
+  ++perf_.csr_ops;
+  ++perf_.int_instrs;
+  note_issue(in);
+  pc_ += 4;
+}
+
 const IntCore::Handler
     IntCore::kHandlers[static_cast<usize>(ExecHandler::kCount)] = {
         &IntCore::h_unexpected, // kInvalid (rejected before dispatch)
@@ -517,6 +646,12 @@ const IntCore::Handler
         &IntCore::h_unexpected, // kFrep
         &IntCore::h_scfg_w,     // kScfgW
         &IntCore::h_scfg_r,     // kScfgR
+        &IntCore::h_dma_src,    // kDmaSrc
+        &IntCore::h_dma_dst,    // kDmaDst
+        &IntCore::h_dma_str,    // kDmaStr
+        &IntCore::h_dma_cpy,    // kDmaCpy
+        &IntCore::h_dma_cpy2d,  // kDmaCpy2d
+        &IntCore::h_dma_stat,   // kDmaStat
 };
 
 void IntCore::tick(Cycle now, CorePort& port) {

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "asm/program.hpp"
+#include "dma/dma.hpp"
 #include "iss/arch_state.hpp"
 #include "mem/memory.hpp"
 #include "mem/tcdm.hpp"
@@ -26,9 +27,12 @@ namespace sch::sim {
 class IntCore {
  public:
   /// `hartid` selects this core's mhartid CSR value and its TCDM requester
-  /// block (hartid * kTcdmPortsPerCore + role).
+  /// block (hartid * kTcdmPortsPerCore + role). `dma` is the cluster-shared
+  /// DMA engine the Xdma instructions program (may be null in unit tests
+  /// that never execute dm* instructions).
   IntCore(const Program& prog, Memory& mem, Tcdm& tcdm, const SimConfig& cfg,
-          PerfCounters& perf, FpSubsystem& fp, u32 hartid = 0);
+          PerfCounters& perf, FpSubsystem& fp, u32 hartid = 0,
+          dma::Engine* dma = nullptr);
 
   /// Commit scheduled register writes (loads, muls, FP->int results) whose
   /// latency has elapsed. Call at the start of each cycle.
@@ -100,6 +104,16 @@ class IntCore {
   void h_fence(const isa::Instr&, const isa::PredecodedInstr&, Cycle, CorePort&);
   void h_scfg_w(const isa::Instr&, const isa::PredecodedInstr&, Cycle, CorePort&);
   void h_scfg_r(const isa::Instr&, const isa::PredecodedInstr&, Cycle, CorePort&);
+  void h_dma_src(const isa::Instr&, const isa::PredecodedInstr&, Cycle, CorePort&);
+  void h_dma_dst(const isa::Instr&, const isa::PredecodedInstr&, Cycle, CorePort&);
+  void h_dma_str(const isa::Instr&, const isa::PredecodedInstr&, Cycle, CorePort&);
+  void h_dma_cpy(const isa::Instr&, const isa::PredecodedInstr&, Cycle, CorePort&);
+  void h_dma_cpy2d(const isa::Instr&, const isa::PredecodedInstr&, Cycle, CorePort&);
+  void h_dma_stat(const isa::Instr&, const isa::PredecodedInstr&, Cycle, CorePort&);
+
+  /// Shared tail of dmcpy/dmcpy2d once operands are read: validate, check
+  /// queue space, issue, and write the transfer id into rd.
+  void dma_issue(const isa::Instr& in, Cycle now, u32 row_bytes, u32 rows);
 
   /// Shared tail of an integer load once the effective address is accepted.
   bool load_issue(const isa::Instr& in, const isa::PredecodedInstr& pre,
@@ -111,6 +125,7 @@ class IntCore {
   const SimConfig& cfg_;
   PerfCounters& perf_;
   FpSubsystem& fp_;
+  dma::Engine* dma_;
   const bool trace_;
   const u32 hartid_;
   const u32 lsu_req_; // this core's LSU requester id in the shared TCDM

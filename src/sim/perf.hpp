@@ -52,6 +52,7 @@ struct PerfCounters {
   u64 stall_int_raw = 0;        // load-use / FP->int / mul in flight
   u64 stall_int_lsu = 0;        // TCDM port or bank denied
   u64 stall_csr_barrier = 0;    // stream-CSR write awaiting FP quiescence
+  u64 stall_dma_full = 0;       // dmcpy retrying against a full DMA queue
   u64 branch_bubbles = 0;
   u64 int_div_busy = 0;         // blocking divider cycles
 
@@ -97,6 +98,7 @@ struct PerfCounters {
     stall_int_raw += o.stall_int_raw;
     stall_int_lsu += o.stall_int_lsu;
     stall_csr_barrier += o.stall_csr_barrier;
+    stall_dma_full += o.stall_dma_full;
     branch_bubbles += o.branch_bubbles;
     int_div_busy += o.int_div_busy;
     return *this;

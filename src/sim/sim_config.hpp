@@ -31,8 +31,15 @@ struct SimConfig {
   /// Extra cycles from TCDM grant to loaded data (1 = data next cycle,
   /// usable the cycle after: 2-cycle load-to-use).
   u32 load_latency = 1;
-  /// Fixed latency of non-TCDM (bulk) memory accesses.
+  /// Fixed latency of non-TCDM (bulk) memory accesses. Also the startup
+  /// latency of every DMA transfer touching main memory.
   u32 main_mem_latency = 10;
+  /// Main-memory bandwidth: bytes the DMA engine can stream per cycle once
+  /// a transfer is past its startup latency.
+  u32 main_mem_bytes_per_cycle = 8;
+  /// Descriptor-FIFO depth of the cluster DMA engine; a dmcpy against a
+  /// full queue retries (stall_dma_full) until a slot frees up.
+  u32 dma_queue_depth = 4;
 
   /// Taken-branch fetch bubble.
   u32 taken_branch_penalty = 1;
@@ -81,6 +88,18 @@ struct SimConfig {
     if (tcdm.num_banks == 0) {
       return Status::error("SimConfig: tcdm.num_banks must be >= 1 (bank "
                            "arbitration over zero banks divides by zero)");
+    }
+    if (main_mem_latency == 0) {
+      return Status::error("SimConfig: main_mem_latency must be >= 1 (a "
+                           "zero-latency bulk memory defeats the model)");
+    }
+    if (main_mem_bytes_per_cycle == 0) {
+      return Status::error("SimConfig: main_mem_bytes_per_cycle must be >= 1 "
+                           "(zero bandwidth wedges every DMA transfer)");
+    }
+    if (dma_queue_depth == 0) {
+      return Status::error("SimConfig: dma_queue_depth must be >= 1 (a "
+                           "zero-entry DMA queue deadlocks every dmcpy)");
     }
     if (max_cycles == 0) {
       return Status::error("SimConfig: max_cycles must be >= 1");

@@ -272,8 +272,8 @@ TEST(Engine, ObservedRunMatchesUnobservedTiming) {
 
 // --- JSON schema golden ------------------------------------------------------
 
-TEST(RunReportJson, GoldenSchemaV2) {
-  ASSERT_EQ(RunReport::kSchemaVersion, 2);
+TEST(RunReportJson, GoldenSchemaV3) {
+  ASSERT_EQ(RunReport::kSchemaVersion, 3);
   RunReport r;
   r.name = "vecop/chained";
   r.kernel = "vecop";
@@ -300,6 +300,13 @@ TEST(RunReportJson, GoldenSchemaV2) {
   r.regs.ssr_regs = 3;
   r.tcdm_out_of_range = 2;
   r.tcdm_top_banks = {{4, 9}, {0, 1}};
+  r.dma.transfers = 2;
+  r.dma.bytes = 1024;
+  r.dma.busy_cycles = 160;
+  r.dma.startup_cycles = 100;
+  r.dma.tcdm_conflicts = 3;
+  r.dma.queue_full_stalls = 1;
+  r.dma.achieved_bytes_per_cycle = 6.5;
   r.num_cores = 1;
   RunReport::CoreReport core;
   core.cycles = 100;
@@ -308,19 +315,23 @@ TEST(RunReportJson, GoldenSchemaV2) {
   r.cores.push_back(core);
   r.wall_s = 0.25;
   const std::string golden =
-      R"({"schema":2,"name":"vecop/chained","kernel":"vecop","variant":"chained",)"
+      R"({"schema":3,"name":"vecop/chained","kernel":"vecop","variant":"chained",)"
       R"("engine":"both","ok":true,"cycles":100,"retired":100,"fpu_ops":50,)"
       R"("fpu_utilization":0.5,"useful_flops":48,"iss_instructions":90,)"
       R"("mismatches":0,"lockstep_mismatches":0,"stalls":{"fp_raw":3,"fp_waw":0,)"
       R"("chain_empty":0,"chain_full":0,"ssr_empty":0,"ssr_wfull":0,"fpu_busy":0,)"
       R"("fp_lsu":0,"offload_full":0,"int_raw":0,"int_lsu":0,"csr_barrier":0,)"
-      R"("branch_bubbles":0},"tcdm":{"reads":7,"writes":5,"conflicts":1,)"
-      R"("out_of_range":2,"top_banks":[{"bank":4,"conflicts":9},)"
-      R"({"bank":0,"conflicts":1}]},"num_cores":1,"cores":[{"hart":0,)"
+      R"("dma_full":0,"branch_bubbles":0},"tcdm":{"reads":7,"writes":5,)"
+      R"("conflicts":1,"out_of_range":2,"top_banks":[{"bank":4,"conflicts":9},)"
+      R"({"bank":0,"conflicts":1}]},"dma":{"transfers":2,"bytes":1024,)"
+      R"("busy_cycles":160,"startup_cycles":100,"tcdm_conflicts":3,)"
+      R"("queue_full_stalls":1,"achieved_bytes_per_cycle":6.5},)"
+      R"("num_cores":1,"cores":[{"hart":0,)"
       R"("cycles":100,"retired":100,"fpu_ops":50,"fpu_utilization":0.5,)"
       R"("stalls":{"fp_raw":3,"fp_waw":0,"chain_empty":0,"chain_full":0,)"
       R"("ssr_empty":0,"ssr_wfull":0,"fpu_busy":0,"fp_lsu":0,"offload_full":0,)"
-      R"("int_raw":0,"int_lsu":0,"csr_barrier":0,"branch_bubbles":0}}],)"
+      R"("int_raw":0,"int_lsu":0,"csr_barrier":0,"dma_full":0,)"
+      R"("branch_bubbles":0}}],)"
       R"("energy":{"power_mw":60.25,"energy_per_cycle_pj":54.5,)"
       R"("fpu_ops_per_joule":0.5},"regs":{"fp_used":6,"accumulator":1,)"
       R"("chained":1,"ssr":3},"wall_s":0.25})";

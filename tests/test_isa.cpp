@@ -96,11 +96,21 @@ TEST_P(RoundTrip, EncodeDecodeIdentity) {
         const bool shift = mn == Mnemonic::kSlli || mn == Mnemonic::kSrli ||
                            mn == Mnemonic::kSrai;
         const bool custom = mi.exec == ExecClass::kFrep || mi.exec == ExecClass::kScfg;
-        const i32 v = shift ? (imm & 31) : custom ? (imm & 2047) : imm;
-        // Custom instructions hard-wire the unused register field to zero.
+        i32 v = shift ? (imm & 31) : custom ? (imm & 2047) : imm;
+        // Custom instructions hard-wire the unused register field to zero;
+        // the Xdma forms additionally hard-wire unused immediates.
         u8 rd = 5, rs1 = 6;
         if (mi.exec == ExecClass::kFrep || mn == Mnemonic::kScfgw) rd = 0;
         if (mn == Mnemonic::kScfgr) rs1 = 0;
+        if (mn == Mnemonic::kDmSrc || mn == Mnemonic::kDmDst) {
+          rd = 0;
+          v = 0;
+        }
+        if (mn == Mnemonic::kDmCpy) v = 0;
+        if (mn == Mnemonic::kDmStat) {
+          rs1 = 0;
+          v = imm & 2047;
+        }
         check(make_i(mn, rd, rs1, v));
       }
       break;

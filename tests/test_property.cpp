@@ -337,6 +337,16 @@ TEST_P(DisasmRoundTrip, TextRoundTripPreservesEncoding) {
         u8 rd = rng() % 32, rs1 = rng() % 32;
         if (mi.exec == isa::ExecClass::kFrep || mn == isa::Mnemonic::kScfgw) rd = 0;
         if (mn == isa::Mnemonic::kScfgr) rs1 = 0;
+        // Xdma I-forms hard-wire unused register/immediate fields to zero.
+        if (mn == isa::Mnemonic::kDmSrc || mn == isa::Mnemonic::kDmDst) {
+          rd = 0;
+          imm = 0;
+        }
+        if (mn == isa::Mnemonic::kDmCpy) imm = 0;
+        if (mn == isa::Mnemonic::kDmStat) {
+          rs1 = 0;
+          imm &= 2047;
+        }
         in = isa::make_i(mn, rd, rs1, imm);
         break;
       }

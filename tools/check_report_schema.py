@@ -10,12 +10,13 @@ tests/test_api.cpp; all three must move together.
 import json
 import sys
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 # Required keys of one RunReport row and their JSON types. "error" is
 # present only on failed rows, so it is checked conditionally.
 # v2 adds "num_cores", the per-core "cores" sections and the TCDM
 # "out_of_range"/"top_banks" keys; every v1 key is unchanged.
+# v3 adds the "dma" section and the "dma_full" stall key.
 ROW_KEYS = {
     "schema": int,
     "name": str,
@@ -33,6 +34,7 @@ ROW_KEYS = {
     "lockstep_mismatches": int,
     "stalls": dict,
     "tcdm": dict,
+    "dma": dict,
     "num_cores": int,
     "cores": list,
     "energy": dict,
@@ -42,9 +44,13 @@ ROW_KEYS = {
 STALL_KEYS = [
     "fp_raw", "fp_waw", "chain_empty", "chain_full", "ssr_empty", "ssr_wfull",
     "fpu_busy", "fp_lsu", "offload_full", "int_raw", "int_lsu", "csr_barrier",
-    "branch_bubbles",
+    "dma_full", "branch_bubbles",
 ]
 TCDM_KEYS = ["reads", "writes", "conflicts", "out_of_range", "top_banks"]
+DMA_KEYS = [
+    "transfers", "bytes", "busy_cycles", "startup_cycles", "tcdm_conflicts",
+    "queue_full_stalls", "achieved_bytes_per_cycle",
+]
 CORE_KEYS = ["hart", "cycles", "retired", "fpu_ops", "fpu_utilization", "stalls"]
 ENERGY_KEYS = ["power_mw", "energy_per_cycle_pj", "fpu_ops_per_joule"]
 REGS_KEYS = ["fp_used", "accumulator", "chained", "ssr"]
@@ -79,6 +85,9 @@ def check_row(path, i, row):
         for key in ("bank", "conflicts"):
             if key not in entry:
                 fail(path, f"{where}: tcdm.top_banks entry missing '{key}'")
+    for key in DMA_KEYS:
+        if key not in row["dma"]:
+            fail(path, f"{where}: dma missing '{key}'")
     if row["num_cores"] < 1:
         fail(path, f"{where}: num_cores {row['num_cores']} < 1")
     # The cycle engine reports one core section per core; the ISS-only

@@ -1,11 +1,13 @@
 // schsim: command-line front-end for the scalar-chaining core model.
 //
-//   schsim list-kernels
+//   schsim list-kernels [--json]
 //       Show every kernel family in the registry: variants, size
-//       parameters and defaults.
+//       parameters and defaults. --json emits a machine-readable dump for
+//       tooling.
 //
 //   schsim run scenario.json [--out report.json] [--threads N]
 //              [--engine iss|cycle|both] [--cores N]
+//              [--mem-latency N] [--mem-bw N]
 //       Expand a declarative scenario file (kernel x variants x sizes x
 //       sim overrides x repeat) into a job batch, execute it on the unified
 //       engine's worker pool and write one JSON report (see docs/API.md).
@@ -16,6 +18,9 @@
 //                               ISS against the cycle-level model
 //         --cores N             force every job's cluster core count
 //                               (wins over scenario "cores" overrides)
+//         --mem-latency N       force every job's main-memory latency
+//         --mem-bw N            force every job's main-memory bandwidth
+//                               (bytes per cycle)
 //
 //   schsim [sim] [options] program.s
 //       Assemble a RISC-V source file (with the Xssr/Xfrep/Xchain
@@ -29,6 +34,9 @@
 //         --cores N             cluster cores sharing the TCDM (default 1;
 //                               the program is replicated, split by mhartid)
 //         --fpu-depth N         FPU pipeline depth (default 3)
+//         --mem-latency N       main-memory latency in cycles (default 10)
+//         --mem-bw N            main-memory bandwidth in bytes/cycle
+//                               (default 8; bounds DMA streaming)
 //         --strict-handoff      forbid same-cycle chain pop->push handoff
 //         --max-cycles N        simulation budget
 //         --dump ADDR COUNT     print COUNT f64 words at ADDR after the run
@@ -50,11 +58,13 @@ using namespace sch;
 
 void usage() {
   std::fprintf(stderr,
-               "usage: schsim list-kernels\n"
+               "usage: schsim list-kernels [--json]\n"
                "       schsim run scenario.json [--out report.json] [--threads N]\n"
                "              [--engine iss|cycle|both] [--cores N]\n"
+               "              [--mem-latency N] [--mem-bw N]\n"
                "       schsim [sim] [--iss] [--trace] [--dataflow] [--energy]\n"
                "              [--banks N] [--cores N] [--fpu-depth N]\n"
+               "              [--mem-latency N] [--mem-bw N]\n"
                "              [--strict-handoff] [--max-cycles N]\n"
                "              [--dump ADDR COUNT] program.s\n");
 }
@@ -97,16 +107,56 @@ void print_perf(const sim::PerfCounters& p) {
               static_cast<unsigned long long>(p.stall_ssr_wfull),
               static_cast<unsigned long long>(p.stall_fp_lsu));
   std::printf("int-core stalls:   offload-full=%llu raw=%llu lsu=%llu "
-              "csr-barrier=%llu branch-bubbles=%llu\n",
+              "csr-barrier=%llu dma-full=%llu branch-bubbles=%llu\n",
               static_cast<unsigned long long>(p.stall_offload_full),
               static_cast<unsigned long long>(p.stall_int_raw),
               static_cast<unsigned long long>(p.stall_int_lsu),
               static_cast<unsigned long long>(p.stall_csr_barrier),
+              static_cast<unsigned long long>(p.stall_dma_full),
               static_cast<unsigned long long>(p.branch_bubbles));
 }
 
-int cmd_list_kernels() {
+int cmd_list_kernels(int argc, char** argv) {
+  bool json = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else {
+      std::fprintf(stderr, "schsim list-kernels: unknown option: %s\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
   const auto entries = kernels::Registry::instance().entries();
+  if (json) {
+    // Machine-readable registry dump for tooling (stable key order).
+    scenario::Json doc = scenario::Json::object();
+    scenario::Json list = scenario::Json::array();
+    for (const kernels::KernelEntry* e : entries) {
+      scenario::Json k = scenario::Json::object();
+      k.set("name", e->name);
+      k.set("description", e->description);
+      scenario::Json variants = scenario::Json::array();
+      for (const std::string& v : e->variants) variants.push_back(scenario::Json(v));
+      k.set("variants", std::move(variants));
+      k.set("baseline_variant", e->baseline_variant);
+      k.set("chained_variant", e->chained_variant);
+      scenario::Json params = scenario::Json::array();
+      for (const kernels::ParamSpec& p : e->params) {
+        scenario::Json ps = scenario::Json::object();
+        ps.set("name", p.name);
+        ps.set("default", p.default_value);
+        ps.set("help", p.help);
+        params.push_back(std::move(ps));
+      }
+      k.set("params", std::move(params));
+      list.push_back(std::move(k));
+    }
+    doc.set("kernels", std::move(list));
+    std::printf("%s\n", doc.dump(2).c_str());
+    return 0;
+  }
   std::printf("%zu registered kernels:\n\n", entries.size());
   for (const kernels::KernelEntry* e : entries) {
     std::printf("%-10s %s\n", e->name.c_str(), e->description.c_str());
@@ -141,6 +191,12 @@ int cmd_run(int argc, char** argv) {
     } else if (arg == "--cores") {
       options.cores_override = parse_u32_arg(next("--cores"), "--cores", 1,
                                              sim::SimConfig::kMaxCores);
+    } else if (arg == "--mem-latency") {
+      options.mem_latency_override =
+          parse_u32_arg(next("--mem-latency"), "--mem-latency", 1, 1u << 20);
+    } else if (arg == "--mem-bw") {
+      options.mem_bw_override =
+          parse_u32_arg(next("--mem-bw"), "--mem-bw", 1, 1u << 20);
     } else if (arg == "--engine") {
       const char* name = next("--engine");
       if (!api::parse_engine(name, options.engine)) {
@@ -203,6 +259,12 @@ int cmd_sim(int argc, char** argv) {
                                     sim::SimConfig::kMaxCores);
     } else if (arg == "--fpu-depth") {
       cfg.fpu_depth = parse_u32_arg(next("--fpu-depth"), "--fpu-depth", 1, 64);
+    } else if (arg == "--mem-latency") {
+      cfg.main_mem_latency =
+          parse_u32_arg(next("--mem-latency"), "--mem-latency", 1, 1u << 20);
+    } else if (arg == "--mem-bw") {
+      cfg.main_mem_bytes_per_cycle =
+          parse_u32_arg(next("--mem-bw"), "--mem-bw", 1, 1u << 20);
     } else if (arg == "--max-cycles") {
       cfg.max_cycles = parse_u64_arg(next("--max-cycles"), "--max-cycles", 1,
                                      ~0ull);
@@ -312,7 +374,7 @@ int cmd_sim(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc >= 2) {
     const std::string cmd = argv[1];
-    if (cmd == "list-kernels") return cmd_list_kernels();
+    if (cmd == "list-kernels") return cmd_list_kernels(argc - 2, argv + 2);
     if (cmd == "run") return cmd_run(argc - 2, argv + 2);
     if (cmd == "sim") return cmd_sim(argc - 2, argv + 2);
     if (cmd == "--help" || cmd == "-h") {
