@@ -1,8 +1,10 @@
 #include "api/engine.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 
 #include "energy/activity.hpp"
@@ -42,9 +44,38 @@ u64 count_mismatches(const Memory& mem, const kernels::BuiltKernel& k,
   return bad;
 }
 
-void fail(RunReport& report, const std::string& message) {
-  if (report.error.empty()) report.error = message;
+/// Record the first failure (message + structured classification); later
+/// calls only clear `ok` so the first cause is the one reported.
+void fail(RunReport& report, FailureKind kind, const std::string& message,
+          i32 hart = -1, i64 pc = -1, i64 cycle = -1) {
+  if (report.error.empty()) {
+    report.error = message;
+    report.failure.kind = kind;
+    report.failure.hart = hart;
+    report.failure.pc = pc;
+    report.failure.cycle = cycle;
+  }
   report.ok = false;
+}
+
+/// Classify an engine error string into a FailureKind. The producers of
+/// these messages (Memory, Iss, the core models) are in lower layers that
+/// know nothing about the report taxonomy, so the mapping lives here.
+FailureKind classify_error_message(const std::string& message) {
+  if (message.find("bus error") != std::string::npos ||
+      message.find("unmapped") != std::string::npos) {
+    return FailureKind::kBusError;
+  }
+  if (message.find("chain FIFO underflow") != std::string::npos ||
+      message.find("deadlock") != std::string::npos) {
+    return FailureKind::kDeadlock;
+  }
+  if (message.find("budget exhausted") != std::string::npos) {
+    return FailureKind::kBudgetExceeded;
+  }
+  // Everything else is a program/config-level fault the validation layer
+  // surfaced (illegal instruction, bad frep body, SSR misuse, ...).
+  return FailureKind::kValidation;
 }
 
 /// Step the cycle-level simulator to completion, fanning out observer
@@ -92,8 +123,8 @@ RunReport execute(const RunRequest& request) {
   for (Observer* o : request.observers) o->on_run_start(request, report.name);
 
   // Early exits still complete the observer lifecycle (no machine state).
-  const auto finish_failed = [&](const std::string& message) {
-    fail(report, message);
+  const auto finish_failed = [&](FailureKind kind, const std::string& message) {
+    fail(report, kind, message);
     report.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
     for (Observer* o : request.observers) o->on_halt(report, nullptr, nullptr);
     return report;
@@ -112,14 +143,16 @@ RunReport execute(const RunRequest& request) {
     const kernels::KernelEntry* entry =
         kernels::Registry::instance().find(request.kernel);
     if (entry == nullptr) {
-      return finish_failed(report.name + ": unknown kernel \"" + request.kernel +
-                           "\" (see `schsim list-kernels`)");
+      return finish_failed(FailureKind::kValidation,
+                           report.name + ": unknown kernel \"" + request.kernel +
+                               "\" (see `schsim list-kernels`)");
     }
     try {
       registry_built =
           entry->build(request.variant, entry->resolve_sizes(request.sizes));
     } catch (const std::exception& e) {
-      return finish_failed(report.name + ": " + e.what());
+      return finish_failed(FailureKind::kValidation,
+                           report.name + ": " + e.what());
     }
     built = &registry_built;
   } else if (!request.programs.empty()) {
@@ -129,7 +162,8 @@ RunReport execute(const RunRequest& request) {
     program = &*request.program;
     validation = Validation::kNone;  // no golden reference exists
   } else {
-    return finish_failed("RunRequest names no workload (kernel, built or program)");
+    return finish_failed(FailureKind::kValidation,
+                         "RunRequest names no workload (kernel, built or program)");
   }
 
   if (built != nullptr) {
@@ -139,14 +173,16 @@ RunReport execute(const RunRequest& request) {
 
   const Status config_ok = request.config.validate();
   if (!config_ok.is_ok()) {
-    return finish_failed(report.name + ": " + config_ok.message());
+    return finish_failed(FailureKind::kValidation,
+                         report.name + ": " + config_ok.message());
   }
   const u32 num_cores = request.config.num_cores;
   report.num_cores = num_cores;
   if (programs != nullptr && programs->size() != num_cores) {
-    return finish_failed(report.name + ": " + std::to_string(programs->size()) +
-                         " programs for " + std::to_string(num_cores) +
-                         " cores (config.num_cores must match)");
+    return finish_failed(FailureKind::kValidation,
+                         report.name + ": " + std::to_string(programs->size()) +
+                             " programs for " + std::to_string(num_cores) +
+                             " cores (config.num_cores must match)");
   }
   // Program of hart h (one per core, or one replicated across the cluster).
   const auto hart_program = [&](u32 h) -> const Program& {
@@ -179,6 +215,13 @@ RunReport execute(const RunRequest& request) {
       iss_cfg.hartid = h;
       iss_cfg.num_harts = num_cores;
       iss_cfg.load_image = false;  // preloaded above
+      // Per-request budgets: the cycle budget bounds the ISS too (pseudo
+      // dual-issue retires at most ~2 instructions per cycle, so 2x is the
+      // matching step budget), and the wall budget carries over unchanged.
+      iss_cfg.max_steps = request.config.max_cycles > (~u64{0} >> 1)
+                              ? ~u64{0}
+                              : 2 * request.config.max_cycles;
+      iss_cfg.max_wall_ms = request.config.max_wall_ms;
       Iss iss(hart_program(h), iss_mem, iss_cfg);
       const HaltReason halt = iss.run();
       report.iss_instructions += iss.instret();
@@ -186,13 +229,21 @@ RunReport execute(const RunRequest& request) {
       if (!clean_halt(halt)) {
         const std::string who =
             num_cores == 1 ? "ISS" : "ISS hart " + std::to_string(h);
-        fail(report, report.name + ": " + who + " halted abnormally: " +
-                         (iss.error().empty() ? "(no message)" : iss.error()));
+        const FailureKind kind = halt == HaltReason::kMaxSteps
+                                     ? FailureKind::kBudgetExceeded
+                                     : classify_error_message(iss.error());
+        fail(report, kind,
+             report.name + ": " + who + " halted abnormally: " +
+                 (iss.error().empty() ? "(no message)" : iss.error()),
+             static_cast<i32>(h), static_cast<i64>(iss.state().pc));
         break;
       }
     }
     } catch (const std::exception& e) {
-      fail(report, report.name + ": ISS: " + e.what());
+      fail(report, classify_error_message(e.what()) == FailureKind::kBusError
+                       ? FailureKind::kBusError
+                       : FailureKind::kInternal,
+           report.name + ": ISS: " + e.what());
     }
     if (report.error.empty() && validation == Validation::kGolden &&
         built != nullptr) {
@@ -202,7 +253,7 @@ RunReport execute(const RunRequest& request) {
         report.mismatches += bad;
         std::ostringstream os;
         os << report.name << ": ISS: " << bad << " output mismatches; " << detail;
-        fail(report, os.str());
+        fail(report, FailureKind::kGoldenMismatch, os.str());
       }
     }
   }
@@ -218,8 +269,16 @@ RunReport execute(const RunRequest& request) {
         simulator.emplace(hart_program(0), sim_mem, request.config);
       }
       drive_simulator(*simulator, request.observers);
+    } catch (const std::invalid_argument& e) {
+      // Cluster construction rejects bad configurations/program sets.
+      return finish_failed(FailureKind::kValidation,
+                           report.name + ": simulator: " + e.what());
     } catch (const std::exception& e) {
-      return finish_failed(report.name + ": simulator: " + e.what());
+      return finish_failed(
+          classify_error_message(e.what()) == FailureKind::kBusError
+              ? FailureKind::kBusError
+              : FailureKind::kInternal,
+          report.name + ": simulator: " + e.what());
     }
     report.cycles = simulator->cycles();
     report.perf = simulator->perf();
@@ -248,9 +307,19 @@ RunReport execute(const RunRequest& request) {
     report.dma.queue_full_stalls = ds.queue_full_stalls;
     report.dma.achieved_bytes_per_cycle = ds.achieved_bytes_per_cycle();
     if (!clean_halt(simulator->halt_reason())) {
-      fail(report,
+      FailureKind kind;
+      if (simulator->halt_reason() == HaltReason::kMaxSteps) {
+        kind = FailureKind::kBudgetExceeded;
+      } else if (simulator->deadlocked()) {
+        kind = FailureKind::kDeadlock;
+      } else {
+        kind = classify_error_message(simulator->error());
+      }
+      fail(report, kind,
            report.name + ": simulator halted abnormally: " +
-               (simulator->error().empty() ? "(no message)" : simulator->error()));
+               (simulator->error().empty() ? "(no message)" : simulator->error()),
+           simulator->halt_hart(), simulator->halt_pc(),
+           static_cast<i64>(simulator->cycles()));
     } else if (validation == Validation::kGolden && built != nullptr) {
       std::string detail;
       const u64 bad = count_mismatches(sim_mem, *built, detail);
@@ -258,7 +327,7 @@ RunReport execute(const RunRequest& request) {
         report.mismatches += bad;
         std::ostringstream os;
         os << report.name << ": " << bad << " output mismatches; " << detail;
-        fail(report, os.str());
+        fail(report, FailureKind::kGoldenMismatch, os.str());
       }
     }
   }
@@ -310,11 +379,35 @@ RunReport execute(const RunRequest& request) {
         }
       }
     }
+    if (request.lockstep_compare_memory) {
+      // Raw-program fuzzing: no golden region exists, so compare the entire
+      // TCDM and main-memory images byte-for-byte (bit-exact; mismatching
+      // bytes are counted at 8-byte-word granularity to keep counts sane).
+      const auto compare_region = [&](Addr base, u32 size, const char* label) {
+        const std::vector<u8> a = iss_mem.read_block(base, size);
+        const std::vector<u8> b = sim_mem.read_block(base, size);
+        for (u32 off = 0; off < size; off += 8) {
+          const u32 chunk = std::min<u32>(8, size - off);
+          if (std::memcmp(a.data() + off, b.data() + off, chunk) != 0) {
+            ++report.lockstep_mismatches;
+            if (first.empty()) {
+              std::ostringstream os;
+              os << label << "[0x" << std::hex << base + off << std::dec
+                 << "]: iss=0x" << std::hex << iss_mem.load(base + off, chunk)
+                 << " cycle=0x" << sim_mem.load(base + off, chunk);
+              first = os.str();
+            }
+          }
+        }
+      };
+      compare_region(memmap::kTcdmBase, memmap::kTcdmSize, "tcdm");
+      compare_region(memmap::kMainBase, memmap::kMainSize, "main");
+    }
     if (report.lockstep_mismatches != 0) {
       std::ostringstream os;
       os << report.name << ": lockstep divergence, " << report.lockstep_mismatches
          << " state mismatches between ISS and cycle engine; first: " << first;
-      fail(report, os.str());
+      fail(report, FailureKind::kLockstepMismatch, os.str());
     }
   }
 

@@ -18,6 +18,20 @@ bool parse_engine(const std::string& name, EngineSel& out) {
   return false;
 }
 
+const char* failure_kind_name(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kNone: return "none";
+    case FailureKind::kValidation: return "validation";
+    case FailureKind::kBusError: return "bus_error";
+    case FailureKind::kDeadlock: return "deadlock";
+    case FailureKind::kLockstepMismatch: return "lockstep_mismatch";
+    case FailureKind::kGoldenMismatch: return "golden_mismatch";
+    case FailureKind::kBudgetExceeded: return "budget_exceeded";
+    case FailureKind::kInternal: return "internal";
+  }
+  return "?";
+}
+
 namespace {
 
 Json stalls_json(const sim::PerfCounters& p) {
@@ -49,7 +63,15 @@ Json RunReport::to_json() const {
   row.set("variant", variant);
   row.set("engine", engine_name(engine));
   row.set("ok", ok);
-  if (!ok) row.set("error", error);
+  if (!ok) {
+    row.set("error", error);
+    Json fj = Json::object();
+    fj.set("kind", std::string(failure_kind_name(failure.kind)));
+    fj.set("hart", static_cast<i64>(failure.hart));
+    fj.set("pc", failure.pc);
+    fj.set("cycle", failure.cycle);
+    row.set("failure", std::move(fj));
+  }
   row.set("cycles", cycles);
   row.set("retired", perf.total_retired());
   row.set("fpu_ops", perf.fpu_ops);

@@ -33,6 +33,31 @@ const char* engine_name(EngineSel sel);
 /// Inverse of engine_name(); false on unknown names.
 bool parse_engine(const std::string& name, EngineSel& out);
 
+/// Structured classification of a failed run (RunReport::failure). Every
+/// failure path through api::Engine maps to exactly one kind; `error` stays
+/// the human-readable description.
+enum class FailureKind : u8 {
+  kNone,             // report is ok
+  kValidation,       // bad request/config/kernel or a program-level fault
+  kBusError,         // access to unmapped memory on either engine
+  kDeadlock,         // watchdog fired / chain-FIFO underflow
+  kLockstepMismatch, // ISS and cycle engine disagree on final state
+  kGoldenMismatch,   // output region differs from the golden vector
+  kBudgetExceeded,   // cycle, step or wall-clock budget exhausted
+  kInternal,         // unexpected exception (engine bug; please report)
+};
+
+/// "validation" / "bus_error" / ... (schema v4 failure.kind values).
+const char* failure_kind_name(FailureKind kind);
+
+/// Where a failure happened, as far as the engine knows. -1 = unknown.
+struct FailureInfo {
+  FailureKind kind = FailureKind::kNone;
+  i32 hart = -1;   // faulting hart (-1: unknown or not hart-specific)
+  i64 pc = -1;     // faulting pc
+  i64 cycle = -1;  // cycle-engine cycle at the failure
+};
+
 struct RunReport {
   /// Version of the JSON serialization below. Bump on any key change and
   /// update tools/check_report_schema.py + the golden test in
@@ -45,7 +70,10 @@ struct RunReport {
   /// startup_cycles/tcdm_conflicts/queue_full_stalls/achieved
   /// bytes-per-cycle) and the "dma_full" stall key; every v2 key is
   /// unchanged (a DMA-free run reports an all-zero section).
-  static constexpr i64 kSchemaVersion = 3;
+  /// v4: robustness -- failed rows add a structured "failure" section
+  /// (kind/hart/pc/cycle, -1 for unknown fields) next to the existing
+  /// "error" message; ok rows are unchanged apart from the version bump.
+  static constexpr i64 kSchemaVersion = 4;
 
   /// Per-core cycle-engine section of a cluster run.
   struct CoreReport {
@@ -61,6 +89,7 @@ struct RunReport {
 
   bool ok = false;      // halted cleanly, validated, engines agreed
   std::string error;    // failure description when !ok
+  FailureInfo failure;  // structured classification when !ok (schema v4)
 
   // Cycle-level engine results (zero when engine == kIss). With a cluster,
   // `cycles` is the cluster cycle count, `perf` aggregates all cores and

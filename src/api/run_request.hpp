@@ -61,6 +61,14 @@ struct RunRequest {
   energy::EnergyConfig energy{};
   Validation validation = Validation::kGolden;
 
+  /// kBoth only: additionally compare the final TCDM and main-memory images
+  /// of the two engines byte-for-byte. This is what makes raw-program
+  /// differential fuzzing sound (raw programs have no golden region): a
+  /// store that lands differently on the two engines fails the lockstep
+  /// check even when no register still holds the value. Off by default --
+  /// kernels validate their output region instead.
+  bool lockstep_compare_memory = false;
+
   /// Borrowed probes, invoked during execution (see api/observer.hpp).
   /// Must outlive the run; with Engine::submit they are called from a
   /// worker thread, so shared observers must synchronize internally.

@@ -97,7 +97,14 @@ std::vector<Token> tokenize_line(std::string_view line) {
       } else {
         t.kind = TokKind::kInt;
         errno = 0;
-        t.ival = std::strtoll(text.c_str(), nullptr, is_hex ? 16 : 10);
+        if (is_hex) {
+          // Full-width bit pattern: `.dword 0xc01f600000000000` (an f64
+          // image) must round-trip, so hex carries all 64 bits and
+          // contexts that need a small value range-check ival themselves.
+          t.ival = static_cast<i64>(std::strtoull(text.c_str(), nullptr, 16));
+        } else {
+          t.ival = std::strtoll(text.c_str(), nullptr, 10);
+        }
         if (errno != 0) fail(col, "integer literal out of range: " + text);
       }
       out.push_back(t);

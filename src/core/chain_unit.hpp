@@ -57,6 +57,11 @@ class ChainUnit {
   /// Push: sets the valid bit and stores the value.
   void push(u8 reg, u64 value);
 
+  /// Fault injection (sim::FaultKind::kDropChainEntry): silently discard the
+  /// entry in `reg`. The consumer that would have popped it waits forever,
+  /// which is exactly what the cluster watchdog must detect.
+  void drop(u8 reg) { valid_[reg] = false; }
+
   /// Raw register view (used when chaining is disabled mid-program and for
   /// the Fig. 2 pipeline-occupancy dump).
   [[nodiscard]] bool valid(u8 reg) const { return valid_[reg]; }

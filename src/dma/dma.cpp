@@ -162,8 +162,12 @@ void Engine::tick_channel(Channel& ch, Cycle now, Tcdm& tcdm) {
       ++ch.active.conflicts;
       return;
     }
-    for (u32 i = 0; i < ch.active.pending_len; ++i) {
-      mem_.store(ch.active.pending_dst + i, ch.active.pending[i], 1);
+    if (drop_beats_ > 0) {
+      --drop_beats_;  // fault injection: the staged bytes never land
+    } else {
+      for (u32 i = 0; i < ch.active.pending_len; ++i) {
+        mem_.store(ch.active.pending_dst + i, ch.active.pending[i], 1);
+      }
     }
     const u32 len = ch.active.pending_len;
     ch.active.pending_len = 0;
@@ -197,8 +201,12 @@ void Engine::tick_channel(Channel& ch, Cycle now, Tcdm& tcdm) {
       ch.active.pending_dst = dst;
       return;
     }
-    for (u32 i = 0; i < beat; ++i) {
-      mem_.store(dst + i, mem_.load(src + i, 1), 1);
+    if (drop_beats_ > 0) {
+      --drop_beats_;  // fault injection: this beat's bytes never land
+    } else {
+      for (u32 i = 0; i < beat; ++i) {
+        mem_.store(dst + i, mem_.load(src + i, 1), 1);
+      }
     }
     budget -= beat;
     if (advance_beat(ch, now, beat)) return;

@@ -174,6 +174,11 @@ class Engine {
     return records_;
   }
 
+  /// Fault injection (sim::FaultKind::kTruncateDmaBeat): the next `n` beats
+  /// skip their memory commit -- the transfer's progress bookkeeping runs as
+  /// normal but the bytes never land at the destination.
+  void inject_beat_drop(u32 n) { drop_beats_ += n; }
+
  private:
   /// In-flight progress of a channel's head transfer.
   struct Active {
@@ -214,6 +219,7 @@ class Engine {
   std::vector<Channel> ch_;
   EngineStats stats_;
   std::vector<TransferRecord> records_;
+  u32 drop_beats_ = 0;  // armed beat-commit drops (fault injection)
 };
 
 /// Instant-copy functional model for the ISS: dmcpy commits the whole block

@@ -1,0 +1,86 @@
+#include "fuzz/fuzz.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace sch::fuzz {
+
+namespace {
+
+std::string hex(u64 v) {
+  std::ostringstream os;
+  os << std::hex << v;
+  return os.str();
+}
+
+void write_reproducers(const std::string& dir, const CampaignFailure& f,
+                       std::ostream& log) {
+  if (dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    log << "  (cannot create repro dir '" << dir << "': " << ec.message()
+        << ")\n";
+    return;
+  }
+  const std::string stem = dir + "/fuzz_" + hex(f.seed);
+  {
+    std::ofstream out(stem + ".json");
+    out << spec_to_json(f.spec).dump(2) << "\n";
+  }
+  for (u32 h = 0; h < f.spec.num_harts; ++h) {
+    std::ofstream out(stem + "_hart" + std::to_string(h) + ".s");
+    out << render_asm(f.spec, h);
+  }
+  log << "  reproducers: " << stem << ".json (+" << f.spec.num_harts
+      << " .s)\n";
+}
+
+} // namespace
+
+u64 run_seed(u64 campaign_seed, u32 run_index) {
+  return mix_seed(campaign_seed, 0xC0FFEEULL + run_index);
+}
+
+CampaignResult run_campaign(const CampaignOptions& options, std::ostream& log) {
+  CampaignResult result;
+  result.runs = options.runs;
+  for (u32 i = 0; i < options.runs; ++i) {
+    const u64 seed = run_seed(options.seed, i);
+    const ProgramSpec spec = generate_spec(seed, options.gen);
+    api::RunReport report = run_spec(spec, options.exec);
+    if (report.ok) continue;
+
+    ++result.failures;
+    log << "FAIL [" << api::failure_kind_name(report.failure.kind)
+        << "] run " << i << " seed 0x" << hex(seed) << ": " << report.error
+        << "\n";
+
+    CampaignFailure failure;
+    failure.seed = seed;
+    failure.spec = spec;
+    if (options.minimize) {
+      const api::FailureKind kind = report.failure.kind;
+      MinimizeStats stats;
+      failure.spec = minimize(
+          spec,
+          [&](const ProgramSpec& candidate) {
+            const api::RunReport r = run_spec(candidate, options.exec);
+            return !r.ok && r.failure.kind == kind;
+          },
+          &stats);
+      log << "  minimized " << stats.initial_blocks << " -> "
+          << stats.final_blocks << " blocks (" << stats.probes
+          << " probes)\n";
+      report = run_spec(failure.spec, options.exec);
+    }
+    failure.report = std::move(report);
+    write_reproducers(options.repro_dir, failure, log);
+    result.failed.push_back(std::move(failure));
+  }
+  return result;
+}
+
+} // namespace sch::fuzz

@@ -1,0 +1,197 @@
+// Differential fuzzing of the engine: a seeded, constrained random-program
+// generator over the full ISA surface (Xchain/Xssr/Xfrep/Xdma + RV32IMFD),
+// an ISS-vs-cycle differential executor, and a delta-debugging minimizer.
+//
+// Programs are built from independently-legal *blocks*. Every block leaves
+// the machine clean (chain mask 0, SSR disabled, all chain FIFOs drained,
+// DMA transfers polled to completion) and touches only scratch memory it
+// allocated itself, so any subset of blocks is still a legal program -- the
+// property that makes ddmin over blocks sound. The generator enforces the
+// legality constraints the ISA demands by construction:
+//   * chain blocks keep at most one outstanding value per chained register
+//     and push strictly before the pop in program order (the in-order,
+//     frozen-pipeline core deadlocks-by-design otherwise, cf. DESIGN.md);
+//   * frep bodies are FP-only and never contain chain traffic;
+//   * SSR streams are consumed with the exact element count their
+//     bound/repeat shape produces, then disabled behind the CSR barrier;
+//   * DMA copies stay inside the hart's scratch partitions and are polled
+//     (dmstat) to completion before the destination is read;
+//   * multi-hart specs give each hart a disjoint TCDM/main-memory partition
+//     (the ISS runs harts sequentially, so cross-hart communication through
+//     shared memory is out of scope for the differential check);
+//   * no block reads cycle/instret-style counter CSRs (legitimately
+//     engine-dependent) and no block uses fcvt.w.d on computed values
+//     (out-of-range conversion is host/compiler dependent).
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "api/run_report.hpp"
+#include "api/run_request.hpp"
+#include "asm/program.hpp"
+#include "common/status.hpp"
+#include "scenario/json.hpp"
+
+namespace sch::fuzz {
+
+/// Deterministic 64-bit PRNG (splitmix64-scrambled xorshift64*). Stable
+/// across platforms and hosts: a seed printed by CI reproduces anywhere.
+class Rng {
+ public:
+  explicit Rng(u64 seed) {
+    u64 z = seed + 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    s_ = z ^ (z >> 31);
+    if (s_ == 0) s_ = 0x9E3779B97F4A7C15ULL;
+  }
+  u64 next() {
+    s_ ^= s_ >> 12;
+    s_ ^= s_ << 25;
+    s_ ^= s_ >> 27;
+    return s_ * 0x2545F4914F6CDD1DULL;
+  }
+  /// Uniform in [lo, hi], inclusive.
+  u32 range(u32 lo, u32 hi) {
+    return lo + static_cast<u32>(next() % (static_cast<u64>(hi - lo) + 1));
+  }
+  bool chance(u32 percent) { return range(1, 100) <= percent; }
+  /// Tame double on a 1/256 grid in [-8, 8]: keeps products bounded over a
+  /// block's op chain while exercising the full FP datapath bit-exactly.
+  double f64() { return (static_cast<double>(range(0, 4096)) - 2048.0) / 256.0; }
+
+ private:
+  u64 s_;
+};
+
+/// Deterministic seed derivation (hart seeds, per-run campaign seeds).
+inline u64 mix_seed(u64 a, u64 b) {
+  Rng r(a ^ (b * 0x9E3779B97F4A7C15ULL) ^ 0x6A09E667F3BCC909ULL);
+  return r.next();
+}
+
+/// The generator's block vocabulary; each kind covers one ISA area.
+enum class BlockKind : u8 {
+  kIntAlu,     // RV32I register/immediate ALU ops
+  kIntMulDiv,  // mul/divu/remu, including divide-by-zero
+  kMemory,     // TCDM loads/stores (lw/sw/fld/fsd) in a scratch buffer
+  kBranchLoop, // counted back-branch loop + forward skips
+  kFpCompute,  // fadd/fmul/fmadd/fdiv/fsqrt/fsgnj/fmin/fmax/feq/fcvt.d.w
+  kChain,      // balanced chain push/pop traffic over CSR 0x7C3
+  kFrep,       // frep.o hardware loop with an FP-only body
+  kSsr,        // 1-D SSR read (+optional repeat / write stream / frep body)
+  kDma,        // dmsrc/dmdst/dmcpy[2d] + dmstat poll, TCDM<->main staging
+  kCsr,        // mhartid/mnumharts/chain-mask CSR reads
+  kCount,
+};
+
+const char* block_kind_name(BlockKind kind);
+/// Inverse of block_kind_name(); false on unknown names.
+bool parse_block_kind(const std::string& name, BlockKind& out);
+
+/// One block: its kind plus the private seed all its choices derive from.
+/// A block's emission depends only on (kind, seed, hart, position), so
+/// removing other blocks never changes what this block does.
+struct BlockSpec {
+  BlockKind kind = BlockKind::kIntAlu;
+  u64 seed = 0;
+};
+
+/// A complete fuzz case: one block list per hart.
+struct ProgramSpec {
+  u64 seed = 0;       // campaign seed this spec was generated from
+  u32 num_harts = 1;
+  std::vector<std::vector<BlockSpec>> harts;
+
+  [[nodiscard]] usize total_blocks() const {
+    usize n = 0;
+    for (const auto& h : harts) n += h.size();
+    return n;
+  }
+};
+
+struct GenConfig {
+  u32 min_blocks = 2;  // per hart
+  u32 max_blocks = 6;  // per hart
+  u32 max_harts = 4;   // harts drawn from {1, 1, 2, max_harts}
+};
+
+/// Draw a spec from `seed` (pure function of its arguments).
+ProgramSpec generate_spec(u64 seed, const GenConfig& config = {});
+
+/// Build one Program per hart. Hart h's data segment sits at
+/// kTcdmBase + h * (kTcdmSize / num_harts); DMA main-memory staging is
+/// partitioned the same way. Throws only on generator bugs.
+std::vector<Program> materialize(const ProgramSpec& spec);
+
+/// Render hart `hart`'s program as assembler text (the `.s` reproducer):
+/// canonical disassembly plus .dword/.zero data directives. Branch targets
+/// are numeric byte offsets, which the assembler round-trips.
+std::string render_asm(const ProgramSpec& spec, u32 hart);
+
+/// Spec <-> JSON (the machine-readable reproducer format; seeds are hex
+/// strings so the full u64 range survives the i64 JSON number type).
+scenario::Json spec_to_json(const ProgramSpec& spec);
+Status spec_from_json(const scenario::Json& json, ProgramSpec& out);
+
+/// Differential-execution budgets. Generated programs are small; these
+/// bounds turn any wedge into a fast failed report instead of a hang.
+struct FuzzOptions {
+  api::EngineSel engine = api::EngineSel::kBoth;
+  u64 max_cycles = 2'000'000;
+  u64 deadlock_cycles = 20'000;
+  u64 max_wall_ms = 20'000;
+};
+
+/// Run one spec through api::Engine (lockstep + full-memory compare when
+/// the engine selection is kBoth). Never throws; every failure comes back
+/// as a failed RunReport with a classified failure.kind.
+api::RunReport run_spec(const ProgramSpec& spec, const FuzzOptions& options = {});
+
+/// Delta-debugging (ddmin) over the spec's blocks: returns the smallest
+/// found spec for which `still_fails` holds. `still_fails(spec)` must be
+/// true for the input spec; the predicate is typically "run_spec fails with
+/// the same failure.kind".
+struct MinimizeStats {
+  u32 probes = 0;          // predicate evaluations
+  usize initial_blocks = 0;
+  usize final_blocks = 0;
+};
+ProgramSpec minimize(const ProgramSpec& spec,
+                     const std::function<bool(const ProgramSpec&)>& still_fails,
+                     MinimizeStats* stats = nullptr);
+
+/// A fuzzing campaign: `runs` specs drawn from per-run seeds derived off
+/// `seed`, each executed differentially; failures are minimized (optional)
+/// and written as .s + .json reproducers under `repro_dir`.
+struct CampaignOptions {
+  u64 seed = 1;
+  u32 runs = 100;
+  bool minimize = true;
+  GenConfig gen{};
+  FuzzOptions exec{};
+  std::string repro_dir = ".";  // "" disables reproducer files
+};
+
+struct CampaignFailure {
+  u64 seed = 0;           // per-run seed (reproduce: generate_spec(seed))
+  ProgramSpec spec;       // minimized when CampaignOptions::minimize
+  api::RunReport report;  // report of `spec`
+};
+
+struct CampaignResult {
+  u32 runs = 0;
+  u32 failures = 0;
+  std::vector<CampaignFailure> failed;
+};
+
+/// Seed of run `run_index` within a campaign (printed on every failure).
+u64 run_seed(u64 campaign_seed, u32 run_index);
+
+/// Execute a campaign, logging failures/minimization progress to `log`.
+CampaignResult run_campaign(const CampaignOptions& options, std::ostream& log);
+
+} // namespace sch::fuzz

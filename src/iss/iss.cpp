@@ -1,6 +1,7 @@
 #include "iss/iss.hpp"
 
 #include <cassert>
+#include <chrono>
 #include <sstream>
 
 #include "isa/csr.hpp"
@@ -459,10 +460,26 @@ bool Iss::step() {
 }
 
 HaltReason Iss::run() {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point wall_start =
+      cfg_.max_wall_ms != 0 ? Clock::now() : Clock::time_point{};
   while (halt_ == HaltReason::kNone) {
     if (instret_ >= cfg_.max_steps) {
       halt_ = HaltReason::kMaxSteps;
       break;
+    }
+    // Wall-clock budget, checked off the hot path (every 8192 steps).
+    if (cfg_.max_wall_ms != 0 && (instret_ & 0x1FFF) == 0) {
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                wall_start);
+      if (static_cast<u64>(elapsed.count()) > cfg_.max_wall_ms) {
+        halt_ = HaltReason::kMaxSteps;
+        error_ = "wall-clock budget exhausted (" +
+                 std::to_string(cfg_.max_wall_ms) + " ms) after " +
+                 std::to_string(instret_) + " instructions";
+        break;
+      }
     }
     step();
   }

@@ -23,6 +23,10 @@ namespace sch {
 
 struct IssConfig {
   u64 max_steps = 200'000'000;
+  /// Host wall-clock budget in milliseconds (0 = unlimited). Checked every
+  /// few thousand steps by run(); exceeding it halts with kMaxSteps and a
+  /// "wall-clock budget exhausted" error (mirrors sim::SimConfig::max_wall_ms).
+  u64 max_wall_ms = 0;
   /// Value of the mhartid CSR (multi-core validation runs one ISS per hart).
   u32 hartid = 0;
   /// Value of the mnumharts CSR (cluster core count the program sees).

@@ -79,6 +79,13 @@ class Tcdm {
     return request(static_cast<u32>(port), addr, is_write);
   }
 
+  /// Fault injection (sim::FaultKind::kStallTcdmBank): hold `bank` busy for
+  /// the rest of this cycle; every request to it is denied and counted as a
+  /// conflict. Call after begin_cycle(), before the requesters run.
+  void force_bank_busy(u32 bank) {
+    if (bank < cfg_.num_banks) bank_busy_[bank] = true;
+  }
+
   /// Record an access that bypassed bank arbitration because its address
   /// lies outside the TCDM window (e.g. an SSR stream pointed at main
   /// memory). Such accesses proceed un-arbitrated, like the LSU's

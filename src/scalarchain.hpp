@@ -12,6 +12,8 @@
 //   kernels/  the paper's evaluation kernels (Fig. 1 vecop, Fig. 3 stencils)
 //   api/      the unified execution engine every front-end routes through
 //             (RunRequest -> Engine -> RunReport, with pluggable Observers)
+//   fuzz/     differential fuzzing: constrained random programs, ISS-vs-
+//             cycle lockstep execution, ddmin reproducer minimization
 #pragma once
 
 #include "api/engine.hpp"
@@ -24,6 +26,7 @@
 #include "core/cost_model.hpp"
 #include "energy/activity.hpp"
 #include "energy/energy_model.hpp"
+#include "fuzz/fuzz.hpp"
 #include "isa/csr.hpp"
 #include "isa/decode.hpp"
 #include "isa/disasm.hpp"

@@ -172,7 +172,8 @@ Result<ScenarioOutcome> run_scenario_file(const std::string& path,
             << static_cast<int>(r.fpu_utilization * 1000) / 1000.0;
       }
     } else {
-      log << ": " << r.error;
+      log << ": [" << api::failure_kind_name(r.failure.kind) << "] "
+          << r.error;
       ++outcome.failures;
     }
     log << "\n";

@@ -61,9 +61,37 @@ PerfCounters Cluster::perf() const {
   return agg;
 }
 
+void Cluster::apply_faults() {
+  for (const Fault& f : cfg_.faults->faults) {
+    switch (f.kind) {
+      case FaultKind::kFlipFpReg:
+        if (f.cycle == cycle_ && f.hart < num_cores()) {
+          cores_[f.hart]->fp_mut().fregs()[f.reg % isa::kNumFpRegs] ^= f.bits;
+        }
+        break;
+      case FaultKind::kDropChainEntry:
+        if (f.cycle == cycle_ && f.hart < num_cores()) {
+          cores_[f.hart]->fp_mut().chain_mut().drop(f.reg % isa::kNumFpRegs);
+        }
+        break;
+      case FaultKind::kStallTcdmBank:
+        if (cycle_ >= f.cycle && cycle_ - f.cycle < f.duration) {
+          tcdm_.force_bank_busy(f.bank);
+        }
+        break;
+      case FaultKind::kTruncateDmaBeat:
+        if (f.cycle == cycle_) {
+          dma_.inject_beat_drop(static_cast<u32>(f.duration));
+        }
+        break;
+    }
+  }
+}
+
 void Cluster::tick() {
   ++cycle_;
   tcdm_.begin_cycle();
+  if (cfg_.faults != nullptr) apply_faults();
 
   // Rotate the service order each cycle so no requester is statically
   // favored in the bank arbiter (fair round-robin): the rotation covers the
@@ -98,12 +126,16 @@ void Cluster::tick() {
     const PerfCounters p = perf();
     // Report the first still-running core's pc (the wedged one, usually).
     Addr pc = cores_[0]->int_core().pc();
-    for (const auto& core : cores_) {
-      if (!core->fully_halted()) {
-        pc = core->int_core().pc();
+    halt_hart_ = 0;
+    for (u32 h = 0; h < num_cores(); ++h) {
+      if (!cores_[h]->fully_halted()) {
+        pc = cores_[h]->int_core().pc();
+        halt_hart_ = static_cast<i32>(h);
         break;
       }
     }
+    deadlocked_ = true;
+    halt_pc_ = static_cast<i64>(pc);
     std::ostringstream os;
     os << "deadlock: no instruction retired for " << cfg_.deadlock_cycles
        << " cycles at cycle " << cycle_ << " (pc=0x" << std::hex << pc
@@ -119,6 +151,8 @@ void Cluster::tick() {
       halt_ = HaltReason::kError;
       error_ = n == 1 ? cores_[h]->error()
                       : "hart " + std::to_string(h) + ": " + cores_[h]->error();
+      halt_hart_ = static_cast<i32>(h);
+      halt_pc_ = static_cast<i64>(cores_[h]->int_core().pc());
       break;
     }
   }
@@ -129,6 +163,19 @@ bool Cluster::step() {
   if (!started_) {
     for (const auto& core : cores_) core->load_image();
     started_ = true;
+    if (cfg_.max_wall_ms != 0) wall_start_ = std::chrono::steady_clock::now();
+  }
+  // Wall-clock budget, checked off the hot path (every 4096 cycles).
+  if (cfg_.max_wall_ms != 0 && (cycle_ & 0xFFF) == 0) {
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - wall_start_);
+    if (static_cast<u64>(elapsed.count()) > cfg_.max_wall_ms) {
+      halt_ = HaltReason::kMaxSteps;
+      error_ = "wall-clock budget exhausted (" +
+               std::to_string(cfg_.max_wall_ms) + " ms) at cycle " +
+               std::to_string(cycle_);
+      return false;
+    }
   }
   tick();
   if (halt_ != HaltReason::kNone) return false;

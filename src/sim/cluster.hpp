@@ -12,6 +12,7 @@
 // fixed configuration and program set.
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
@@ -53,6 +54,14 @@ class Cluster {
   [[nodiscard]] HaltReason halt_reason() const { return halt_; }
   [[nodiscard]] const std::string& error() const { return error_; }
 
+  // --- structured halt information (api::Engine failure classification) ---
+  /// True when the progress watchdog fired (error() describes the wedge).
+  [[nodiscard]] bool deadlocked() const { return deadlocked_; }
+  /// Faulting hart of an abnormal halt (-1 when unknown / not hart-specific).
+  [[nodiscard]] i32 halt_hart() const { return halt_hart_; }
+  /// Faulting pc of an abnormal halt (-1 when unknown).
+  [[nodiscard]] i64 halt_pc() const { return halt_pc_; }
+
   /// Aggregate counters snapshot: every field summed across cores except
   /// `cycles`, which is the cluster cycle count. With one core this is
   /// exactly that core's counter block (see core_at(h).perf() for live
@@ -72,6 +81,8 @@ class Cluster {
 
  private:
   void tick();
+  /// Apply every fault of cfg_.faults due this cycle (see sim/fault_plan.hpp).
+  void apply_faults();
   [[nodiscard]] bool fully_halted() const;
 
   SimConfig cfg_;
@@ -86,6 +97,12 @@ class Cluster {
   HaltReason halt_ = HaltReason::kNone;
   std::string error_;
   bool started_ = false;
+  bool deadlocked_ = false;
+  i32 halt_hart_ = -1;
+  i64 halt_pc_ = -1;
+  /// Host time of the first step (wall-clock budget reference; only read
+  /// when cfg_.max_wall_ms != 0, so budget-free runs stay deterministic).
+  std::chrono::steady_clock::time_point wall_start_;
 };
 
 } // namespace sch::sim

@@ -49,6 +49,8 @@ class Core {
   [[nodiscard]] const PerfCounters& perf() const { return perf_; }
   [[nodiscard]] const IntCore& int_core() const { return *core_; }
   [[nodiscard]] const FpSubsystem& fp() const { return *fp_; }
+  /// Mutable FP-subsystem access for fault injection (sim::FaultPlan).
+  [[nodiscard]] FpSubsystem& fp_mut() { return *fp_; }
   [[nodiscard]] HaltReason halt_reason() const { return core_->halt_reason(); }
   /// Cycle at which the core fully halted (0 while still running).
   [[nodiscard]] Cycle halted_at() const { return halted_at_; }

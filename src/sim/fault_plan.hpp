@@ -1,0 +1,62 @@
+// Fault-injection plan for robustness testing: a list of deliberate state
+// corruptions the cycle-level Cluster applies at given cycles so the
+// detectors (lockstep compare, golden check, watchdog, bus-error reporting)
+// can be *proven* to fire. The plan rides on SimConfig; a null plan costs
+// one pointer check per cycle. The functional ISS never applies faults, so
+// an EngineSel::kBoth run always compares a corrupted cycle engine against
+// a clean reference.
+//
+// Always compiled (not NDEBUG-gated): the default build type is Release and
+// the fault tests in tests/test_fault.cpp must pass there too.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sch::sim {
+
+enum class FaultKind : u8 {
+  /// XOR `bits` into hart `hart`'s architectural FP register `reg` at the
+  /// start of cycle `cycle`. Detector: lockstep compare / golden check.
+  kFlipFpReg,
+  /// Clear the chain-unit valid bit of register `reg` on hart `hart` at
+  /// cycle `cycle` (the pushed value vanishes; its consumer waits forever).
+  /// Detector: cluster watchdog (deadlock).
+  kDropChainEntry,
+  /// Hold TCDM bank `bank` busy for `duration` cycles starting at `cycle`
+  /// (every request is denied and counted as a conflict). A finite stall is
+  /// timing-only -- the run must still pass; an effectively-infinite one
+  /// wedges any access to that bank. Detector: watchdog (deadlock).
+  kStallTcdmBank,
+  /// Arm at cycle `cycle`: the next `duration` DMA beats skip their memory
+  /// commit (bytes still count as moved; the data never lands). Detector:
+  /// lockstep compare / golden check on the destination.
+  kTruncateDmaBeat,
+};
+
+inline const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kFlipFpReg: return "flip_fp_reg";
+    case FaultKind::kDropChainEntry: return "drop_chain_entry";
+    case FaultKind::kStallTcdmBank: return "stall_tcdm_bank";
+    case FaultKind::kTruncateDmaBeat: return "truncate_dma_beat";
+  }
+  return "?";
+}
+
+struct Fault {
+  FaultKind kind = FaultKind::kFlipFpReg;
+  Cycle cycle = 0;   // cluster cycle at whose start the fault fires
+  u32 hart = 0;      // kFlipFpReg / kDropChainEntry
+  u8 reg = 0;        // FP register index (masked to the register count)
+  u64 bits = 1;      // kFlipFpReg XOR mask
+  u32 bank = 0;      // kStallTcdmBank
+  u64 duration = 1;  // kStallTcdmBank: cycles held; kTruncateDmaBeat: beats
+};
+
+struct FaultPlan {
+  std::vector<Fault> faults;
+};
+
+} // namespace sch::sim

@@ -57,6 +57,16 @@ class FpSubsystem {
   [[nodiscard]] bool offload_ready() const { return !seq_.queue_full(); }
   void offload(FpOp op) { seq_.push(std::move(op)); }
 
+  /// Ordering interlock for the integer LSU: true while a pending (queued
+  /// or frep-replayed, not yet executed) fld/fsd overlaps the access and at
+  /// least one side writes. Issued ops are not hazards -- their memory
+  /// effect is applied at FP issue time. SSR/DMA traffic is exempt: those
+  /// streams are architecturally asynchronous and synchronized explicitly
+  /// (SSR disable barrier, dmstat polling).
+  [[nodiscard]] bool mem_hazard(u32 addr, u32 bytes, bool int_is_write) const {
+    return seq_.pending_mem_overlap(addr, bytes, int_is_write);
+  }
+
   /// Everything drained: queue, latch, pipeline, div unit, LSU, write streams.
   [[nodiscard]] bool quiescent() const;
 
@@ -81,6 +91,8 @@ class FpSubsystem {
   [[nodiscard]] const std::array<u64, isa::kNumFpRegs>& fregs() const { return fregs_; }
   [[nodiscard]] std::array<u64, isa::kNumFpRegs>& fregs() { return fregs_; }
   [[nodiscard]] const chain::ChainUnit& chain() const { return chain_; }
+  /// Mutable chain-unit access for fault injection (sim::FaultPlan).
+  [[nodiscard]] chain::ChainUnit& chain_mut() { return chain_; }
   [[nodiscard]] const FpuPipeline& pipeline() const { return pipe_; }
   [[nodiscard]] const Sequencer& sequencer() const { return seq_; }
   /// Disassembly of the op issued this cycle ("" if none) for the trace.

@@ -250,6 +250,11 @@ bool IntCore::load_issue(const Instr& in, const PredecodedInstr& pre,
     fail("load from unmapped address");
     return false;
   }
+  // Program-order interlock against offloaded FP stores to this address.
+  if (fp_.mem_hazard(ea, pre.mem_bytes, /*int_is_write=*/false)) {
+    ++perf_.stall_int_lsu;
+    return false;
+  }
   if (Memory::in_tcdm(ea)) {
     if (port.used) {
       ++perf_.stall_int_lsu;
@@ -316,6 +321,12 @@ void IntCore::h_store(const Instr& in, const PredecodedInstr& pre, Cycle,
   const Addr ea = read_x(in.rs1) + static_cast<u32>(pre.aux);
   if (!mem_.valid(ea, pre.mem_bytes)) {
     fail("store to unmapped address");
+    return;
+  }
+  // Program-order interlock against offloaded FP loads/stores to this
+  // address: the store must not overtake an older queued fld/fsd.
+  if (fp_.mem_hazard(ea, pre.mem_bytes, /*int_is_write=*/true)) {
+    ++perf_.stall_int_lsu;
     return;
   }
   if (Memory::in_tcdm(ea)) {

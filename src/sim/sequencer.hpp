@@ -68,6 +68,34 @@ class Sequencer {
     return queue_.empty() && state_ == State::kIdle;
   }
 
+  /// True when a not-yet-executed FP memory op overlaps [addr, addr+bytes)
+  /// and at least one side writes. Queued fld/fsd carry their effective
+  /// address (captured at offload); a frep body in capture or replay will
+  /// re-execute its memory ops on the remaining passes, so the ring buffer
+  /// counts as pending too. This is the int-LSU ordering interlock: the
+  /// integer core consults it before a load/store so that same-address
+  /// accesses commit in program order across the offload boundary.
+  [[nodiscard]] bool pending_mem_overlap(u32 addr, u32 bytes,
+                                         bool int_is_write) const {
+    const auto hazard = [&](const FpOp& op) {
+      const isa::MnemonicInfo& mi = op.meta();
+      const bool is_store = mi.exec == isa::ExecClass::kFpStore;
+      if (mi.exec != isa::ExecClass::kFpLoad && !is_store) return false;
+      if (!int_is_write && !is_store) return false;  // read vs read
+      return op.int_operand < addr + bytes &&
+             addr < op.int_operand + mi.mem_bytes;
+    };
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      if (hazard(queue_.at(i))) return true;
+    }
+    if (state_ != State::kIdle) {
+      for (const FpOp& op : buffer_) {
+        if (hazard(op)) return true;
+      }
+    }
+    return false;
+  }
+
   [[nodiscard]] const std::string& error() const { return error_; }
   [[nodiscard]] bool has_error() const { return !error_.empty(); }
 

@@ -3,9 +3,12 @@
 // TCDM, 3 SSRs, FREP sequencer, pseudo dual-issue).
 #pragma once
 
+#include <memory>
+
 #include "common/status.hpp"
 #include "common/types.hpp"
 #include "mem/tcdm.hpp"
+#include "sim/fault_plan.hpp"
 #include "ssr/streamer.hpp"
 
 namespace sch::sim {
@@ -61,6 +64,15 @@ struct SimConfig {
   /// Abort when no instruction retires for this many cycles (deadlock
   /// detector for chain-FIFO underflow / exhausted-stream stalls).
   u64 deadlock_cycles = 50'000;
+  /// Host wall-clock budget per run in milliseconds (0 = unlimited). Checked
+  /// every few thousand cycles/steps by both engines; exceeding it halts
+  /// with a failed budget_exceeded report, never an abort. Off by default so
+  /// reports stay bit-identical across hosts; the fuzz harness sets it.
+  u64 max_wall_ms = 0;
+
+  /// Deliberate state corruptions applied by the cycle engine (see
+  /// sim/fault_plan.hpp). Null = no faults; the ISS never applies them.
+  std::shared_ptr<const FaultPlan> faults;
 
   /// Maintain the per-cycle issue/stall strings that trace observers
   /// (api::TraceObserver, Fig. 1c/Fig. 2 views) consume. Costs string

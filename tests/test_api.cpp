@@ -272,8 +272,8 @@ TEST(Engine, ObservedRunMatchesUnobservedTiming) {
 
 // --- JSON schema golden ------------------------------------------------------
 
-TEST(RunReportJson, GoldenSchemaV3) {
-  ASSERT_EQ(RunReport::kSchemaVersion, 3);
+TEST(RunReportJson, GoldenSchemaV4) {
+  ASSERT_EQ(RunReport::kSchemaVersion, 4);
   RunReport r;
   r.name = "vecop/chained";
   r.kernel = "vecop";
@@ -315,7 +315,7 @@ TEST(RunReportJson, GoldenSchemaV3) {
   r.cores.push_back(core);
   r.wall_s = 0.25;
   const std::string golden =
-      R"({"schema":3,"name":"vecop/chained","kernel":"vecop","variant":"chained",)"
+      R"({"schema":4,"name":"vecop/chained","kernel":"vecop","variant":"chained",)"
       R"("engine":"both","ok":true,"cycles":100,"retired":100,"fpu_ops":50,)"
       R"("fpu_utilization":0.5,"useful_flops":48,"iss_instructions":90,)"
       R"("mismatches":0,"lockstep_mismatches":0,"stalls":{"fp_raw":3,"fp_waw":0,)"
@@ -336,12 +336,40 @@ TEST(RunReportJson, GoldenSchemaV3) {
       R"("fpu_ops_per_joule":0.5},"regs":{"fp_used":6,"accumulator":1,)"
       R"("chained":1,"ssr":3},"wall_s":0.25})";
   EXPECT_EQ(r.to_json().dump(), golden);
-  // Failed reports additionally carry the error message.
+  // An ok row must not carry a failure section.
+  EXPECT_EQ(r.to_json().get("failure"), nullptr);
+  // Failed reports additionally carry the error message and the structured
+  // v4 failure section (kind/hart/pc/cycle).
   r.ok = false;
   r.error = "boom";
+  r.failure.kind = FailureKind::kDeadlock;
+  r.failure.hart = 2;
+  r.failure.pc = 0x80000010;
+  r.failure.cycle = 12345;
   const Json j = r.to_json();
   ASSERT_NE(j.get("error"), nullptr);
   EXPECT_EQ(j.get("error")->as_string(), "boom");
+  const Json* fj = j.get("failure");
+  ASSERT_NE(fj, nullptr);
+  ASSERT_NE(fj->get("kind"), nullptr);
+  EXPECT_EQ(fj->get("kind")->as_string(), "deadlock");
+  EXPECT_EQ(fj->get("hart")->as_i64(), 2);
+  EXPECT_EQ(fj->get("pc")->as_i64(), 0x80000010);
+  EXPECT_EQ(fj->get("cycle")->as_i64(), 12345);
+}
+
+TEST(RunReportJson, FailureKindNamesCoverTaxonomy) {
+  EXPECT_STREQ(failure_kind_name(FailureKind::kNone), "none");
+  EXPECT_STREQ(failure_kind_name(FailureKind::kValidation), "validation");
+  EXPECT_STREQ(failure_kind_name(FailureKind::kBusError), "bus_error");
+  EXPECT_STREQ(failure_kind_name(FailureKind::kDeadlock), "deadlock");
+  EXPECT_STREQ(failure_kind_name(FailureKind::kLockstepMismatch),
+               "lockstep_mismatch");
+  EXPECT_STREQ(failure_kind_name(FailureKind::kGoldenMismatch),
+               "golden_mismatch");
+  EXPECT_STREQ(failure_kind_name(FailureKind::kBudgetExceeded),
+               "budget_exceeded");
+  EXPECT_STREQ(failure_kind_name(FailureKind::kInternal), "internal");
 }
 
 TEST(RunReportJson, EngineNamesRoundTrip) {

@@ -5,6 +5,8 @@
 // same JSON parser.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "scenario/json.hpp"
@@ -241,6 +243,77 @@ TEST(Scenario, RunsJobsAndReportsResults) {
   ASSERT_TRUE(reparsed.ok()) << reparsed.status().message();
   EXPECT_EQ(reparsed.value().get("results")->items().size(), 3u);
 }
+
+// --- parser hardening corpus -------------------------------------------------
+
+#ifdef SCH_CORPUS_DIR
+TEST(ScenarioCorpus, EveryCorpusInputReturnsACleanStatus) {
+  // tests/corpus/scenario/ holds hostile inputs: empty files, truncations,
+  // binary garbage, >64-deep nesting, huge numbers, unterminated strings,
+  // duplicate keys, wrong types, unknown kernels/keys. The contract is
+  // simple: parse_scenario() returns (a value or a clean error Status) on
+  // every one of them -- it never throws, aborts or hangs. Inputs the
+  // JSONC-lite dialect happens to accept must also expand without
+  // throwing.
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(SCH_CORPUS_DIR) / "scenario";
+  ASSERT_TRUE(fs::exists(dir)) << dir << " missing (build config problem)";
+  u32 seen = 0;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    SCOPED_TRACE(entry.path().filename().string());
+    std::ifstream in(entry.path(), std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    ASSERT_NO_THROW({
+      const Result<Scenario> r = parse_scenario(text);
+      if (r.ok()) {
+        const Result<std::vector<Job>> jobs = expand(r.value());
+        (void)jobs;  // either outcome is fine; throwing is not
+      } else {
+        EXPECT_FALSE(r.status().message().empty());
+      }
+    });
+    ++seen;
+  }
+  EXPECT_GE(seen, 12u) << "corpus unexpectedly small -- files not checked in?";
+}
+
+TEST(ScenarioCorpus, KnownBadInputsAreRejected) {
+  // A few corpus members pin the *specific* rejection, so a parser
+  // regression that silently accepts garbage is caught even though the
+  // blanket no-throw sweep above would stay green.
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(SCH_CORPUS_DIR) / "scenario";
+  const auto parse_file = [&](const char* name) {
+    std::ifstream in(dir / name, std::ios::binary);
+    EXPECT_TRUE(in.good()) << name;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return parse_scenario(ss.str());
+  };
+  for (const char* name :
+       {"empty.json", "truncated_mid_key.json", "unterminated_string.json",
+        "deep_nesting.json", "wrong_type_runs.json", "missing_name.json",
+        "unknown_key.json", "wrong_variant_type.json", "binary_bytes.json",
+        "negative_override.json"}) {
+    SCOPED_TRACE(name);
+    const Result<Scenario> r = parse_file(name);
+    EXPECT_FALSE(r.ok());
+    EXPECT_FALSE(r.status().message().empty());
+  }
+  // Unknown kernel names pass structural parsing (the registry is consulted
+  // at expansion time) but must come back as a clean expand error.
+  const Result<Scenario> unknown = parse_file("unknown_kernel.json");
+  ASSERT_TRUE(unknown.ok()) << unknown.status().message();
+  const Result<std::vector<Job>> jobs = expand(unknown.value());
+  ASSERT_FALSE(jobs.ok());
+  EXPECT_NE(jobs.status().message().find("warp_drive"), std::string::npos)
+      << jobs.status().message();
+}
+#endif // SCH_CORPUS_DIR
 
 } // namespace
 } // namespace sch::scenario

@@ -10,13 +10,16 @@ tests/test_api.cpp; all three must move together.
 import json
 import sys
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
-# Required keys of one RunReport row and their JSON types. "error" is
-# present only on failed rows, so it is checked conditionally.
+# Required keys of one RunReport row and their JSON types. "error" and
+# "failure" are present only on failed rows, so they are checked
+# conditionally.
 # v2 adds "num_cores", the per-core "cores" sections and the TCDM
 # "out_of_range"/"top_banks" keys; every v1 key is unchanged.
 # v3 adds the "dma" section and the "dma_full" stall key.
+# v4 adds the structured "failure" section (kind/hart/pc/cycle) on failed
+# rows; ok rows must not carry one.
 ROW_KEYS = {
     "schema": int,
     "name": str,
@@ -55,6 +58,10 @@ CORE_KEYS = ["hart", "cycles", "retired", "fpu_ops", "fpu_utilization", "stalls"
 ENERGY_KEYS = ["power_mw", "energy_per_cycle_pj", "fpu_ops_per_joule"]
 REGS_KEYS = ["fp_used", "accumulator", "chained", "ssr"]
 ENGINES = {"iss", "cycle", "both"}
+FAILURE_KINDS = {
+    "validation", "bus_error", "deadlock", "lockstep_mismatch",
+    "golden_mismatch", "budget_exceeded", "internal",
+}
 
 
 def fail(path, message):
@@ -73,8 +80,21 @@ def check_row(path, i, row):
         fail(path, f"{where}: schema {row['schema']} != pinned {SCHEMA_VERSION}")
     if row["engine"] not in ENGINES:
         fail(path, f"{where}: unknown engine '{row['engine']}'")
-    if not row["ok"] and "error" not in row:
-        fail(path, f"{where}: failed row without an 'error' message")
+    if not row["ok"]:
+        if "error" not in row:
+            fail(path, f"{where}: failed row without an 'error' message")
+        if "failure" not in row:
+            fail(path, f"{where}: failed row without a 'failure' section")
+        failure = row["failure"]
+        if failure.get("kind") not in FAILURE_KINDS:
+            fail(path, f"{where}: failure.kind '{failure.get('kind')}' not in "
+                       f"{sorted(FAILURE_KINDS)}")
+        for key in ("hart", "pc", "cycle"):
+            if not isinstance(failure.get(key), int) or \
+                    isinstance(failure.get(key), bool):
+                fail(path, f"{where}: failure.{key} must be an integer")
+    elif "failure" in row:
+        fail(path, f"{where}: ok row carries a 'failure' section")
     for key in STALL_KEYS:
         if key not in row["stalls"]:
             fail(path, f"{where}: stalls missing '{key}'")

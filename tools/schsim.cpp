@@ -22,6 +22,25 @@
 //         --mem-bw N            force every job's main-memory bandwidth
 //                               (bytes per cycle)
 //
+//   schsim fuzz [--seed S] [--runs N] [--minimize|--no-minimize]
+//               [--engine iss|cycle|both] [--max-harts N]
+//               [--repro-dir DIR] [--replay spec.json]
+//       Differential fuzzing: generate N seeded random programs over the
+//       full ISA surface and run each one on the ISS and the cycle model in
+//       lockstep (see docs/FUZZING.md). Any divergence, crash or hang comes
+//       back as a failed report; failures are delta-debugged to a minimal
+//       reproducer and written as .json + .s files under --repro-dir.
+//       Exits nonzero iff any run failed.
+//         --seed S              campaign seed (default 1)
+//         --runs N              number of random programs (default 100)
+//         --no-minimize         keep failing specs unminimized
+//         --engine iss|cycle|both
+//                               execution engines (default both = lockstep)
+//         --max-harts N         largest cluster drawn by the generator
+//         --repro-dir DIR       where reproducers are written (default .)
+//         --replay spec.json    re-run one written reproducer instead of
+//                               generating new programs
+//
 //   schsim [sim] [options] program.s
 //       Assemble a RISC-V source file (with the Xssr/Xfrep/Xchain
 //       extensions) and run it on the cycle-level simulator (default) or
@@ -62,6 +81,9 @@ void usage() {
                "       schsim run scenario.json [--out report.json] [--threads N]\n"
                "              [--engine iss|cycle|both] [--cores N]\n"
                "              [--mem-latency N] [--mem-bw N]\n"
+               "       schsim fuzz [--seed S] [--runs N] [--no-minimize]\n"
+               "              [--engine iss|cycle|both] [--max-harts N]\n"
+               "              [--repro-dir DIR] [--replay spec.json]\n"
                "       schsim [sim] [--iss] [--trace] [--dataflow] [--energy]\n"
                "              [--banks N] [--cores N] [--fpu-depth N]\n"
                "              [--mem-latency N] [--mem-bw N]\n"
@@ -230,6 +252,91 @@ int cmd_run(int argc, char** argv) {
   return outcome.value().failures == 0 ? 0 : 1;
 }
 
+int cmd_fuzz(int argc, char** argv) {
+  fuzz::CampaignOptions options;
+  std::string replay_path;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "schsim fuzz: missing argument for %s\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      options.seed = parse_u64_arg(next("--seed"), "--seed", 0, ~0ull);
+    } else if (arg == "--runs") {
+      options.runs = parse_u32_arg(next("--runs"), "--runs", 1, 1u << 24);
+    } else if (arg == "--minimize") {
+      options.minimize = true;
+    } else if (arg == "--no-minimize") {
+      options.minimize = false;
+    } else if (arg == "--max-harts") {
+      options.gen.max_harts = parse_u32_arg(next("--max-harts"), "--max-harts",
+                                            1, sim::SimConfig::kMaxCores);
+    } else if (arg == "--repro-dir") {
+      options.repro_dir = next("--repro-dir");
+    } else if (arg == "--replay") {
+      replay_path = next("--replay");
+    } else if (arg == "--engine") {
+      const char* name = next("--engine");
+      if (!api::parse_engine(name, options.exec.engine)) {
+        std::fprintf(stderr,
+                     "schsim fuzz: --engine: '%s' is not iss, cycle or both\n",
+                     name);
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "schsim fuzz: unknown option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (!replay_path.empty()) {
+    std::ifstream file(replay_path);
+    if (!file) {
+      std::fprintf(stderr, "schsim fuzz: cannot open %s\n",
+                   replay_path.c_str());
+      return 2;
+    }
+    std::stringstream ss;
+    ss << file.rdbuf();
+    const Result<scenario::Json> doc = scenario::Json::parse(ss.str());
+    if (!doc.ok()) {
+      std::fprintf(stderr, "schsim fuzz: %s: %s\n", replay_path.c_str(),
+                   doc.status().message().c_str());
+      return 2;
+    }
+    fuzz::ProgramSpec spec;
+    const Status st = fuzz::spec_from_json(doc.value(), spec);
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "schsim fuzz: %s: %s\n", replay_path.c_str(),
+                   st.message().c_str());
+      return 2;
+    }
+    const api::RunReport report = fuzz::run_spec(spec, options.exec);
+    if (!report.ok) {
+      std::printf("FAIL [%s]: %s\n",
+                  api::failure_kind_name(report.failure.kind),
+                  report.error.c_str());
+      return 1;
+    }
+    std::printf("OK: %s (%llu cycles, %llu iss instructions)\n",
+                report.name.c_str(),
+                static_cast<unsigned long long>(report.cycles),
+                static_cast<unsigned long long>(report.iss_instructions));
+    return 0;
+  }
+
+  const fuzz::CampaignResult result = fuzz::run_campaign(options, std::cout);
+  std::printf("fuzz: %u/%u runs ok (seed 0x%llx, engine %s)\n",
+              result.runs - result.failures, result.runs,
+              static_cast<unsigned long long>(options.seed),
+              api::engine_name(options.exec.engine));
+  return result.failures == 0 ? 0 : 1;
+}
+
 int cmd_sim(int argc, char** argv) {
   bool use_iss = false, want_trace = false, want_dataflow = false,
        want_energy = false;
@@ -341,7 +448,9 @@ int cmd_sim(int argc, char** argv) {
   const api::RunReport report = api::run(request);
   int status = 0;
   if (!report.ok) {
-    std::fprintf(stderr, "abnormal halt: %s\n", report.error.c_str());
+    std::fprintf(stderr, "abnormal halt [%s]: %s\n",
+                 api::failure_kind_name(report.failure.kind),
+                 report.error.c_str());
     status = 1;
   }
   if (use_iss) {
@@ -376,6 +485,7 @@ int main(int argc, char** argv) {
     const std::string cmd = argv[1];
     if (cmd == "list-kernels") return cmd_list_kernels(argc - 2, argv + 2);
     if (cmd == "run") return cmd_run(argc - 2, argv + 2);
+    if (cmd == "fuzz") return cmd_fuzz(argc - 2, argv + 2);
     if (cmd == "sim") return cmd_sim(argc - 2, argv + 2);
     if (cmd == "--help" || cmd == "-h") {
       usage();
