@@ -12,10 +12,19 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "kernels/registry.hpp"
+
+// Sanitizer spec the tree was built with (SCH_SANITIZE cache variable;
+// CMake forwards it as a compile definition). Recorded in the JSON so
+// tools/check_bench_regression.py can refuse to compare sanitizer-build
+// throughput against release numbers.
+#ifndef SCH_SANITIZE_SPEC
+#define SCH_SANITIZE_SPEC ""
+#endif
 
 namespace {
 
@@ -157,7 +166,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "FATAL: cannot write %s\n", json_path.c_str());
     return 1;
   }
+  // Host metadata: enough context to judge whether two JSONs are
+  // comparable (same compiler? sanitizers on? how parallel a machine?).
+  // The regression gate skips sanitizer builds outright.
+#if defined(NDEBUG)
+  const bool optimized = true;
+#else
+  const bool optimized = false;
+#endif
   os << "{\n  \"bench\": \"host_throughput\",\n  \"repeat\": " << repeat
+     << ",\n  \"host\": {\"threads\": " << std::thread::hardware_concurrency()
+     << ", \"compiler\": \"" << __VERSION__ << "\""
+     << ", \"optimized\": " << (optimized ? "true" : "false")
+     << ", \"sanitize\": \"" << SCH_SANITIZE_SPEC << "\"}"
      << ",\n  \"kernels\": [\n";
   for (usize i = 0; i < results.size(); ++i) {
     const auto& r = results[i];

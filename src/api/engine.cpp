@@ -222,6 +222,7 @@ RunReport execute(const RunRequest& request) {
                               ? ~u64{0}
                               : 2 * request.config.max_cycles;
       iss_cfg.max_wall_ms = request.config.max_wall_ms;
+      iss_cfg.fast_dispatch = request.config.fast_dispatch;
       Iss iss(hart_program(h), iss_mem, iss_cfg);
       const HaltReason halt = iss.run();
       report.iss_instructions += iss.instret();
@@ -262,11 +263,16 @@ RunReport execute(const RunRequest& request) {
   Memory sim_mem;
   std::optional<sim::Simulator> simulator;
   if (request.engine == EngineSel::kCycle || request.engine == EngineSel::kBoth) {
+    // Observers see every individual cycle (on_cycle fires per step), so the
+    // stall fast-forward -- invisible in the final report but not to a
+    // per-cycle callback -- must not skip any.
+    sim::SimConfig sim_cfg = request.config;
+    if (!request.observers.empty()) sim_cfg.fast_forward = false;
     try {
       if (programs != nullptr) {
-        simulator.emplace(*programs, sim_mem, request.config);
+        simulator.emplace(*programs, sim_mem, sim_cfg);
       } else {
-        simulator.emplace(hart_program(0), sim_mem, request.config);
+        simulator.emplace(hart_program(0), sim_mem, sim_cfg);
       }
       drive_simulator(*simulator, request.observers);
     } catch (const std::invalid_argument& e) {

@@ -82,14 +82,18 @@ class Program {
     return idx < instrs.size() ? static_cast<u32>(idx) : kNoIndex;
   }
 
-  /// Rebuild the predecoded execution stream from `instrs`. Always a full
+  /// Rebuild the predecoded execution stream from `instrs`, including the
+  /// superblock metadata (straight-line run lengths, branch targets, static
+  /// frep-body validation -- see isa::link_superblocks). Always a full
   /// rebuild (linear, off the hot path) so in-place instruction edits can
-  /// never leave stale records; the ISS and simulator call this on
+  /// never leave stale records or stale block boundaries; this call is the
+  /// invalidation hook for program edits. The ISS and simulator call it on
   /// construction so hand-assembled Programs work too.
   void predecode() {
     pre.clear();
     pre.reserve(instrs.size());
     for (const isa::Instr& in : instrs) pre.push_back(isa::predecode(in));
+    isa::link_superblocks(pre);
   }
 };
 

@@ -73,4 +73,45 @@ PredecodedInstr predecode(const Instr& in) {
   return p;
 }
 
+void link_superblocks(std::vector<PredecodedInstr>& pre) {
+  const usize n = pre.size();
+  constexpr u32 kNoIndex = 0xFFFF'FFFF;
+
+  // Backward pass: straight-line run lengths.
+  u32 run = 0;
+  for (usize i = n; i-- > 0;) {
+    run = exec_handler_linear(pre[i].handler) ? run + 1 : 0;
+    pre[i].run_len = run;
+  }
+
+  for (usize i = 0; i < n; ++i) {
+    PredecodedInstr& p = pre[i];
+    switch (p.handler) {
+      case ExecHandler::kJal:
+      case ExecHandler::kBranch: {
+        // aux is the pc-relative byte delta of the taken path.
+        const i64 t = static_cast<i64>(i) * 4 + p.aux;
+        p.target_idx = (t >= 0 && t < static_cast<i64>(n) * 4 && (t & 3) == 0)
+                           ? static_cast<u32>(t >> 2)
+                           : kNoIndex;
+        break;
+      }
+      case ExecHandler::kFrep: {
+        // Static body validation, once per site: non-empty, fully inside
+        // the text segment, FP-domain only, no nested frep.
+        const u32 body = static_cast<u32>(p.aux);
+        bool ok = body != 0 && i + body < n;
+        for (u32 b = 1; ok && b <= body; ++b) {
+          ok = pre[i + b].fp_domain &&
+               pre[i + b].handler != ExecHandler::kFrep;
+        }
+        if (ok) p.flags |= preflag::kFrepBodyOk;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
 } // namespace sch::isa

@@ -1,5 +1,6 @@
 #include "iss/iss.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <sstream>
@@ -15,10 +16,17 @@ using isa::Instr;
 using isa::Mnemonic;
 using isa::PredecodedInstr;
 
+// Threaded dispatch needs the GNU address-of-label extension; elsewhere
+// run() falls back to the portable handler-table step loop.
+#if defined(__GNUC__) || defined(__clang__)
+#define SCH_ISS_THREADED_DISPATCH 1
+#else
+#define SCH_ISS_THREADED_DISPATCH 0
+#endif
+
 Iss::Iss(Program program, Memory& memory, const IssConfig& config)
     : prog_(std::move(program)), mem_(memory), cfg_(config) {
   prog_.predecode();
-  frep_validated_.assign(prog_.instrs.size(), 0);
   state_.pc = prog_.text_base;
   if (cfg_.load_image) mem_.load_image(prog_.data_base, prog_.data);
 }
@@ -398,9 +406,11 @@ void Iss::exec_frep(const Instr& in) {
   const u32 site = prog_.text_index(state_.pc);
   assert(site != Program::kNoIndex);
   const u32 body_idx = site + 1;
-  // Validate the body (FP-domain instructions only, no nesting) once per
-  // static frep site; repeated dynamic executions hit the cache.
-  if (!frep_validated_[site]) {
+  // The body (FP-domain instructions only, no nesting, inside the text
+  // segment) was validated once per static site at predecode time; a clear
+  // flag means the body is malformed, and the walk below only runs then to
+  // name the first offending offset.
+  if ((prog_.pre[site].flags & isa::preflag::kFrepBodyOk) == 0) {
     for (u32 i = 0; i < body; ++i) {
       const u32 idx = body_idx + i;
       if (idx >= prog_.instrs.size() || !prog_.pre[idx].fp_domain) {
@@ -413,7 +423,7 @@ void Iss::exec_frep(const Instr& in) {
         return;
       }
     }
-    frep_validated_[site] = 1;
+    assert(!"frep body flagged invalid at predecode but revalidates clean");
   }
   in_frep_ = true;
   const Addr body_base = state_.pc + 4;
@@ -459,6 +469,202 @@ bool Iss::step() {
   return true;
 }
 
+// Threaded superblock executor. Dispatch is a computed goto through a
+// label-address table (one label per ExecHandler, same order as the enum);
+// the label bodies call the exact member handlers the table path uses, so
+// there is a single source of truth for instruction semantics. Superblocks
+// (PredecodedInstr::run_len) let straight-line runs execute with only the
+// per-instruction halt check: bounds, budget and dispatch-class validation
+// happen once per static block. Control flow re-enters through the block
+// header; jal/branch use the predecoded taken-target index instead of
+// re-deriving the text index from the pc.
+#if SCH_ISS_THREADED_DISPATCH
+void Iss::run_burst(u64 stop_at) {
+  static const void* kLabels[static_cast<usize>(ExecHandler::kCount)] = {
+      &&L_invalid,   // kInvalid
+      &&L_lui,       // kLui
+      &&L_auipc,     // kAuipc
+      &&L_alu_imm,   // kIntAluImm
+      &&L_alu_reg,   // kIntAluReg
+      &&L_mul_div,   // kIntMul
+      &&L_mul_div,   // kIntDiv
+      &&L_jal,       // kJal
+      &&L_jalr,      // kJalr
+      &&L_branch,    // kBranch
+      &&L_load,      // kLoad
+      &&L_load_s8,   // kLoadSext8
+      &&L_load_s16,  // kLoadSext16
+      &&L_store,     // kStore
+      &&L_csr,       // kCsr
+      &&L_ecall,     // kEcall
+      &&L_ebreak,    // kEbreak
+      &&L_fence,     // kFence
+      &&L_fp_load,   // kFpLoad
+      &&L_fp_store,  // kFpStore
+      &&L_fp_comp,   // kFpMac
+      &&L_fp_comp,   // kFpDiv
+      &&L_fp_comp,   // kFpSqrt
+      &&L_fp_to_i,   // kFpCmp
+      &&L_fp_to_i,   // kFpCvtF2I
+      &&L_fp_fr_i,   // kFpCvtI2F
+      &&L_frep,      // kFrep
+      &&L_scfg_w,    // kScfgW
+      &&L_scfg_r,    // kScfgR
+      &&L_dma_src,   // kDmaSrc
+      &&L_dma_dst,   // kDmaDst
+      &&L_dma_str,   // kDmaStr
+      &&L_dma_cpy,   // kDmaCpy
+      &&L_dma_cpy2d, // kDmaCpy2d
+      &&L_dma_stat,  // kDmaStat
+  };
+  const u32 n = static_cast<u32>(prog_.instrs.size());
+  u32 idx = prog_.text_index(state_.pc);
+  if (idx == Program::kNoIndex) {
+    halt_ = HaltReason::kOffText;
+    return;
+  }
+  u32 run_left;  // instructions until the superblock (or budget) boundary
+
+block_entry:  // idx is a valid text index here
+  if (instret_ >= stop_at) return;
+  run_left = prog_.pre[idx].run_len;
+  if (run_left == 0) run_left = 1;  // control flow / invalid execute solo
+  if (stop_at - instret_ < run_left) {
+    run_left = static_cast<u32>(stop_at - instret_);
+  }
+dispatch:
+  goto *kLabels[static_cast<usize>(prog_.pre[idx].handler)];
+
+// Linear instructions: pc advances by 4 and idx by 1; within a superblock
+// only the halt flag needs checking (the block header validated the rest).
+#define SCH_ISS_LINEAR(label, handler)                    \
+  label:                                                  \
+  handler(prog_.instrs[idx], prog_.pre[idx]);             \
+  ++instret_;                                             \
+  if (halt_ != HaltReason::kNone) return;                 \
+  state_.pc += 4;                                         \
+  ++idx;                                                  \
+  if (--run_left != 0) goto dispatch;                     \
+  if (idx >= n) {                                         \
+    halt_ = HaltReason::kOffText;                         \
+    return;                                               \
+  }                                                       \
+  goto block_entry;
+
+  SCH_ISS_LINEAR(L_lui, h_lui)
+  SCH_ISS_LINEAR(L_auipc, h_auipc)
+  SCH_ISS_LINEAR(L_alu_imm, h_alu_imm)
+  SCH_ISS_LINEAR(L_alu_reg, h_alu_reg)
+  SCH_ISS_LINEAR(L_mul_div, h_mul_div)
+  SCH_ISS_LINEAR(L_load, h_load)
+  SCH_ISS_LINEAR(L_load_s8, h_load_s8)
+  SCH_ISS_LINEAR(L_load_s16, h_load_s16)
+  SCH_ISS_LINEAR(L_store, h_store)
+  SCH_ISS_LINEAR(L_csr, h_csr)
+  SCH_ISS_LINEAR(L_fence, h_fence)
+  SCH_ISS_LINEAR(L_fp_load, h_fp_load)
+  SCH_ISS_LINEAR(L_fp_store, h_fp_store)
+  SCH_ISS_LINEAR(L_fp_comp, h_fp_compute)
+  SCH_ISS_LINEAR(L_fp_to_i, h_fp_to_int)
+  SCH_ISS_LINEAR(L_fp_fr_i, h_fp_from_int)
+  SCH_ISS_LINEAR(L_scfg_w, h_scfg_w)
+  SCH_ISS_LINEAR(L_scfg_r, h_scfg_r)
+  SCH_ISS_LINEAR(L_dma_src, h_dma_src)
+  SCH_ISS_LINEAR(L_dma_dst, h_dma_dst)
+  SCH_ISS_LINEAR(L_dma_str, h_dma_str)
+  SCH_ISS_LINEAR(L_dma_cpy, h_dma_cpy)
+  SCH_ISS_LINEAR(L_dma_cpy2d, h_dma_cpy2d)
+  SCH_ISS_LINEAR(L_dma_stat, h_dma_stat)
+#undef SCH_ISS_LINEAR
+
+L_jal: {
+  // h_jal semantics inlined so the precomputed target index replaces the
+  // pc -> index recomputation (step() adds 4 after the handler; here the
+  // final pc is written directly).
+  const Instr& in = prog_.instrs[idx];
+  const u32 link = state_.pc + 4;
+  state_.pc += static_cast<u32>(prog_.pre[idx].aux);
+  state_.write_x(in.rd, link);
+  ++instret_;
+  idx = prog_.pre[idx].target_idx;
+  if (idx == Program::kNoIndex) {
+    halt_ = HaltReason::kOffText;
+    return;
+  }
+  goto block_entry;
+}
+
+L_branch: {
+  const Instr& in = prog_.instrs[idx];
+  ++instret_;
+  if (exec::branch_taken(in.mn, state_.read_x(in.rs1),
+                         state_.read_x(in.rs2))) {
+    state_.pc += static_cast<u32>(prog_.pre[idx].aux);
+    idx = prog_.pre[idx].target_idx;
+    if (idx == Program::kNoIndex) {
+      halt_ = HaltReason::kOffText;
+      return;
+    }
+  } else {
+    state_.pc += 4;
+    if (++idx >= n) {
+      halt_ = HaltReason::kOffText;
+      return;
+    }
+  }
+  goto block_entry;
+}
+
+L_jalr:
+  h_jalr(prog_.instrs[idx], prog_.pre[idx]);
+  ++instret_;
+  state_.pc += 4;  // h_jalr stored target - 4, mirroring step()
+  idx = prog_.text_index(state_.pc);
+  if (idx == Program::kNoIndex) {
+    halt_ = HaltReason::kOffText;
+    return;
+  }
+  goto block_entry;
+
+L_frep:
+  h_frep(prog_.instrs[idx], prog_.pre[idx]);
+  ++instret_;
+  if (halt_ != HaltReason::kNone) return;
+  state_.pc += 4;  // exec_frep left pc at (loop exit - 4)
+  idx = prog_.text_index(state_.pc);
+  if (idx == Program::kNoIndex) {
+    halt_ = HaltReason::kOffText;
+    return;
+  }
+  goto block_entry;
+
+L_ecall:
+  h_ecall(prog_.instrs[idx], prog_.pre[idx]);
+  ++instret_;
+  return;
+
+L_ebreak:
+  h_ebreak(prog_.instrs[idx], prog_.pre[idx]);
+  ++instret_;
+  return;
+
+L_invalid:
+  if (!prog_.instrs[idx].valid()) {
+    halt_error("illegal instruction encoding 0x" +
+               std::to_string(prog_.instrs[idx].raw));
+    return;
+  }
+  h_invalid(prog_.instrs[idx], prog_.pre[idx]);
+  ++instret_;
+  return;
+}
+#else
+void Iss::run_burst(u64 stop_at) {
+  // Portability fallback: the handler-table step loop, sliced identically.
+  while (halt_ == HaltReason::kNone && instret_ < stop_at) step();
+}
+#endif
+
 HaltReason Iss::run() {
   using Clock = std::chrono::steady_clock;
   const Clock::time_point wall_start =
@@ -481,7 +687,13 @@ HaltReason Iss::run() {
         break;
       }
     }
-    step();
+    if (cfg_.fast_dispatch) {
+      // Burst to the next step-budget or wall-check boundary; budgets are
+      // re-checked between instructions exactly as the step() loop does.
+      run_burst(std::min<u64>(cfg_.max_steps, (instret_ | 0x1FFF) + 1));
+    } else {
+      step();
+    }
   }
   return halt_;
 }

@@ -35,6 +35,13 @@ struct IssConfig {
   /// several harts sequentially against one Memory preload every image once
   /// and disable this, so hart N does not clobber hart N-1's output.
   bool load_image = true;
+  /// run() executes through the threaded superblock loop (computed-goto
+  /// dispatch, per-block instead of per-instruction validation; see
+  /// Iss::run_burst). Architecturally invisible -- identical halt state,
+  /// instret and memory image; the fast-path-equivalence suite pins the two
+  /// paths against each other. Compilers without label-address support fall
+  /// back to the handler table regardless of this flag.
+  bool fast_dispatch = true;
 };
 
 class Iss {
@@ -110,8 +117,16 @@ class Iss {
   void h_dma_cpy2d(const isa::Instr& in, const isa::PredecodedInstr& pre);
   void h_dma_stat(const isa::Instr& in, const isa::PredecodedInstr& pre);
 
-  /// Validate a frep body once per static frep site (cached), then run it.
+  /// Run a frep whose body was statically validated at predecode time
+  /// (preflag::kFrepBodyOk); re-walks the body for the exact diagnostic
+  /// when the flag says the body is malformed.
   void exec_frep(const isa::Instr& in);
+
+  /// Threaded superblock executor: run until halt or `instret_ >= stop_at`,
+  /// checked once per superblock instead of once per instruction. run()
+  /// slices bursts at the wall-clock/step-budget boundaries so the budget
+  /// semantics match the step() loop exactly.
+  void run_burst(u64 stop_at);
 
   Program prog_;
   Memory& mem_;
@@ -124,9 +139,6 @@ class Iss {
   std::string error_;
   u64 instret_ = 0;
   bool in_frep_ = false;
-  /// Per-static-frep-site "body already validated" cache, indexed by the
-  /// frep instruction's text index. A frep executed N times validates once.
-  std::vector<u8> frep_validated_;
 };
 
 } // namespace sch

@@ -7,42 +7,12 @@
 namespace sch {
 
 Memory::Memory()
-    : tcdm_(memmap::kTcdmSize, 0), main_(memmap::kMainSize, 0) {}
+    : tcdm_(memmap::kTcdmSize), main_(memmap::kMainSize) {}
 
-bool Memory::valid(Addr addr, u32 bytes) const {
-  const u64 end = static_cast<u64>(addr) + bytes;
-  if (addr >= memmap::kTcdmBase && end <= memmap::kTcdmBase + memmap::kTcdmSize) return true;
-  if (addr >= memmap::kMainBase && end <= memmap::kMainBase + memmap::kMainSize) return true;
-  return false;
-}
-
-const u8* Memory::ptr(Addr addr, u32 bytes) const {
-  const u64 end = static_cast<u64>(addr) + bytes;
-  if (addr >= memmap::kTcdmBase && end <= memmap::kTcdmBase + memmap::kTcdmSize) {
-    return tcdm_.data() + (addr - memmap::kTcdmBase);
-  }
-  if (addr >= memmap::kMainBase && end <= memmap::kMainBase + memmap::kMainSize) {
-    return main_.data() + (addr - memmap::kMainBase);
-  }
+void Memory::throw_bus_error(Addr addr) {
   std::ostringstream os;
   os << "bus error: access to unmapped address 0x" << std::hex << addr;
   throw std::out_of_range(os.str());
-}
-
-u8* Memory::ptr(Addr addr, u32 bytes) {
-  return const_cast<u8*>(static_cast<const Memory*>(this)->ptr(addr, bytes));
-}
-
-u64 Memory::load(Addr addr, u32 bytes) const {
-  const u8* p = ptr(addr, bytes);
-  u64 v = 0;
-  std::memcpy(&v, p, bytes);
-  return v;
-}
-
-void Memory::store(Addr addr, u64 value, u32 bytes) {
-  u8* p = ptr(addr, bytes);
-  std::memcpy(p, &value, bytes);
 }
 
 double Memory::load_f64(Addr addr) const {

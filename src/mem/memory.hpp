@@ -3,7 +3,9 @@
 // class is only the byte store with a region map.
 #pragma once
 
+#include <cstdlib>
 #include <cstring>
+#include <new>
 #include <span>
 #include <vector>
 
@@ -12,18 +14,58 @@
 
 namespace sch {
 
+/// Zero-initialized flat byte buffer backed by calloc. Large regions come
+/// from the OS as copy-on-write zero pages, so constructing a Memory costs
+/// nothing until a page is actually touched -- api::Engine builds a fresh
+/// Memory per engine per run, and eagerly memsetting ~4 MB twice dominated
+/// the wall time of short simulations.
+class ZeroedBuffer {
+ public:
+  explicit ZeroedBuffer(usize size)
+      : data_(static_cast<u8*>(std::calloc(size, 1))), size_(size) {
+    if (data_ == nullptr) throw std::bad_alloc();
+  }
+  ~ZeroedBuffer() { std::free(data_); }
+  ZeroedBuffer(const ZeroedBuffer&) = delete;
+  ZeroedBuffer& operator=(const ZeroedBuffer&) = delete;
+
+  [[nodiscard]] u8* data() { return data_; }
+  [[nodiscard]] const u8* data() const { return data_; }
+  [[nodiscard]] usize size() const { return size_; }
+
+ private:
+  u8* data_;
+  usize size_;
+};
+
 class Memory {
  public:
   Memory();
 
   /// True when [addr, addr+bytes) lies inside a mapped region.
-  [[nodiscard]] bool valid(Addr addr, u32 bytes) const;
+  [[nodiscard]] bool valid(Addr addr, u32 bytes) const {
+    const u64 end = static_cast<u64>(addr) + bytes;
+    return (addr >= memmap::kTcdmBase &&
+            end <= memmap::kTcdmBase + memmap::kTcdmSize) ||
+           (addr >= memmap::kMainBase &&
+            end <= memmap::kMainBase + memmap::kMainSize);
+  }
 
   /// Little-endian load, zero-extended into 64 bits. `bytes` in {1,2,4,8}.
   /// Throws std::out_of_range with a "bus error" message on unmapped
   /// access; api::Engine converts the escape into a failed RunReport.
-  [[nodiscard]] u64 load(Addr addr, u32 bytes) const;
-  void store(Addr addr, u64 value, u32 bytes);
+  /// Inline (with the throw out-of-line) so constant-size accesses on the
+  /// simulation hot paths compile to a bounds check plus one move.
+  [[nodiscard]] u64 load(Addr addr, u32 bytes) const {
+    const u8* p = ptr(addr, bytes);
+    u64 v = 0;
+    std::memcpy(&v, p, bytes);
+    return v;
+  }
+  void store(Addr addr, u64 value, u32 bytes) {
+    u8* p = ptr(addr, bytes);
+    std::memcpy(p, &value, bytes);
+  }
 
   [[nodiscard]] double load_f64(Addr addr) const;
   [[nodiscard]] float load_f32(Addr addr) const;
@@ -41,11 +83,28 @@ class Memory {
   [[nodiscard]] static bool in_tcdm(Addr addr) { return memmap::in_tcdm(addr); }
 
  private:
-  [[nodiscard]] const u8* ptr(Addr addr, u32 bytes) const;
-  [[nodiscard]] u8* ptr(Addr addr, u32 bytes);
+  /// Escape hatch for the inline ptr(): builds the hex message and throws
+  /// std::out_of_range (kept out-of-line so the hot path stays small).
+  [[noreturn]] static void throw_bus_error(Addr addr);
 
-  std::vector<u8> tcdm_;
-  std::vector<u8> main_;
+  [[nodiscard]] const u8* ptr(Addr addr, u32 bytes) const {
+    const u64 end = static_cast<u64>(addr) + bytes;
+    if (addr >= memmap::kTcdmBase &&
+        end <= memmap::kTcdmBase + memmap::kTcdmSize) {
+      return tcdm_.data() + (addr - memmap::kTcdmBase);
+    }
+    if (addr >= memmap::kMainBase &&
+        end <= memmap::kMainBase + memmap::kMainSize) {
+      return main_.data() + (addr - memmap::kMainBase);
+    }
+    throw_bus_error(addr);
+  }
+  [[nodiscard]] u8* ptr(Addr addr, u32 bytes) {
+    return const_cast<u8*>(static_cast<const Memory*>(this)->ptr(addr, bytes));
+  }
+
+  ZeroedBuffer tcdm_;
+  ZeroedBuffer main_;
 };
 
 } // namespace sch

@@ -4,17 +4,22 @@
 
 namespace sch {
 
-Tcdm::Tcdm(const TcdmConfig& config, u32 num_requesters) : cfg_(config) {
+Tcdm::Tcdm(const TcdmConfig& config, u32 num_requesters)
+    : cfg_(config), use_mask_(config.fast_arb && config.num_banks <= 64) {
   assert(is_pow2(cfg_.num_banks));
   assert(num_requesters >= 1);
-  bank_busy_.assign(cfg_.num_banks, false);
+  if (!use_mask_) bank_busy_.assign(cfg_.num_banks, false);
   stats_.grants_per_port.assign(num_requesters, 0);
   stats_.conflicts_per_port.assign(num_requesters, 0);
   stats_.conflicts_per_bank.assign(cfg_.num_banks, 0);
 }
 
 void Tcdm::begin_cycle() {
-  bank_busy_.assign(cfg_.num_banks, false);
+  if (use_mask_) {
+    busy_mask_ = 0;
+  } else {
+    bank_busy_.assign(cfg_.num_banks, false);
+  }
 }
 
 bool Tcdm::request(u32 requester, Addr addr, bool is_write) {
@@ -27,13 +32,18 @@ bool Tcdm::request(u32 requester, Addr addr, bool is_write) {
     return true;
   }
   const u32 bank = bank_of(addr);
-  if (bank_busy_[bank]) {
+  const bool busy = use_mask_ ? (busy_mask_ >> bank) & 1 : bool{bank_busy_[bank]};
+  if (busy) {
     ++stats_.conflicts;
     ++stats_.conflicts_per_port[requester];
     ++stats_.conflicts_per_bank[bank];
     return false;
   }
-  bank_busy_[bank] = true;
+  if (use_mask_) {
+    busy_mask_ |= u64{1} << bank;
+  } else {
+    bank_busy_[bank] = true;
+  }
   ++stats_.grants_per_port[requester];
   if (is_write) {
     ++stats_.writes;

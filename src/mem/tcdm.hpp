@@ -26,6 +26,13 @@ struct TcdmConfig {
   u32 num_banks = 32;
   /// log2 of the bank word size in bytes (8-byte banks, Snitch-style).
   u32 bank_word_log2 = 3;
+  /// Track per-cycle bank occupancy in a single 64-bit mask instead of a
+  /// bank-indexed vector (possible whenever num_banks <= 64, i.e. always at
+  /// the modeled configurations). Purely a host-speed fast path: grants,
+  /// conflicts and every stat are bit-identical to the vector walk, which is
+  /// kept both as the >64-bank fallback and as the reference the
+  /// fast-path-equivalence suite pins this path against.
+  bool fast_arb = true;
 };
 
 /// Per-core requester roles in fixed priority order (the LSU wins ties; the
@@ -83,7 +90,12 @@ class Tcdm {
   /// the rest of this cycle; every request to it is denied and counted as a
   /// conflict. Call after begin_cycle(), before the requesters run.
   void force_bank_busy(u32 bank) {
-    if (bank < cfg_.num_banks) bank_busy_[bank] = true;
+    if (bank >= cfg_.num_banks) return;
+    if (use_mask_) {
+      busy_mask_ |= u64{1} << bank;
+    } else {
+      bank_busy_[bank] = true;
+    }
   }
 
   /// Record an access that bypassed bank arbitration because its address
@@ -112,6 +124,10 @@ class Tcdm {
 
  private:
   TcdmConfig cfg_;
+  /// True when per-cycle occupancy lives in busy_mask_ (fast_arb and at
+  /// most 64 banks); false selects the bank_busy_ vector walk.
+  bool use_mask_;
+  u64 busy_mask_ = 0;
   std::vector<bool> bank_busy_;
   TcdmStats stats_;
 };

@@ -103,6 +103,11 @@ struct PerfCounters {
     int_div_busy += o.int_div_busy;
     return *this;
   }
+
+  /// Field-wise equality (defaulted, so a new counter is included
+  /// automatically). The fast-path equivalence suite pins reports produced
+  /// with the host-speed fast paths off vs on bit-identical through this.
+  [[nodiscard]] bool operator==(const PerfCounters&) const = default;
 };
 
 } // namespace sch::sim

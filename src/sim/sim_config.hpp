@@ -74,6 +74,22 @@ struct SimConfig {
   /// sim/fault_plan.hpp). Null = no faults; the ISS never applies them.
   std::shared_ptr<const FaultPlan> faults;
 
+  /// Host-speed fast path: when every core has halted and the DMA engine is
+  /// burning provably inert startup cycles, jump the cycle counter by the
+  /// closed-form burn length instead of ticking through it. Timing-invisible
+  /// by construction (the skipped cycles change no observable state) and
+  /// automatically disabled whenever anything could watch individual cycles:
+  /// api::Engine clears it when observers are attached, and Cluster ignores
+  /// it under a fault plan or tracing. The fast-path-equivalence suite pins
+  /// off-vs-on reports bit-identical.
+  bool fast_forward = true;
+
+  /// Forwarded into IssConfig::fast_dispatch by api::Engine: the functional
+  /// ISS half of a run executes through the threaded superblock loop.
+  /// Architecturally invisible; exposed here so the equivalence suite can
+  /// force the portable step loop through one RunRequest knob.
+  bool fast_dispatch = true;
+
   /// Maintain the per-cycle issue/stall strings that trace observers
   /// (api::TraceObserver, Fig. 1c/Fig. 2 views) consume. Costs string
   /// building on the hot path; enable for short runs only.
@@ -112,6 +128,11 @@ struct SimConfig {
     if (dma_queue_depth == 0) {
       return Status::error("SimConfig: dma_queue_depth must be >= 1 (a "
                            "zero-entry DMA queue deadlocks every dmcpy)");
+    }
+    if (ssr.data_fifo_depth == 0 || ssr.idx_queue_depth == 0 ||
+        ssr.write_fifo_depth == 0) {
+      return Status::error("SimConfig: ssr FIFO depths must be >= 1 (the "
+                           "streamers are ring buffers over fixed storage)");
     }
     if (max_cycles == 0) {
       return Status::error("SimConfig: max_cycles must be >= 1");

@@ -22,7 +22,11 @@ bool request_or_bypass(Tcdm& tcdm, u32 requester, Addr addr, bool is_write) {
 
 } // namespace
 
-Streamer::Streamer(const StreamerConfig& config) : scfg_(config) {}
+Streamer::Streamer(const StreamerConfig& config)
+    : scfg_(config),
+      data_fifo_(config.data_fifo_depth),
+      idx_q_(config.idx_queue_depth),
+      write_fifo_(config.write_fifo_depth) {}
 
 void Streamer::arm(const SsrRawConfig& cfg, Addr ptr, u32 dims, StreamDir dir) {
   cfg_ = cfg;
@@ -60,7 +64,7 @@ u64 Streamer::pop() {
   DataEntry& e = data_fifo_.front();
   const u64 v = e.value;
   ++stats_.elements_popped;
-  if (--e.copies == 0) data_fifo_.pop_front();
+  if (--e.copies == 0) data_fifo_.pop();
   return v;
 }
 
@@ -70,7 +74,7 @@ bool Streamer::can_push() const {
 
 void Streamer::push(u64 value) {
   assert(can_push());
-  write_fifo_.push_back(value);
+  write_fifo_.push(value);
   ++stats_.elements_pushed;
 }
 
@@ -95,7 +99,7 @@ void Streamer::fetch_index_word(Cycle now, Tcdm& tcdm, Memory& mem,
     const u64 idx = mem.load(gen_.peek(), idx_bytes);
     const Addr data_addr =
         cfg_.idx_base + static_cast<Addr>(idx << cfg_.idx_shift());
-    idx_q_.push_back({data_addr, now + 1});
+    idx_q_.push(IdxEntry{data_addr, now + 1});
     gen_.advance();
   }
 }
@@ -111,7 +115,7 @@ Addr Streamer::next_data_addr() const {
 
 void Streamer::consume_data_addr() {
   if (cfg_.indirect()) {
-    idx_q_.pop_front();
+    idx_q_.pop();
   } else {
     gen_.advance();
   }
@@ -129,7 +133,7 @@ void Streamer::tick_fetch(Cycle now, Tcdm& tcdm, Memory& mem, u32 requester) {
         return;
       }
       ++stats_.data_reads;
-      data_fifo_.push_back({mem.load(addr, 8), cfg_.repeat + 1, now + 1});
+      data_fifo_.push(DataEntry{mem.load(addr, 8), cfg_.repeat + 1, now + 1});
       consume_data_addr();
       return;
     }
@@ -156,7 +160,7 @@ void Streamer::tick_fetch(Cycle now, Tcdm& tcdm, Memory& mem, u32 requester) {
   }
   ++stats_.data_writes;
   mem.store(addr, write_fifo_.front(), 8);
-  write_fifo_.pop_front();
+  write_fifo_.pop();
   consume_data_addr();
 }
 

@@ -12,8 +12,7 @@
 //    FIFO backpressures the FPU.
 #pragma once
 
-#include <deque>
-
+#include "common/fixed_queue.hpp"
 #include "common/types.hpp"
 #include "mem/memory.hpp"
 #include "mem/tcdm.hpp"
@@ -93,9 +92,11 @@ class Streamer {
   AddrGen gen_;       // data addresses (affine) or index-array addresses (indirect)
   StreamDir dir_ = StreamDir::kNone;
 
-  std::deque<DataEntry> data_fifo_; // staged + visible entries (read side)
-  std::deque<IdxEntry> idx_q_;      // translated data addresses (indirect)
-  std::deque<u64> write_fifo_;
+  // Ring buffers over preallocated storage (hardware queues; the fetch loop
+  // runs every cycle and must never allocate).
+  FixedQueue<DataEntry> data_fifo_; // staged + visible entries (read side)
+  FixedQueue<IdxEntry> idx_q_;      // translated data addresses (indirect)
+  FixedQueue<u64> write_fifo_;
 
   Cycle now_ = 0;
   Stats stats_;

@@ -1,0 +1,174 @@
+// Fast-path equivalence suite: every host-speed optimization in the two
+// engines -- the ISS's threaded superblock dispatch (fast_dispatch), the
+// TCDM bank-mask arbiter (tcdm.fast_arb) and the cluster's halted-cores
+// DMA-startup fast-forward (fast_forward) -- must be TIMING-INVISIBLE.
+// Each toggle is forced off individually against the all-on default and
+// the resulting RunReports must be bit-identical: cycles, the full
+// PerfCounters block (aggregate and per core), TCDM contention stats,
+// DMA stats, energy, ISS instruction counts and lockstep verdicts.
+//
+// Two workload sources:
+//  * a registry-kernel sample covering chaining, FREP, indirect streams,
+//    DMA double buffering (which exercises fast-forward) and a 4-core
+//    cluster (which exercises the bank-mask arbiter under contention);
+//  * pinned-seed differential-fuzz programs over the full block
+//    vocabulary, run exactly like the fuzz campaign (both engines in
+//    lockstep with full-memory compare).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "fuzz/fuzz.hpp"
+
+namespace sch::api {
+namespace {
+
+struct Toggles {
+  bool fast_dispatch;
+  bool fast_arb;
+  bool fast_forward;
+};
+
+constexpr Toggles kAllOn{true, true, true};
+constexpr Toggles kNoDispatch{false, true, true};
+constexpr Toggles kNoFastArb{true, false, true};
+constexpr Toggles kNoFastForward{true, true, false};
+
+RunReport run_with(RunRequest request, const Toggles& t) {
+  request.config.fast_dispatch = t.fast_dispatch;
+  request.config.tcdm.fast_arb = t.fast_arb;
+  request.config.fast_forward = t.fast_forward;
+  return run(request);
+}
+
+/// Field-wise report equality. Doubles compare exactly: both runs execute
+/// the identical arithmetic over identical counters, so any difference is
+/// a fast-path leak, not a rounding artifact.
+void expect_identical(const RunReport& fast, const RunReport& slow,
+                      const std::string& what) {
+  EXPECT_EQ(fast.ok, slow.ok) << what;
+  EXPECT_EQ(fast.error, slow.error) << what;
+  EXPECT_EQ(fast.cycles, slow.cycles) << what;
+  EXPECT_EQ(fast.iss_instructions, slow.iss_instructions) << what;
+  EXPECT_EQ(fast.mismatches, slow.mismatches) << what;
+  EXPECT_EQ(fast.lockstep_mismatches, slow.lockstep_mismatches) << what;
+  EXPECT_TRUE(fast.perf == slow.perf) << what << ": aggregate perf differs";
+  EXPECT_EQ(fast.fpu_utilization, slow.fpu_utilization) << what;
+
+  EXPECT_EQ(fast.num_cores, slow.num_cores) << what;
+  ASSERT_EQ(fast.cores.size(), slow.cores.size()) << what;
+  for (usize i = 0; i < fast.cores.size(); ++i) {
+    EXPECT_EQ(fast.cores[i].cycles, slow.cores[i].cycles)
+        << what << ": core " << i;
+    EXPECT_EQ(fast.cores[i].fpu_utilization, slow.cores[i].fpu_utilization)
+        << what << ": core " << i;
+    EXPECT_TRUE(fast.cores[i].perf == slow.cores[i].perf)
+        << what << ": core " << i << " perf differs";
+  }
+
+  EXPECT_EQ(fast.tcdm_reads, slow.tcdm_reads) << what;
+  EXPECT_EQ(fast.tcdm_writes, slow.tcdm_writes) << what;
+  EXPECT_EQ(fast.tcdm_conflicts, slow.tcdm_conflicts) << what;
+  EXPECT_EQ(fast.tcdm_out_of_range, slow.tcdm_out_of_range) << what;
+  EXPECT_TRUE(fast.tcdm_top_banks == slow.tcdm_top_banks)
+      << what << ": conflict histogram differs";
+
+  EXPECT_EQ(fast.dma.transfers, slow.dma.transfers) << what;
+  EXPECT_EQ(fast.dma.bytes, slow.dma.bytes) << what;
+  EXPECT_EQ(fast.dma.busy_cycles, slow.dma.busy_cycles) << what;
+  EXPECT_EQ(fast.dma.startup_cycles, slow.dma.startup_cycles) << what;
+  EXPECT_EQ(fast.dma.tcdm_conflicts, slow.dma.tcdm_conflicts) << what;
+  EXPECT_EQ(fast.dma.queue_full_stalls, slow.dma.queue_full_stalls) << what;
+  EXPECT_EQ(fast.dma.achieved_bytes_per_cycle,
+            slow.dma.achieved_bytes_per_cycle)
+      << what;
+
+  EXPECT_EQ(fast.energy.breakdown.total_pj, slow.energy.breakdown.total_pj)
+      << what;
+  EXPECT_EQ(fast.energy.breakdown.int_core_pj,
+            slow.energy.breakdown.int_core_pj)
+      << what;
+  EXPECT_EQ(fast.energy.breakdown.fpu_pj, slow.energy.breakdown.fpu_pj) << what;
+  EXPECT_EQ(fast.energy.breakdown.tcdm_pj, slow.energy.breakdown.tcdm_pj)
+      << what;
+  EXPECT_EQ(fast.energy.breakdown.chain_pj, slow.energy.breakdown.chain_pj)
+      << what;
+  EXPECT_EQ(fast.energy.power_mw, slow.energy.power_mw) << what;
+  EXPECT_EQ(fast.energy.fpu_ops_per_joule, slow.energy.fpu_ops_per_joule)
+      << what;
+}
+
+void expect_toggle_invisible(const RunRequest& request,
+                             const std::string& label) {
+  const RunReport all_on = run_with(request, kAllOn);
+  expect_identical(all_on, run_with(request, kNoDispatch),
+                   label + " [fast_dispatch off]");
+  expect_identical(all_on, run_with(request, kNoFastArb),
+                   label + " [tcdm.fast_arb off]");
+  expect_identical(all_on, run_with(request, kNoFastForward),
+                   label + " [fast_forward off]");
+}
+
+// --- registry-kernel sample --------------------------------------------------
+
+struct KernelCase {
+  const char* kernel;
+  const char* variant;
+  u32 num_cores;
+};
+
+// Chaining, FREP, indirect gather, DMA double buffering (fast-forward's
+// only trigger) and multi-core TCDM contention are all represented.
+const KernelCase kKernelCases[] = {
+    {"vecop", "chained+frep", 1},
+    {"gemm", "chained", 1},
+    {"conv2d", "chained", 1},
+    {"box3d1r", "Chaining+", 1},
+    {"axpy", "chained_dma", 1},
+    {"axpy", "chained_dbuf", 1},
+    {"gemv", "chained_dbuf", 1},
+    {"vecop", "chained_par", 4},
+    {"gemv", "chained_par", 4},
+    {"axpy", "chained_dbuf", 4},
+};
+
+TEST(FastPathEquiv, KernelSampleBitIdenticalWithEachFastPathOff) {
+  for (const KernelCase& c : kKernelCases) {
+    RunRequest request =
+        RunRequest::for_kernel(c.kernel, c.variant, {}, EngineSel::kBoth);
+    request.config.num_cores = c.num_cores;
+    expect_toggle_invisible(request, std::string(c.kernel) + "/" + c.variant +
+                                         "@" + std::to_string(c.num_cores));
+  }
+}
+
+// --- pinned-seed fuzz programs -----------------------------------------------
+
+// Mirrors fuzz::run_spec (differ.cpp): both engines in lockstep, full
+// final-memory compare, the campaign's cycle/deadlock budgets. Rebuilt here
+// because run_spec does not expose the SimConfig fast-path knobs.
+RunRequest fuzz_request(const fuzz::ProgramSpec& spec, u64 seed) {
+  RunRequest request = RunRequest::for_programs(
+      fuzz::materialize(spec), "fuzz/seed=" + std::to_string(seed),
+      EngineSel::kBoth);
+  request.lockstep_compare_memory = true;
+  request.config.max_cycles = 2'000'000;
+  request.config.deadlock_cycles = 20'000;
+  return request;
+}
+
+TEST(FastPathEquiv, FuzzProgramsBitIdenticalWithEachFastPathOff) {
+  constexpr u64 kCampaignSeed = 0xFA57'0001;
+  constexpr u32 kRuns = 100;
+  for (u32 i = 0; i < kRuns; ++i) {
+    const u64 seed = kCampaignSeed + i;
+    const fuzz::ProgramSpec spec = fuzz::generate_spec(seed);
+    expect_toggle_invisible(fuzz_request(spec, seed),
+                            "fuzz seed " + std::to_string(seed));
+  }
+}
+
+} // namespace
+} // namespace sch::api
