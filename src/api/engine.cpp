@@ -190,6 +190,31 @@ RunReport execute(const RunRequest& request) {
     return built != nullptr ? built->program : *program;
   };
 
+  // --- static verification --------------------------------------------------
+  // Before any engine spins: abstract-interpret every hart's program for
+  // chain-FIFO deadlocks, stream windows, FREP legality and cross-hart
+  // races. kStrict turns error findings into a failed report here.
+  if (request.verify != VerifyPolicy::kOff) {
+    verify::Report vr;
+    if (programs != nullptr) {
+      vr = verify::analyze(*programs, request.config);
+    } else {
+      vr = verify::analyze(hart_program(0), request.config,
+                           built != nullptr ? &built->regions : nullptr);
+    }
+    const std::string summary = vr.summary();
+    const bool strict_fail =
+        request.verify == VerifyPolicy::kStrict && !vr.ok();
+    if (request.verify_sink != nullptr) {
+      *request.verify_sink = std::move(vr);
+    }
+    if (strict_fail) {
+      return finish_failed(FailureKind::kValidation,
+                           report.name + ": static verification failed: " +
+                               summary);
+    }
+  }
+
   // --- functional ISS -------------------------------------------------------
   // Harts run sequentially against one memory: every data image is loaded
   // first, then hart 0..N-1 each execute to completion. This validates any

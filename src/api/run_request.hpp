@@ -16,6 +16,7 @@
 #include "kernels/kernel_common.hpp"
 #include "kernels/registry.hpp"
 #include "sim/sim_config.hpp"
+#include "verify/verify.hpp"
 
 namespace sch::api {
 
@@ -25,6 +26,14 @@ class Observer;
 enum class Validation : u8 {
   kGolden,  // compare the output region against the workload's golden vector
   kNone,    // run only (raw programs have no golden; forced to kNone)
+};
+
+/// Static-verification policy (verify::analyze before execution).
+enum class VerifyPolicy : u8 {
+  kOff,     // do not run the static analyzer
+  kWarn,    // analyze; findings go to verify_sink but never fail the run
+  kStrict,  // analyze; error findings fail the run (FailureKind::kValidation)
+            // before the engine spins a single cycle
 };
 
 struct RunRequest {
@@ -60,6 +69,15 @@ struct RunRequest {
   sim::SimConfig config{};
   energy::EnergyConfig energy{};
   Validation validation = Validation::kGolden;
+
+  /// Static verification before execution. kWarn records findings in
+  /// `verify_sink` (when set) and proceeds; kStrict additionally converts
+  /// error-severity findings into a failed-validation report without
+  /// spinning the engine. Warnings never fail a run.
+  VerifyPolicy verify = VerifyPolicy::kOff;
+  /// Borrowed out-param: receives the analyzer report when `verify` is not
+  /// kOff. Must outlive the run (Engine::submit runs on a worker thread).
+  verify::Report* verify_sink = nullptr;
 
   /// kBoth only: additionally compare the final TCDM and main-memory images
   /// of the two engines byte-for-byte. This is what makes raw-program

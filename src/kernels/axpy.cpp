@@ -67,6 +67,10 @@ BuiltKernel build_axpy_par(const AxpyParams& p) {
   BuiltKernel out;
   out.name = std::string("axpy/") + axpy_variant_name(AxpyVariant::kChainedPar);
   out.out_base = z_base;
+  out.regions = {{"x", x_base, p.n * 8ull},
+                 {"y", y_base, p.n * 8ull},
+                 {"z", z_base, p.n * 8ull, /*written=*/true},
+                 {"a", a_addr, 8}};
   out.expected.resize(p.n);
   for (u32 i = 0; i < p.n; ++i) {
     volatile const double t = p.a * x[i];
@@ -140,6 +144,12 @@ BuiltKernel build_axpy_dbuf(const AxpyParams& p, bool overlap) {
              axpy_variant_name(overlap ? AxpyVariant::kChainedDbuf
                                        : AxpyVariant::kChainedDma);
   out.out_base = z_base;
+  out.regions = {{"x (main)", x_base, p.n * 8ull},
+                 {"y (main)", y_base, p.n * 8ull},
+                 {"z (main)", z_base, p.n * 8ull, /*written=*/true},
+                 {"a (main)", a_addr, 8},
+                 {"tcdm staging", memmap::kTcdmBase, memmap::kTcdmSize,
+                  /*written=*/true}};
   out.expected.resize(p.n);
   for (u32 i = 0; i < p.n; ++i) {
     volatile const double t = p.a * x[i];
@@ -294,6 +304,10 @@ BuiltKernel build_axpy(AxpyVariant variant, const AxpyParams& p) {
   BuiltKernel out;
   out.name = std::string("axpy/") + axpy_variant_name(variant);
   out.out_base = z_base;
+  out.regions = {{"x", x_base, p.n * 8ull},
+                 {"y", y_base, p.n * 8ull},
+                 {"z", z_base, p.n * 8ull, /*written=*/true},
+                 {"a", a_addr, 8}};
   out.expected.resize(p.n);
   for (u32 i = 0; i < p.n; ++i) {
     // The hardware executes a separate fmul and fadd (two roundings); the

@@ -135,6 +135,13 @@ BuiltKernel build_conv2d(Conv2dVariant variant, const Conv2dParams& p) {
   BuiltKernel out;
   out.name = std::string("conv2d/") + conv2d_variant_name(variant);
   out.out_base = out_base;
+  out.regions = {{"img", img_base, img.size() * 8ull},
+                 {"wgt", wgt_base, wgt.size() * 8ull},
+                 {"out", out_base, points * 8ull, /*written=*/true},
+                 {"idx_even", idx_even_base, idx_even.size() * 2ull}};
+  if (!idx_odd.empty()) {
+    out.regions.push_back({"idx_odd", idx_odd_base, idx_odd.size() * 2ull});
+  }
   out.expected.resize(points);
   for (u32 pt = 0; pt < points; ++pt) {
     u32 y, x;

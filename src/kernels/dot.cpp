@@ -54,6 +54,9 @@ BuiltKernel build_dot(DotVariant variant, const DotParams& p) {
   BuiltKernel out;
   out.name = std::string("dot/") + dot_variant_name(variant);
   out.out_base = r_base;
+  out.regions = {{"x", x_base, p.n * 8ull},
+                 {"y", y_base, p.n * 8ull},
+                 {"r", r_base, 8, /*written=*/true}};
   out.expected.resize(1);
   if (variant == DotVariant::kBaseline) {
     double acc = 0.0;

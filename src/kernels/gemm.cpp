@@ -59,6 +59,10 @@ BuiltKernel build_gemm(GemmVariant variant, const GemmParams& p) {
   BuiltKernel out;
   out.name = std::string("gemm/") + gemm_variant_name(variant);
   out.out_base = c_base;
+  out.regions = {{"A", a_base, static_cast<u64>(p.m) * p.k * 8},
+                 {"B", b_base, static_cast<u64>(p.k) * p.n * 8},
+                 {"C", c_base, static_cast<u64>(p.m) * p.n * 8,
+                  /*written=*/true}};
   out.expected.resize(static_cast<usize>(p.m) * p.n);
   for (u32 r = 0; r < p.m; ++r) {
     for (u32 j = 0; j < p.n; ++j) {

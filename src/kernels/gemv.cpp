@@ -66,6 +66,9 @@ BuiltKernel build_gemv_par(const GemvParams& p) {
   BuiltKernel out;
   out.name = std::string("gemv/") + gemv_variant_name(GemvVariant::kChainedPar);
   out.out_base = y_base;
+  out.regions = {{"A", a_base, static_cast<u64>(p.m) * p.n * 8},
+                 {"x", x_base, p.n * 8ull},
+                 {"y", y_base, p.m * 8ull, /*written=*/true}};
   out.expected.resize(p.m);
   for (u32 r = 0; r < p.m; ++r) {
     double acc = 0.0;
@@ -170,6 +173,11 @@ BuiltKernel build_gemv_dbuf(const GemvParams& p, bool overlap) {
              gemv_variant_name(overlap ? GemvVariant::kChainedDbuf
                                        : GemvVariant::kChainedDma);
   out.out_base = y_base;
+  out.regions = {{"A (main)", a_base, static_cast<u64>(p.m) * p.n * 8},
+                 {"x (main)", x_base, p.n * 8ull},
+                 {"y (main)", y_base, p.m * 8ull, /*written=*/true},
+                 {"tcdm staging", memmap::kTcdmBase, memmap::kTcdmSize,
+                  /*written=*/true}};
   out.expected.resize(p.m);
   for (u32 r = 0; r < p.m; ++r) {
     double acc = 0.0;
@@ -333,6 +341,9 @@ BuiltKernel build_gemv(GemvVariant variant, const GemvParams& p) {
   BuiltKernel out;
   out.name = std::string("gemv/") + gemv_variant_name(variant);
   out.out_base = y_base;
+  out.regions = {{"A", a_base, static_cast<u64>(p.m) * p.n * 8},
+                 {"x", x_base, p.n * 8ull},
+                 {"y", y_base, p.m * 8ull, /*written=*/true}};
   out.expected.resize(p.m);
   for (u32 r = 0; r < p.m; ++r) {
     double acc = 0.0;

@@ -7,6 +7,7 @@
 
 #include "asm/program.hpp"
 #include "common/types.hpp"
+#include "verify/mem_region.hpp"
 
 namespace sch::kernels {
 
@@ -29,6 +30,10 @@ struct BuiltKernel {
   std::vector<double> expected;  // golden output (same operation order)
   RegisterReport regs;
   u64 useful_flops = 0;          // FP compute ops the kernel must execute
+  /// Declared data windows (inputs, outputs, coefficient tables, barrier
+  /// words): consumed by verify::analyze to label finding addresses and to
+  /// whitelist intentionally shared synchronization windows.
+  std::vector<verify::MemRegion> regions;
 };
 
 } // namespace sch::kernels

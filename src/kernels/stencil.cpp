@@ -310,6 +310,12 @@ BuiltKernel build_stencil(StencilKind kind, StencilVariant variant,
   out.name = std::string(stencil_kind_name(kind)) + "/" +
              stencil_variant_name(variant);
   out.out_base = lay.out_base;
+  out.regions = {{"in", lay.in_base, cells * 8ull},
+                 {"out", lay.out_base, lay.points * 8ull, /*written=*/true},
+                 {"coef", lay.coef_base, coef.size() * 8ull},
+                 {"omega", omega_addr, 8},
+                 {"idx_even", lay.idx_even_base, idx_even.size() * 2ull},
+                 {"idx_odd", lay.idx_odd_base, idx_odd.size() * 2ull}};
   GoldenResult g = golden(kind, lay, in, coef);
   out.expected = std::move(g.out);
   out.useful_flops = g.flops;

@@ -74,6 +74,10 @@ BuiltKernel build_vecop_par(const VecopParams& p) {
   out.name =
       std::string("vecop/") + vecop_variant_name(VecopVariant::kChainedPar);
   out.useful_flops = 2ull * p.n;
+  out.regions = {{"c", c_base, p.n * 8ull},
+                 {"d", d_base, p.n * 8ull},
+                 {"a", a_base, p.n * 8ull, /*written=*/true},
+                 {"b", b_addr, 8}};
   out.regs.ssr_regs = 3;
   out.regs.fp_regs_used = 5; // ft0..ft3 + fa1
   out.regs.accumulator_regs = 1;
@@ -138,6 +142,10 @@ BuiltKernel build_vecop(VecopVariant variant, const VecopParams& p) {
   out.out_base = a_base;
   out.name = std::string("vecop/") + vecop_variant_name(variant);
   out.useful_flops = 2ull * p.n;
+  out.regions = {{"c", c_base, p.n * 8ull},
+                 {"d", d_base, p.n * 8ull},
+                 {"a", a_base, p.n * 8ull, /*written=*/true},
+                 {"b", b_addr, 8}};
 
   // --- streams: SSR0 = c (read), SSR1 = d (read), SSR2 = a (write) ---
   arm_linear_stream(b, 0, p.n, c_base, false);

@@ -47,3 +47,4 @@
 #include "scenario/scenario_runner.hpp"
 #include "sim/simulator.hpp"
 #include "ssr/ssr_file.hpp"
+#include "verify/verify.hpp"

@@ -106,7 +106,7 @@ Result<Scenario> parse_scenario(const std::string& json_text) {
   if (!root.is_object()) return type_error("document", "an object");
   for (const auto& [k, _] : root.members()) {
     if (k != "name" && k != "output" && k != "sim" && k != "repeat" &&
-        k != "runs") {
+        k != "runs" && k != "verify") {
       return Status::error("scenario: unknown top-level key \"" + k + "\"");
     }
   }
@@ -121,6 +121,15 @@ Result<Scenario> parse_scenario(const std::string& json_text) {
   if (const Json* output = root.get("output")) {
     if (!output->is_string()) return type_error("output", "a string");
     sc.output = output->as_string();
+  }
+
+  if (const Json* verify = root.get("verify")) {
+    if (!verify->is_string() ||
+        (verify->as_string() != "off" && verify->as_string() != "warn" &&
+         verify->as_string() != "strict")) {
+      return type_error("verify", "\"off\", \"warn\" or \"strict\"");
+    }
+    sc.verify = verify->as_string();
   }
 
   Json base_sim = Json::object();

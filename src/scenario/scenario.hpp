@@ -46,6 +46,10 @@ struct RunSpec {
 struct Scenario {
   std::string name;
   std::string output;  // "" => caller derives a path
+  /// Static-verification policy applied to every job: "" or "off" (skip),
+  /// "warn" (analyze, report findings, still run), "strict" (error findings
+  /// fail the job before execution). Top-level `"verify"` key.
+  std::string verify;
   std::vector<RunSpec> runs;
 };
 

@@ -19,6 +19,9 @@ Json sizes_json(const kernels::SizeMap& sizes) {
 
 Result<std::vector<Job>> expand(const Scenario& scenario) {
   std::vector<Job> jobs;
+  api::VerifyPolicy verify = api::VerifyPolicy::kOff;
+  if (scenario.verify == "warn") verify = api::VerifyPolicy::kWarn;
+  if (scenario.verify == "strict") verify = api::VerifyPolicy::kStrict;
   const kernels::Registry& registry = kernels::Registry::instance();
   for (usize i = 0; i < scenario.runs.size(); ++i) {
     const RunSpec& spec = scenario.runs[i];
@@ -58,7 +61,8 @@ Result<std::vector<Job>> expand(const Scenario& scenario) {
     for (const kernels::SizeMap& size : sizes) {
       for (const std::string& variant : variants) {
         for (u32 rep = 0; rep < spec.repeat; ++rep) {
-          jobs.push_back(Job{entry, variant, size, config, spec.sim, rep});
+          jobs.push_back(
+              Job{entry, variant, size, config, spec.sim, rep, verify});
         }
       }
     }
@@ -70,6 +74,7 @@ api::RunRequest to_request(const Job& job, api::EngineSel engine) {
   api::RunRequest request =
       api::RunRequest::for_kernel(job.kernel->name, job.variant, job.sizes, engine);
   request.config = job.config;
+  request.verify = job.verify;
   return request;
 }
 

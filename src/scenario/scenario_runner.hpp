@@ -22,6 +22,8 @@ struct Job {
   sim::SimConfig config;
   Json sim_echo;           // the override object, echoed into the report
   u32 repeat_index = 0;
+  /// Scenario-wide static-verification policy (see Scenario::verify).
+  api::VerifyPolicy verify = api::VerifyPolicy::kOff;
 };
 
 /// Expand kernel x variants x sizes x repeat, in file order. Unknown

@@ -1,0 +1,26 @@
+// Named memory window a kernel builder declares for its buffers. Kept in a
+// leaf header so kernels can attach footprint metadata without depending on
+// the whole verifier; verify.hpp re-exports it for analyze() callers.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace sch::verify {
+
+/// One declared data window of a kernel (used to label addresses in finding
+/// messages and to reason about kernel footprints without re-deriving
+/// layouts).
+struct MemRegion {
+  std::string name;
+  Addr base = 0;
+  u64 bytes = 0;
+  bool written = false;
+  /// Intentionally shared across harts (barriers, reduction scratch guarded
+  /// by a barrier): cross-hart overlaps inside this window are by design and
+  /// excluded from kInterHartRace.
+  bool shared = false;
+};
+
+} // namespace sch::verify

@@ -1,0 +1,101 @@
+// Report surface of the static verifier: finding-kind names, the one-line
+// summary used by strict-mode failure messages, and the `schsim lint --json`
+// document (schema pinned by tools/check_lint_schema.py).
+#include "verify/verify.hpp"
+
+namespace sch::verify {
+
+const char* finding_kind_name(FindingKind k) {
+  switch (k) {
+    case FindingKind::kChainUnderflow: return "chain_underflow";
+    case FindingKind::kChainOverflow: return "chain_overflow";
+    case FindingKind::kChainPathImbalance: return "chain_path_imbalance";
+    case FindingKind::kChainFrepImbalance: return "chain_frep_imbalance";
+    case FindingKind::kChainGatedSaturation: return "chain_gated_saturation";
+    case FindingKind::kChainLeftover: return "chain_leftover";
+    case FindingKind::kSsrOutOfBounds: return "ssr_out_of_bounds";
+    case FindingKind::kSsrOverlap: return "ssr_overlap";
+    case FindingKind::kSsrDirectionMismatch: return "ssr_direction_mismatch";
+    case FindingKind::kFrepBranchIntoBody: return "frep_branch_into_body";
+    case FindingKind::kFrepIllegalBody: return "frep_illegal_body";
+    case FindingKind::kInterHartRace: return "inter_hart_race";
+    case FindingKind::kDmaRace: return "dma_race";
+    case FindingKind::kAnalysisLimit: return "analysis_limit";
+  }
+  return "unknown";
+}
+
+const char* severity_name(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+u32 Report::errors() const {
+  u32 n = 0;
+  for (const Finding& f : findings) {
+    if (f.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+u32 Report::warnings() const {
+  return static_cast<u32>(findings.size()) - errors();
+}
+
+std::string Report::summary() const {
+  if (findings.empty()) return "";
+  const u32 ne = errors();
+  const u32 nw = warnings();
+  std::string out;
+  if (ne > 0) {
+    out += std::to_string(ne) + (ne == 1 ? " error" : " errors");
+  }
+  if (nw > 0) {
+    if (!out.empty()) out += ", ";
+    out += std::to_string(nw) + (nw == 1 ? " warning" : " warnings");
+  }
+  const Finding* first = nullptr;
+  for (const Finding& f : findings) {
+    if (f.severity == Severity::kError) {
+      first = &f;
+      break;
+    }
+  }
+  if (first == nullptr) first = &findings.front();
+  out += "; first: [";
+  out += finding_kind_name(first->kind);
+  out += "] ";
+  if (first->hart >= 0) {
+    out += "hart " + std::to_string(first->hart) + " ";
+  }
+  if (first->pc >= 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "pc 0x%llx ",
+                  static_cast<unsigned long long>(first->pc));
+    out += buf;
+  }
+  out += first->message;
+  return out;
+}
+
+scenario::Json Report::to_json() const {
+  scenario::Json doc = scenario::Json::object();
+  doc.set("errors", static_cast<i64>(errors()));
+  doc.set("warnings", static_cast<i64>(warnings()));
+  doc.set("complete", complete);
+  doc.set("harts_analyzed", static_cast<i64>(harts_analyzed));
+  scenario::Json arr = scenario::Json::array();
+  for (const Finding& f : findings) {
+    scenario::Json j = scenario::Json::object();
+    j.set("kind", finding_kind_name(f.kind));
+    j.set("severity", severity_name(f.severity));
+    j.set("hart", static_cast<i64>(f.hart));
+    j.set("pc", f.pc);
+    j.set("reg", static_cast<i64>(f.reg));
+    j.set("message", f.message);
+    arr.push_back(std::move(j));
+  }
+  doc.set("findings", std::move(arr));
+  return doc;
+}
+
+} // namespace sch::verify

@@ -1,0 +1,133 @@
+// Static chain-graph verifier: proves kernels deadlock-free and race-free
+// before a single cycle is simulated.
+//
+// `analyze()` abstract-interprets a predecoded Program per hart -- constant
+// propagation over the integer registers (with mhartid/mnumharts pinned per
+// hart), chain-FIFO occupancy per architectural FP register, SSR stream
+// windows, FREP body legality, and DMA descriptor windows -- then intersects
+// the per-hart memory footprints for cross-hart races. Findings carry a
+// kind / severity / hart / pc / register tuple plus a human explanation; the
+// error-severity kinds are guaranteed-misbehavior proofs (the program cannot
+// run to completion, or reads racy data), the warning kinds are
+// schedule-dependent hazards (the pinned 4-core stencil deadlocks) and
+// analysis limits.
+//
+// Consumed three ways: api::RunRequest::verify (off/warn/strict),
+// `schsim lint`, and tests/test_verify.cpp. See docs/VERIFY.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "common/types.hpp"
+#include "scenario/json.hpp"
+#include "sim/sim_config.hpp"
+#include "verify/mem_region.hpp"
+
+namespace sch::verify {
+
+/// What a finding is about. Keep in sync with finding_kind_name().
+enum class FindingKind : u8 {
+  /// Pop from a chained register with no producer in flight on any path:
+  /// the consumer issues before its producer and stalls chain-empty forever.
+  kChainUnderflow,
+  /// More values pushed into a chain FIFO than fpu_depth+1 can hold with no
+  /// intervening pop: the (capacity+1)-th producer's writeback blocks
+  /// chain-full, freezing the FPU pipeline with the issue latch occupied, so
+  /// the pop that would free a slot can never issue. Guaranteed wedge.
+  kChainOverflow,
+  /// Converging control-flow paths disagree on a chain FIFO's occupancy;
+  /// balance depends on which path ran, so one of them mis-counts tokens.
+  kChainPathImbalance,
+  /// An FREP body changes a chain FIFO's occupancy per iteration; over
+  /// reps > 1 iterations the imbalance accumulates into underflow/overflow.
+  kChainFrepImbalance,
+  /// A producer push with >= 2 values already in flight whose issue is gated
+  /// on an indirect SSR gather. A gather gap under TCDM contention lets an
+  /// earlier producer reach writeback against a full FIFO while this one
+  /// holds the single-entry issue latch: writeback -> chain-full ->
+  /// pipeline-freeze -> latch-held -> consumer-cannot-issue -> no-pop.
+  /// Schedule-dependent (warning): the diagnosis of the two pinned 4-core
+  /// stencil deadlocks.
+  kChainGatedSaturation,
+  /// Chaining disabled (or the program halts) while values remain in a chain
+  /// FIFO: leftover tokens are silently dropped or poison the next consumer.
+  kChainLeftover,
+  /// An armed SSR window is not contained in a single memory region
+  /// (TCDM or main memory).
+  kSsrOutOfBounds,
+  /// Two concurrently armed streams on one hart have overlapping windows and
+  /// at least one writes: the read order against the write order is
+  /// timing-defined.
+  kSsrOverlap,
+  /// An FP instruction reads a register armed as a write stream or writes a
+  /// register armed as a read stream -- a hard model error at runtime.
+  kSsrDirectionMismatch,
+  /// A branch or jump targets the interior of an FREP body.
+  kFrepBranchIntoBody,
+  /// An FREP body is structurally illegal: empty, runs off the end of the
+  /// program, contains a non-FP instruction or a nested FREP, or exceeds the
+  /// sequencer ring buffer (seq_buffer_depth).
+  kFrepIllegalBody,
+  /// Two harts' memory footprints overlap with at least one writer and the
+  /// programs are not identical replicas.
+  kInterHartRace,
+  /// A DMA descriptor window overlaps a live (armed + enabled) SSR stream
+  /// window on the same hart, or is out of bounds.
+  kDmaRace,
+  /// The analysis hit a modeling limit (indirect jump with unknown target,
+  /// unknown chain mask, footprint table overflow); results past this point
+  /// are incomplete, not wrong.
+  kAnalysisLimit,
+};
+
+enum class Severity : u8 { kWarning, kError };
+
+[[nodiscard]] const char* finding_kind_name(FindingKind k);
+[[nodiscard]] const char* severity_name(Severity s);
+
+/// One diagnostic. `reg` is the chained FP register or SSR/DMA id the finding
+/// is about (-1 when not applicable); `pc` is the byte address of the
+/// offending instruction (-1 for whole-program findings).
+struct Finding {
+  FindingKind kind{};
+  Severity severity = Severity::kError;
+  i32 hart = -1;
+  i64 pc = -1;
+  i32 reg = -1;
+  std::string message;
+};
+
+struct Report {
+  /// Version of the `schsim lint --json` document this report serializes to
+  /// (tools/check_lint_schema.py pins the layout).
+  static constexpr i64 kLintSchemaVersion = 1;
+
+  std::vector<Finding> findings;
+  /// False when the analyzer bailed early (kAnalysisLimit explains why).
+  bool complete = true;
+  u32 harts_analyzed = 0;
+
+  [[nodiscard]] u32 errors() const;
+  [[nodiscard]] u32 warnings() const;
+  /// No error-severity findings (warnings allowed).
+  [[nodiscard]] bool ok() const { return errors() == 0; }
+  [[nodiscard]] bool clean() const { return findings.empty(); }
+  /// "2 errors, 1 warning; first: ..." -- empty string when clean.
+  [[nodiscard]] std::string summary() const;
+  [[nodiscard]] scenario::Json to_json() const;
+};
+
+/// Analyze one program replicated across cfg.num_cores harts (each hart sees
+/// its own mhartid). `regions` optionally names the kernel's data windows.
+[[nodiscard]] Report analyze(const Program& program, const sim::SimConfig& cfg,
+                             const std::vector<MemRegion>* regions = nullptr);
+
+/// Analyze per-hart programs (programs[h] runs on hart h). Harts beyond
+/// programs.size() replicate programs.back(), matching engine semantics.
+[[nodiscard]] Report analyze(const std::vector<Program>& programs,
+                             const sim::SimConfig& cfg,
+                             const std::vector<MemRegion>* regions = nullptr);
+
+} // namespace sch::verify

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Validate `schsim lint --json` output against the pinned lint schema.
+
+Usage: check_lint_schema.py lint.json [lint2.json ...]
+       check_lint_schema.py --run path/to/schsim target [target ...]
+
+The second form runs `schsim lint <target> --json` itself (one invocation
+per target), validates each document, and exits nonzero if any lint found
+errors or emitted a malformed document -- that is the ctest/CI entry point,
+so lint errors on shipped scenarios fail the build.
+
+The schema version and the key sets are pinned here AND in
+src/verify/verify.hpp (Report::kLintSchemaVersion) plus the JSON test in
+tests/test_verify.cpp; all three must move together.
+"""
+import json
+import subprocess
+import sys
+
+SCHEMA_VERSION = 1
+
+TOP_KEYS = {
+    "schema": int,
+    "target": str,
+    "errors": int,
+    "warnings": int,
+    "runs": list,
+}
+RUN_KEYS = {
+    "name": str,
+    "errors": int,
+    "warnings": int,
+    "complete": bool,
+    "harts_analyzed": int,
+    "findings": list,
+}
+FINDING_KEYS = {
+    "kind": str,
+    "severity": str,
+    "hart": int,
+    "pc": int,
+    "reg": int,
+    "message": str,
+}
+KINDS = {
+    "chain_underflow", "chain_overflow", "chain_path_imbalance",
+    "chain_frep_imbalance", "chain_gated_saturation", "chain_leftover",
+    "ssr_out_of_bounds", "ssr_overlap", "ssr_direction_mismatch",
+    "frep_branch_into_body", "frep_illegal_body", "inter_hart_race",
+    "dma_race", "analysis_limit",
+}
+SEVERITIES = {"warning", "error"}
+
+
+def fail(path, message):
+    print(f"{path}: SCHEMA ERROR: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_typed_keys(path, where, obj, keys):
+    for key, ty in keys.items():
+        if key not in obj:
+            fail(path, f"{where}: missing key '{key}'")
+        if not isinstance(obj[key], ty) or isinstance(obj[key], bool) != (ty is bool):
+            fail(path, f"{where}: key '{key}' has type {type(obj[key]).__name__}")
+
+
+def check_run(path, i, run):
+    where = f"runs[{i}]"
+    check_typed_keys(path, where, run, RUN_KEYS)
+    if run["harts_analyzed"] < 1:
+        fail(path, f"{where}: harts_analyzed {run['harts_analyzed']} < 1")
+    errors = warnings = 0
+    for j, finding in enumerate(run["findings"]):
+        fwhere = f"{where}.findings[{j}]"
+        check_typed_keys(path, fwhere, finding, FINDING_KEYS)
+        if finding["kind"] not in KINDS:
+            fail(path, f"{fwhere}: unknown kind '{finding['kind']}'")
+        if finding["severity"] not in SEVERITIES:
+            fail(path, f"{fwhere}: unknown severity '{finding['severity']}'")
+        if not finding["message"]:
+            fail(path, f"{fwhere}: empty message")
+        if finding["severity"] == "error":
+            errors += 1
+        else:
+            warnings += 1
+    if errors != run["errors"]:
+        fail(path, f"{where}: errors={run['errors']} but {errors} error findings")
+    if warnings != run["warnings"]:
+        fail(path, f"{where}: warnings={run['warnings']} but {warnings} "
+                   f"warning findings")
+
+
+def check_lint(path):
+    with open(path) as f:
+        doc = json.load(f)
+    check_doc(path, doc)
+
+
+def check_doc(path, doc):
+    check_typed_keys(path, "document", doc, TOP_KEYS)
+    if doc["schema"] != SCHEMA_VERSION:
+        fail(path, f"schema {doc['schema']} != pinned {SCHEMA_VERSION}")
+    if not doc["runs"]:
+        fail(path, "empty 'runs' array (nothing was analyzed)")
+    errors = warnings = 0
+    for i, run in enumerate(doc["runs"]):
+        check_run(path, i, run)
+        errors += run["errors"]
+        warnings += run["warnings"]
+    if errors != doc["errors"]:
+        fail(path, f"errors={doc['errors']} but per-run totals sum to {errors}")
+    if warnings != doc["warnings"]:
+        fail(path, f"warnings={doc['warnings']} but per-run totals sum to "
+                   f"{warnings}")
+    print(f"{path}: ok ({len(doc['runs'])} runs, {errors} errors, "
+          f"{warnings} warnings, schema {SCHEMA_VERSION})")
+    return errors
+
+
+def run_and_check(schsim, targets):
+    status = 0
+    for target in targets:
+        proc = subprocess.run([schsim, "lint", target, "--json"],
+                              capture_output=True, text=True)
+        if proc.returncode not in (0, 1):
+            fail(target, f"schsim lint exited {proc.returncode}: "
+                         f"{proc.stderr.strip()}")
+        try:
+            doc = json.loads(proc.stdout)
+        except json.JSONDecodeError as e:
+            fail(target, f"lint stdout is not JSON: {e}")
+        if check_doc(target, doc) > 0 or proc.returncode != 0:
+            print(f"{target}: LINT ERRORS (see above)", file=sys.stderr)
+            status = 1
+    return status
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if sys.argv[1] == "--run":
+        if len(sys.argv) < 4:
+            print(__doc__, file=sys.stderr)
+            return 2
+        return run_and_check(sys.argv[2], sys.argv[3:])
+    for path in sys.argv[1:]:
+        check_lint(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,21 @@
 //         --mem-bw N            force every job's main-memory bandwidth
 //                               (bytes per cycle)
 //
+//   schsim lint <scenario.json|program.s> [--json] [--strict]
+//               [--cores N] [--fpu-depth N]
+//       Static verification without running a cycle: abstract-interpret
+//       every program (all jobs of a scenario file, or one assembled .s
+//       file) for chain-FIFO deadlocks, out-of-bounds/overlapping SSR
+//       stream windows, FREP body legality, cross-hart races and DMA/stream
+//       hazards (see docs/VERIFY.md). Exits nonzero iff any error-severity
+//       finding (with --strict: iff any finding at all).
+//         --json                emit the machine-readable lint report
+//                               (schema pinned by tools/check_lint_schema.py)
+//         --strict              treat warnings as failures
+//         --cores N             cluster cores to analyze (default: scenario
+//                               "cores" override, else 1)
+//         --fpu-depth N         FPU depth (chain FIFO capacity is depth+1)
+//
 //   schsim fuzz [--seed S] [--runs N] [--minimize|--no-minimize]
 //               [--engine iss|cycle|both] [--max-harts N]
 //               [--repro-dir DIR] [--replay spec.json]
@@ -81,6 +96,8 @@ void usage() {
                "       schsim run scenario.json [--out report.json] [--threads N]\n"
                "              [--engine iss|cycle|both] [--cores N]\n"
                "              [--mem-latency N] [--mem-bw N]\n"
+               "       schsim lint <scenario.json|program.s> [--json] [--strict]\n"
+               "              [--cores N] [--fpu-depth N]\n"
                "       schsim fuzz [--seed S] [--runs N] [--no-minimize]\n"
                "              [--engine iss|cycle|both] [--max-harts N]\n"
                "              [--repro-dir DIR] [--replay spec.json]\n"
@@ -337,6 +354,160 @@ int cmd_fuzz(int argc, char** argv) {
   return result.failures == 0 ? 0 : 1;
 }
 
+/// `schsim lint`: run the static verifier over a scenario's jobs or one
+/// assembled .s program, without executing anything.
+int cmd_lint(int argc, char** argv) {
+  bool want_json = false;
+  bool strict = false;
+  u32 cores_override = 0;
+  u32 fpu_depth_override = 0;
+  std::string path;
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing argument for %s\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") want_json = true;
+    else if (arg == "--strict") strict = true;
+    else if (arg == "--cores") {
+      cores_override = parse_u32_arg(next("--cores"), "--cores", 1,
+                                     sim::SimConfig::kMaxCores);
+    } else if (arg == "--fpu-depth") {
+      fpu_depth_override =
+          parse_u32_arg(next("--fpu-depth"), "--fpu-depth", 1, 64);
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage();
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "more than one lint target\n");
+      usage();
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    usage();
+    return 2;
+  }
+
+  // One analyzed unit: a scenario job or the single .s program.
+  struct LintRow {
+    std::string name;
+    verify::Report report;
+  };
+  std::vector<LintRow> rows;
+
+  const bool is_scenario =
+      path.size() > 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  if (is_scenario) {
+    const Result<scenario::Scenario> sc = scenario::load_scenario_file(path);
+    if (!sc.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   sc.status().message().c_str());
+      return 2;
+    }
+    const Result<std::vector<scenario::Job>> jobs =
+        scenario::expand(sc.value());
+    if (!jobs.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   jobs.status().message().c_str());
+      return 2;
+    }
+    for (const scenario::Job& job : jobs.value()) {
+      if (job.repeat_index != 0) continue;  // repeats analyze identically
+      sim::SimConfig cfg = job.config;
+      if (cores_override != 0) cfg.num_cores = cores_override;
+      if (fpu_depth_override != 0) cfg.fpu_depth = fpu_depth_override;
+      LintRow row;
+      row.name = job.kernel->name + "/" + job.variant;
+      try {
+        const kernels::BuiltKernel built =
+            job.kernel->build(job.variant, job.sizes);
+        row.report = verify::analyze(built.program, cfg, &built.regions);
+      } catch (const std::exception& e) {
+        verify::Finding f;
+        f.kind = verify::FindingKind::kAnalysisLimit;
+        f.severity = verify::Severity::kError;
+        f.message = std::string("kernel build failed: ") + e.what();
+        row.report.findings.push_back(std::move(f));
+        row.report.complete = false;
+      }
+      rows.push_back(std::move(row));
+    }
+  } else {
+    std::ifstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 2;
+    }
+    std::stringstream ss;
+    ss << file.rdbuf();
+    auto assembled = assembler::assemble(ss.str());
+    if (!assembled.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   assembled.status().message().c_str());
+      return 2;
+    }
+    sim::SimConfig cfg;
+    if (cores_override != 0) cfg.num_cores = cores_override;
+    if (fpu_depth_override != 0) cfg.fpu_depth = fpu_depth_override;
+    LintRow row;
+    row.name = path;
+    row.report = verify::analyze(assembled.value(), cfg);
+    rows.push_back(std::move(row));
+  }
+
+  u32 errors = 0, warnings = 0;
+  for (const LintRow& row : rows) {
+    errors += row.report.errors();
+    warnings += row.report.warnings();
+  }
+
+  if (want_json) {
+    scenario::Json doc = scenario::Json::object();
+    doc.set("schema", verify::Report::kLintSchemaVersion);
+    doc.set("target", path);
+    doc.set("errors", static_cast<i64>(errors));
+    doc.set("warnings", static_cast<i64>(warnings));
+    scenario::Json arr = scenario::Json::array();
+    for (const LintRow& row : rows) {
+      scenario::Json j = row.report.to_json();
+      j.set("name", row.name);
+      arr.push_back(std::move(j));
+    }
+    doc.set("runs", std::move(arr));
+    std::printf("%s\n", doc.dump(2).c_str());
+  } else {
+    for (const LintRow& row : rows) {
+      for (const verify::Finding& f : row.report.findings) {
+        std::printf("%s: %s: [%s] ", row.name.c_str(),
+                    verify::severity_name(f.severity),
+                    verify::finding_kind_name(f.kind));
+        if (f.hart >= 0) std::printf("hart %d ", f.hart);
+        if (f.pc >= 0) std::printf("pc 0x%llx ",
+                                   static_cast<unsigned long long>(f.pc));
+        std::printf("%s\n", f.message.c_str());
+      }
+    }
+    std::printf("%zu unit%s analyzed: %u error%s, %u warning%s\n", rows.size(),
+                rows.size() == 1 ? "" : "s", errors, errors == 1 ? "" : "s",
+                warnings, warnings == 1 ? "" : "s");
+  }
+  if (errors > 0) return 1;
+  if (strict && warnings > 0) return 1;
+  return 0;
+}
+
 int cmd_sim(int argc, char** argv) {
   bool use_iss = false, want_trace = false, want_dataflow = false,
        want_energy = false;
@@ -485,6 +656,7 @@ int main(int argc, char** argv) {
     const std::string cmd = argv[1];
     if (cmd == "list-kernels") return cmd_list_kernels(argc - 2, argv + 2);
     if (cmd == "run") return cmd_run(argc - 2, argv + 2);
+    if (cmd == "lint") return cmd_lint(argc - 2, argv + 2);
     if (cmd == "fuzz") return cmd_fuzz(argc - 2, argv + 2);
     if (cmd == "sim") return cmd_sim(argc - 2, argv + 2);
     if (cmd == "--help" || cmd == "-h") {
