@@ -7,6 +7,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "api/build_cache.hpp"
 #include "energy/activity.hpp"
 #include "isa/reg.hpp"
 #include "iss/iss.hpp"
@@ -132,6 +133,7 @@ RunReport execute(const RunRequest& request) {
 
   // --- resolve the workload -------------------------------------------------
   kernels::BuiltKernel registry_built;  // storage for registry-form builds
+  BuildCache::Ptr cached_built;         // keep-alive for cache hits
   const kernels::BuiltKernel* built = nullptr;
   const Program* program = nullptr;          // single program (replicated)
   const std::vector<Program>* programs = nullptr;  // one per core
@@ -148,13 +150,20 @@ RunReport execute(const RunRequest& request) {
                                "\" (see `schsim list-kernels`)");
     }
     try {
-      registry_built =
-          entry->build(request.variant, entry->resolve_sizes(request.sizes));
+      if (request.cache != nullptr) {
+        cached_built = request.cache->get_or_build(
+            *entry, request.variant, entry->resolve_sizes(request.sizes),
+            request.config);
+        built = cached_built.get();
+      } else {
+        registry_built =
+            entry->build(request.variant, entry->resolve_sizes(request.sizes));
+        built = &registry_built;
+      }
     } catch (const std::exception& e) {
       return finish_failed(FailureKind::kValidation,
                            report.name + ": " + e.what());
     }
-    built = &registry_built;
   } else if (!request.programs.empty()) {
     programs = &request.programs;
     validation = Validation::kNone;  // no golden reference exists

@@ -95,6 +95,15 @@ class Program {
     for (const isa::Instr& in : instrs) pre.push_back(isa::predecode(in));
     isa::link_superblocks(pre);
   }
+
+  /// Predecode only if `pre` is not already a full mirror of `instrs`. The
+  /// engines call this on construction: a Program copied out of the build
+  /// cache arrives predecoded and skips the pass entirely, while programs
+  /// edited in place after a predecode must call predecode() themselves
+  /// (the documented invalidation hook above).
+  void ensure_predecoded() {
+    if (pre.size() != instrs.size()) predecode();
+  }
 };
 
 } // namespace sch

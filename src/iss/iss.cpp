@@ -26,7 +26,7 @@ using isa::PredecodedInstr;
 
 Iss::Iss(Program program, Memory& memory, const IssConfig& config)
     : prog_(std::move(program)), mem_(memory), cfg_(config) {
-  prog_.predecode();
+  prog_.ensure_predecoded();
   state_.pc = prog_.text_base;
   if (cfg_.load_image) mem_.load_image(prog_.data_base, prog_.data);
 }

@@ -35,8 +35,10 @@ Result<kernels::SizeMap> parse_size_object(const Json& obj, usize run_index) {
   return sizes;
 }
 
-Result<RunSpec> parse_run(const Json& run, usize index, const Json& base_sim,
-                          u32 default_repeat) {
+} // namespace
+
+Result<RunSpec> parse_run_spec(const Json& run, usize index,
+                               const Json& base_sim, u32 default_repeat) {
   const std::string where = "runs[" + std::to_string(index) + "]";
   if (!run.is_object()) return type_error(where, "an object");
   for (const auto& [k, _] : run.members()) {
@@ -97,8 +99,6 @@ Result<RunSpec> parse_run(const Json& run, usize index, const Json& base_sim,
   return spec;
 }
 
-} // namespace
-
 Result<Scenario> parse_scenario(const std::string& json_text) {
   Result<Json> doc = Json::parse(json_text);
   if (!doc.ok()) return doc.status();
@@ -152,7 +152,8 @@ Result<Scenario> parse_scenario(const std::string& json_text) {
     return type_error("runs", "a non-empty array");
   }
   for (usize i = 0; i < runs->items().size(); ++i) {
-    Result<RunSpec> r = parse_run(runs->items()[i], i, base_sim, default_repeat);
+    Result<RunSpec> r =
+        parse_run_spec(runs->items()[i], i, base_sim, default_repeat);
     if (!r.ok()) return r.status();
     sc.runs.push_back(std::move(r).value());
   }

@@ -56,6 +56,13 @@ struct Scenario {
 /// Parse and structurally validate a scenario document.
 Result<Scenario> parse_scenario(const std::string& json_text);
 
+/// Parse and validate one `runs[]`-shaped object (strict unknown-key
+/// rejection, sim-override probe). `index` only labels error messages;
+/// `base_sim` is merged under the entry's own "sim". Exposed for the serve
+/// layer, whose NDJSON run requests carry the same shape inline.
+Result<RunSpec> parse_run_spec(const Json& run, usize index,
+                               const Json& base_sim, u32 default_repeat);
+
 /// Read `path` and parse it.
 Result<Scenario> load_scenario_file(const std::string& path);
 

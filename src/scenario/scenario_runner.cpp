@@ -7,15 +7,11 @@
 
 namespace sch::scenario {
 
-namespace {
-
-Json sizes_json(const kernels::SizeMap& sizes) {
+Json sizes_to_json(const kernels::SizeMap& sizes) {
   Json o = Json::object();
   for (const auto& [k, v] : sizes) o.set(k, v);
   return o;
 }
-
-} // namespace
 
 Result<std::vector<Job>> expand(const Scenario& scenario) {
   std::vector<Job> jobs;
@@ -70,20 +66,25 @@ Result<std::vector<Job>> expand(const Scenario& scenario) {
   return jobs;
 }
 
-api::RunRequest to_request(const Job& job, api::EngineSel engine) {
+api::RunRequest to_request(const Job& job, api::EngineSel engine,
+                           api::BuildCache* cache) {
   api::RunRequest request =
       api::RunRequest::for_kernel(job.kernel->name, job.variant, job.sizes, engine);
   request.config = job.config;
   request.verify = job.verify;
+  request.cache = cache;
   return request;
 }
 
 std::vector<api::RunReport> run_jobs(const std::vector<Job>& jobs,
                                      api::Engine& engine,
-                                     api::EngineSel engine_sel) {
+                                     api::EngineSel engine_sel,
+                                     api::BuildCache* cache) {
   std::vector<api::RunRequest> requests;
   requests.reserve(jobs.size());
-  for (const Job& job : jobs) requests.push_back(to_request(job, engine_sel));
+  for (const Job& job : jobs) {
+    requests.push_back(to_request(job, engine_sel, cache));
+  }
   return engine.run_batch(std::move(requests));
 }
 
@@ -109,7 +110,7 @@ Json make_report(const Scenario& scenario, const std::vector<Job>& jobs,
   for (usize i = 0; i < jobs.size(); ++i) {
     const Job& job = jobs[i];
     Json row = reports[i].to_json();
-    row.set("sizes", sizes_json(job.sizes));
+    row.set("sizes", sizes_to_json(job.sizes));
     row.set("sim", job.sim_echo.is_object() ? job.sim_echo : Json::object());
     row.set("repeat", static_cast<i64>(job.repeat_index));
     rows.push_back(std::move(row));
@@ -157,8 +158,9 @@ Result<ScenarioOutcome> run_scenario_file(const std::string& path,
       << workers << " workers (engine: " << api::engine_name(options.engine);
   if (options.cores_override != 0) log << ", cores: " << options.cores_override;
   log << ")\n";
-  const std::vector<api::RunReport> reports =
-      run_jobs(jobs, engine, options.engine);
+  const std::vector<api::RunReport> reports = run_jobs(
+      jobs, engine, options.engine,
+      options.use_cache ? &api::default_build_cache() : nullptr);
 
   ScenarioOutcome outcome;
   outcome.jobs = static_cast<u32>(jobs.size());

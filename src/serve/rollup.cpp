@@ -1,0 +1,104 @@
+#include "serve/rollup.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sch::serve {
+
+namespace {
+
+/// Nearest-rank percentile of an ascending-sorted vector: the smallest
+/// element with at least ceil(p/100 * N) values at or below it.
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const usize rank = static_cast<usize>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  const usize idx = rank == 0 ? 0 : rank - 1;
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+} // namespace
+
+void Rollup::add(const api::RunReport& report) {
+  ++jobs_;
+  if (!report.ok) {
+    ++failures_;
+    const auto kind = static_cast<usize>(report.failure.kind);
+    if (kind < 8) ++failure_counts_[kind];
+    return;
+  }
+  if (report.cycles > 0) {
+    log_cycles_sum_ += std::log(static_cast<double>(report.cycles));
+    ++cycle_rows_;
+    utilizations_.push_back(report.fpu_utilization);
+  }
+  total_cycles_ += report.cycles;
+  total_iss_instructions_ += report.iss_instructions;
+  total_useful_flops_ += report.useful_flops;
+  tcdm_reads_ += report.tcdm_reads;
+  tcdm_writes_ += report.tcdm_writes;
+  tcdm_conflicts_ += report.tcdm_conflicts;
+  for (const auto& [bank, conflicts] : report.tcdm_top_banks) {
+    auto it = std::find_if(bank_conflicts_.begin(), bank_conflicts_.end(),
+                           [&](const auto& e) { return e.first == bank; });
+    if (it == bank_conflicts_.end()) {
+      bank_conflicts_.emplace_back(bank, conflicts);
+    } else {
+      it->second += conflicts;
+    }
+  }
+}
+
+Json Rollup::to_json() const {
+  Json o = Json::object();
+  o.set("jobs", static_cast<i64>(jobs_));
+  o.set("ok", static_cast<i64>(jobs_ - failures_));
+  o.set("failures", static_cast<i64>(failures_));
+  if (failures_ != 0) {
+    Json kinds = Json::object();
+    for (usize k = 0; k < 8; ++k) {
+      if (failure_counts_[k] != 0) {
+        kinds.set(api::failure_kind_name(static_cast<api::FailureKind>(k)),
+                  static_cast<i64>(failure_counts_[k]));
+      }
+    }
+    o.set("failure_kinds", std::move(kinds));
+  }
+  o.set("geomean_cycles",
+        cycle_rows_ == 0
+            ? 0.0
+            : std::exp(log_cycles_sum_ / static_cast<double>(cycle_rows_)));
+  o.set("total_cycles", total_cycles_);
+  o.set("total_iss_instructions", total_iss_instructions_);
+  o.set("total_useful_flops", total_useful_flops_);
+
+  std::vector<double> sorted = utilizations_;
+  std::sort(sorted.begin(), sorted.end());
+  Json util = Json::object();
+  util.set("p50", percentile(sorted, 50));
+  util.set("p90", percentile(sorted, 90));
+  util.set("p99", percentile(sorted, 99));
+  o.set("fpu_utilization", std::move(util));
+
+  Json tcdm = Json::object();
+  tcdm.set("reads", tcdm_reads_);
+  tcdm.set("writes", tcdm_writes_);
+  tcdm.set("conflicts", tcdm_conflicts_);
+  std::vector<std::pair<u32, u64>> banks = bank_conflicts_;
+  std::sort(banks.begin(), banks.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (banks.size() > 8) banks.resize(8);
+  Json top = Json::array();
+  for (const auto& [bank, conflicts] : banks) {
+    Json e = Json::object();
+    e.set("bank", static_cast<i64>(bank));
+    e.set("conflicts", conflicts);
+    top.push_back(std::move(e));
+  }
+  tcdm.set("top_banks", std::move(top));
+  o.set("tcdm", std::move(tcdm));
+  return o;
+}
+
+} // namespace sch::serve

@@ -1,0 +1,47 @@
+// Server-side aggregate rollups over a batch of RunReports: the summary a
+// fleet client wants without re-parsing every streamed row. Accumulates
+// geomean cycles (log-sum over ok rows), utilization percentiles
+// (nearest-rank), merged TCDM-conflict histograms (per-bank sums of the
+// per-job top_banks sections) and a failure-kind census. Deterministic for
+// a fixed report set: every statistic depends only on the report values,
+// never on arrival order or timing.
+#pragma once
+
+#include <vector>
+
+#include "api/run_report.hpp"
+
+namespace sch::serve {
+
+using Json = scenario::Json;
+
+class Rollup {
+ public:
+  void add(const api::RunReport& report);
+
+  [[nodiscard]] usize jobs() const { return jobs_; }
+  [[nodiscard]] usize failures() const { return failures_; }
+
+  /// Serialize the aggregates (see docs/SERVE.md "Rollups" for the exact
+  /// definitions). Percentile ranks use the nearest-rank method on the
+  /// sorted ok-row utilizations; geomean_cycles covers ok rows with
+  /// cycles > 0 (0.0 when there are none).
+  [[nodiscard]] Json to_json() const;
+
+ private:
+  usize jobs_ = 0;
+  usize failures_ = 0;
+  u64 failure_counts_[8] = {};  // indexed by FailureKind
+  double log_cycles_sum_ = 0;
+  usize cycle_rows_ = 0;
+  u64 total_cycles_ = 0;
+  u64 total_iss_instructions_ = 0;
+  u64 total_useful_flops_ = 0;
+  u64 tcdm_reads_ = 0;
+  u64 tcdm_writes_ = 0;
+  u64 tcdm_conflicts_ = 0;
+  std::vector<double> utilizations_;            // ok rows only
+  std::vector<std::pair<u32, u64>> bank_conflicts_;  // sparse bank -> sum
+};
+
+} // namespace sch::serve

@@ -1,0 +1,298 @@
+#include "serve/shard.hpp"
+
+#include <ostream>
+
+#include "serve/fdstream.hpp"
+
+#if defined(SCH_SERVE_HAVE_FDSTREAM)
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <istream>
+#include <string>
+#include <vector>
+
+namespace sch::serve {
+
+namespace {
+
+/// Write all of `data` to `fd` (blocking fd), retrying on EINTR.
+bool write_all(int fd, const char* data, usize size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<usize>(n);
+  }
+  return true;
+}
+
+void emit_parent_error(const std::string& message) {
+  const std::string line = error_line(Json(), message).dump() + "\n";
+  write_all(STDOUT_FILENO, line.data(), line.size());
+}
+
+struct Shard {
+  pid_t pid = -1;
+  int req_fd = -1;   // parent -> child (nonblocking)
+  int resp_fd = -1;  // child -> parent
+  std::string pending;   // request bytes not yet written
+  std::string resp_buf;  // partial response line
+  bool req_open = true;
+  bool resp_open = true;
+};
+
+/// Child body: one full Server session over the pipe pair, then a hard
+/// exit (no atexit/static teardown -- the parent's inherited state must
+/// not be double-destroyed).
+[[noreturn]] void shard_child(const ServerOptions& options, int req_fd,
+                              int resp_fd) {
+  {
+    Server server(options);
+    FdStreamBuf ibuf(req_fd, /*own=*/true);
+    FdStreamBuf obuf(resp_fd, /*own=*/true);
+    std::istream in(&ibuf);
+    std::ostream out(&obuf);
+    server.serve(in, out);
+    out.flush();
+  }
+  ::_exit(0);
+}
+
+} // namespace
+
+int serve_sharded(const ServerOptions& options, u32 shards, std::ostream& log) {
+  if (shards < 1) shards = 1;
+  std::vector<Shard> workers(shards);
+  for (u32 i = 0; i < shards; ++i) {
+    int req[2];
+    int resp[2];
+    if (::pipe(req) != 0 || ::pipe(resp) != 0) {
+      log << "serve: pipe() failed\n";
+      return 1;
+    }
+    log.flush();
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      log << "serve: fork() failed\n";
+      return 1;
+    }
+    if (pid == 0) {
+      // Child: close every fd inherited from earlier shards plus the
+      // parent ends of its own pipes, then serve.
+      for (u32 j = 0; j < i; ++j) {
+        ::close(workers[j].req_fd);
+        ::close(workers[j].resp_fd);
+      }
+      ::close(req[1]);
+      ::close(resp[0]);
+      shard_child(options, req[0], resp[1]);
+    }
+    ::close(req[0]);
+    ::close(resp[1]);
+    ::fcntl(req[1], F_SETFL, O_NONBLOCK);
+    workers[i].pid = pid;
+    workers[i].req_fd = req[1];
+    workers[i].resp_fd = resp[0];
+  }
+  log << "serve: " << shards << " shards forked\n";
+  log.flush();
+
+  // Parent event loop: multiplex stdin requests across shards and forward
+  // complete response lines to stdout. All request writes go through
+  // per-shard pending buffers drained on POLLOUT, so a shard with a full
+  // request pipe can never deadlock the loop while another shard's
+  // responses wait to be read.
+  std::string stdin_buf;
+  bool stdin_eof = false;
+  bool discarding = false;  // inside an oversized request line
+  u32 next_shard = 0;
+
+  const auto dispatch_line = [&](std::string line) {
+    while (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.find_first_not_of(" \t") == std::string::npos) return;
+    // Broadcast shutdowns so every shard exits (a round-robin shutdown
+    // would stop one shard and strand the rest).
+    bool is_shutdown = false;
+    if (line.find("shutdown") != std::string::npos) {
+      Result<Json> parsed = Json::parse(line);
+      if (parsed.ok()) {
+        const Json req = std::move(parsed).value();
+        const Json* op = req.is_object() ? req.get("op") : nullptr;
+        is_shutdown =
+            op != nullptr && op->is_string() && op->as_string() == "shutdown";
+      }
+    }
+    line += '\n';
+    if (is_shutdown) {
+      for (Shard& w : workers) {
+        if (w.req_open) w.pending += line;
+      }
+      stdin_eof = true;  // stop consuming stdin; drain and exit
+      return;
+    }
+    for (u32 tried = 0; tried < shards; ++tried) {
+      Shard& w = workers[next_shard];
+      next_shard = (next_shard + 1) % shards;
+      if (w.req_open) {
+        w.pending += line;
+        return;
+      }
+    }
+    emit_parent_error("serve: no live shard to dispatch to");
+  };
+
+  const auto consume_stdin = [&](const char* data, usize size) {
+    for (usize i = 0; i < size; ++i) {
+      const char c = data[i];
+      if (c == '\n') {
+        if (discarding) {
+          discarding = false;
+        } else {
+          dispatch_line(std::move(stdin_buf));
+        }
+        stdin_buf.clear();
+        continue;
+      }
+      if (discarding) continue;
+      stdin_buf += c;
+      if (stdin_buf.size() > options.max_line_bytes) {
+        emit_parent_error("request line exceeds " +
+                          std::to_string(options.max_line_bytes) + " bytes");
+        stdin_buf.clear();
+        discarding = true;
+      }
+    }
+  };
+
+  char io_buf[65536];
+  for (;;) {
+    bool any_resp_open = false;
+    for (const Shard& w : workers) any_resp_open |= w.resp_open;
+    if (!any_resp_open) break;
+
+    std::vector<pollfd> fds;
+    std::vector<Shard*> fd_owner;  // parallel; nullptr = stdin
+    usize total_pending = 0;
+    for (Shard& w : workers) total_pending += w.pending.size();
+    if (!stdin_eof && total_pending < (4u << 20)) {
+      fds.push_back({STDIN_FILENO, POLLIN, 0});
+      fd_owner.push_back(nullptr);
+    }
+    for (Shard& w : workers) {
+      if (w.resp_open) {
+        fds.push_back({w.resp_fd, POLLIN, 0});
+        fd_owner.push_back(&w);
+      }
+      if (w.req_open && !w.pending.empty()) {
+        fds.push_back({w.req_fd, POLLOUT, 0});
+        fd_owner.push_back(&w);
+      }
+    }
+    if (fds.empty()) break;
+    const int rc = ::poll(fds.data(), fds.size(), -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+
+    for (usize i = 0; i < fds.size(); ++i) {
+      const pollfd& p = fds[i];
+      if (p.revents == 0) continue;
+      if (fd_owner[i] == nullptr) {
+        // stdin readable (or closed)
+        const ssize_t n = ::read(STDIN_FILENO, io_buf, sizeof(io_buf));
+        if (n <= 0) {
+          if (n < 0 && errno == EINTR) continue;
+          stdin_eof = true;
+          if (!stdin_buf.empty() && !discarding) {
+            dispatch_line(std::move(stdin_buf));  // unterminated final line
+            stdin_buf.clear();
+          }
+        } else {
+          consume_stdin(io_buf, static_cast<usize>(n));
+        }
+        continue;
+      }
+      Shard& w = *fd_owner[i];
+      if (p.fd == w.resp_fd) {
+        const ssize_t n = ::read(w.resp_fd, io_buf, sizeof(io_buf));
+        if (n <= 0) {
+          if (n < 0 && errno == EINTR) continue;
+          w.resp_open = false;
+          ::close(w.resp_fd);
+          if (!w.resp_buf.empty()) {
+            w.resp_buf += '\n';
+            write_all(STDOUT_FILENO, w.resp_buf.data(), w.resp_buf.size());
+            w.resp_buf.clear();
+          }
+        } else {
+          // Forward only complete lines so shard outputs never interleave
+          // mid-line on stdout.
+          w.resp_buf.append(io_buf, static_cast<usize>(n));
+          const usize last_nl = w.resp_buf.rfind('\n');
+          if (last_nl != std::string::npos) {
+            write_all(STDOUT_FILENO, w.resp_buf.data(), last_nl + 1);
+            w.resp_buf.erase(0, last_nl + 1);
+          }
+        }
+      } else if (p.fd == w.req_fd) {
+        const ssize_t n =
+            ::write(w.req_fd, w.pending.data(), w.pending.size());
+        if (n < 0) {
+          if (errno == EINTR || errno == EAGAIN) continue;
+          // Shard died mid-request (EPIPE): drop its queue; its resp EOF
+          // will follow.
+          w.req_open = false;
+          ::close(w.req_fd);
+          w.pending.clear();
+        } else {
+          w.pending.erase(0, static_cast<usize>(n));
+        }
+      }
+    }
+
+    // After stdin EOF, close request pipes as they drain so shards see
+    // their own EOF and finish.
+    if (stdin_eof) {
+      for (Shard& w : workers) {
+        if (w.req_open && w.pending.empty()) {
+          w.req_open = false;
+          ::close(w.req_fd);
+        }
+      }
+    }
+  }
+
+  int exit_code = 0;
+  for (Shard& w : workers) {
+    if (w.req_open) ::close(w.req_fd);
+    if (w.resp_open) ::close(w.resp_fd);
+    int status = 0;
+    ::waitpid(w.pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) exit_code = 1;
+  }
+  return exit_code;
+}
+
+} // namespace sch::serve
+
+#else // !SCH_SERVE_HAVE_FDSTREAM
+
+namespace sch::serve {
+
+int serve_sharded(const ServerOptions&, u32, std::ostream& log) {
+  log << "serve: --shards requires fork(); unavailable on this platform\n";
+  return 1;
+}
+
+} // namespace sch::serve
+
+#endif

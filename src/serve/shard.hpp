@@ -1,0 +1,25 @@
+// Process-level sharding for `schsim serve --shards N`: fork N worker
+// processes before any engine thread exists, each running a full Server
+// session over a pipe pair, with the parent as a single-threaded
+// multiplexer -- round-robin request dispatch, line-granular response
+// forwarding. Shards share nothing (each has its own caches and worker
+// pool), so a crash or wedge in one shard can never take down another;
+// the cost is that responses from different shards interleave on stdout
+// (each line is self-contained, so clients key on "id").
+#pragma once
+
+#include <iosfwd>
+
+#include "serve/server.hpp"
+
+namespace sch::serve {
+
+/// Serve stdin -> stdout across `shards` forked workers, each configured
+/// with `options`. Must be called while the process is still
+/// single-threaded (fork + engine pools do not mix); `schsim serve` calls
+/// it before touching any engine. Returns a process exit code (0 on a
+/// clean EOF/shutdown drain). On platforms without fork the call fails
+/// with a message on `log`.
+int serve_sharded(const ServerOptions& options, u32 shards, std::ostream& log);
+
+} // namespace sch::serve

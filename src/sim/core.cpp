@@ -9,7 +9,7 @@ Core::Core(Program program, Memory& memory, Tcdm& tcdm,
       tcdm_(tcdm),
       cfg_(config),
       hartid_(hartid) {
-  prog_.predecode();
+  prog_.ensure_predecoded();
   fp_ = std::make_unique<FpSubsystem>(cfg_, mem_, tcdm_, perf_, hartid_);
   core_ = std::make_unique<IntCore>(prog_, mem_, tcdm_, cfg_, perf_, *fp_,
                                     hartid_, dma);

@@ -1,14 +1,25 @@
 #!/usr/bin/env python3
 """Host-throughput regression gate.
 
-Compares a freshly measured host_throughput JSON against the committed
-baseline (BENCH_host_throughput.json) and fails when the simulator itself
-got meaningfully slower on the same workloads:
+Compares a freshly measured bench JSON against the committed baseline and
+fails when the simulator (or the serving layer) got meaningfully slower on
+the same workloads. Dispatches on the fresh JSON's "bench" tag:
 
+host_throughput (default when untagged, baseline
+BENCH_host_throughput.json):
   * any kernel's sim_cycles_per_sec drops by more than the threshold
     (default 20%) vs the baseline;
   * the stencil sweep's simulated_cycles_per_sec drops likewise;
   * a baseline kernel disappeared from the fresh run.
+
+serve_throughput (baseline BENCH_serve_throughput.json):
+  * the fresh warm-vs-cold speedup must meet the bench's own
+    required_speedup (the >= 3x serving-cache acceptance bar);
+  * warm_full sustained reports/sec must stay within the threshold of
+    the committed baseline;
+  * the cache counters must prove the claim: every warm_build request a
+    build-cache hit (build + predecode skipped), every warm_full
+    response served from the report cache.
 
 Being faster (or a new kernel appearing) never fails. Sanitizer builds are
 skipped outright: the fresh JSON's host metadata records the SCH_SANITIZE
@@ -34,18 +45,78 @@ def load(path):
         sys.exit(2)
 
 
+def check_serve_throughput(fresh, baseline, max_drop):
+    """Gate the serving-layer bench: cache speedup + warm throughput floor."""
+    floor = 1.0 - max_drop
+    failures = []
+
+    phases = fresh.get("phases", {})
+    requests = fresh.get("requests", 0)
+    warm_build = phases.get("warm_build", {})
+    warm_full = phases.get("warm_full", {})
+    cold = phases.get("cold", {})
+    if not (cold and warm_build and warm_full and requests):
+        print("check_bench_regression: fresh serve_throughput JSON is missing "
+              "phases/requests")
+        return 2
+
+    required = fresh.get("required_speedup", 3.0)
+    speedup = fresh.get("speedup_warm_vs_cold", 0.0)
+    status = "ok" if speedup >= required else "REGRESSION"
+    print(f"  {'warm_vs_cold_speedup':24s} {speedup:>12.2f}x vs required "
+          f"{required:.1f}x {status}")
+    if speedup < required:
+        failures.append(f"warm-vs-cold speedup {speedup:.2f}x is below the "
+                        f"required {required:.1f}x")
+
+    build_hits = warm_build.get("build", {}).get("hits", 0)
+    build_misses = warm_build.get("build", {}).get("misses", -1)
+    if build_hits != requests or build_misses != 0:
+        failures.append(f"warm_build counters do not prove build/predecode "
+                        f"skipped: {build_hits}/{requests} hits, "
+                        f"{build_misses} misses")
+    cached = warm_full.get("cached", 0)
+    if cached != requests:
+        failures.append(f"warm_full served only {cached}/{requests} responses "
+                        f"from the report cache")
+
+    base_warm = baseline.get("phases", {}).get("warm_full", {})
+    got = warm_full.get("reports_per_sec", 0.0)
+    want = base_warm.get("reports_per_sec", 0.0)
+    ratio = got / want if want else float("inf")
+    status = "ok" if ratio >= floor else "REGRESSION"
+    print(f"  {'warm_full_reports/sec':24s} {got:>12,.0f} vs {want:>12,.0f} "
+          f"({ratio:6.2f}x) {status}")
+    if ratio < floor:
+        failures.append(f"warm_full reports/sec {got:,.0f} is "
+                        f"{(1 - ratio) * 100:.0f}% below baseline {want:,.0f} "
+                        f"(tolerated: {max_drop * 100:.0f}%)")
+
+    if failures:
+        print(f"\ncheck_bench_regression: FAIL ({len(failures)} regression(s))")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"\ncheck_bench_regression: OK (serve throughput within "
+          f"{max_drop * 100:.0f}% of baseline, speedup >= {required:.1f}x)")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("fresh", help="freshly measured host_throughput JSON")
-    parser.add_argument("baseline", nargs="?",
-                        default="BENCH_host_throughput.json",
-                        help="committed baseline (default: %(default)s)")
+    parser.add_argument("fresh", help="freshly measured bench JSON")
+    parser.add_argument("baseline", nargs="?", default=None,
+                        help="committed baseline (default: matches the fresh "
+                             "JSON's bench tag)")
     parser.add_argument("--max-drop", type=float, default=0.20,
                         help="tolerated fractional throughput drop "
                              "(default: %(default)s)")
     args = parser.parse_args()
 
     fresh = load(args.fresh)
+    bench = fresh.get("bench", "host_throughput")
+    if args.baseline is None:
+        args.baseline = f"BENCH_{bench}.json"
     baseline = load(args.baseline)
 
     host = fresh.get("host", {})
@@ -58,6 +129,9 @@ def main():
         print("check_bench_regression: SKIP -- fresh run was an unoptimized "
               "build; throughput not comparable to the release baseline")
         return 0
+
+    if bench == "serve_throughput":
+        return check_serve_throughput(fresh, baseline, args.max_drop)
 
     floor = 1.0 - args.max_drop
     failures = []

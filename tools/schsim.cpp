@@ -96,6 +96,10 @@ void usage() {
                "       schsim run scenario.json [--out report.json] [--threads N]\n"
                "              [--engine iss|cycle|both] [--cores N]\n"
                "              [--mem-latency N] [--mem-bw N]\n"
+               "              [--stream] [--no-cache]\n"
+               "       schsim serve [--threads N] [--shards N] [--port P]\n"
+               "              [--build-cache N] [--report-cache N]\n"
+               "              [--max-line-bytes N] [--max-jobs N]\n"
                "       schsim lint <scenario.json|program.s> [--json] [--strict]\n"
                "              [--cores N] [--fpu-depth N]\n"
                "       schsim fuzz [--seed S] [--runs N] [--no-minimize]\n"
@@ -214,6 +218,7 @@ int cmd_list_kernels(int argc, char** argv) {
 int cmd_run(int argc, char** argv) {
   std::string scenario_path;
   scenario::ScenarioRunOptions options;
+  bool stream = false;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&](const char* what) -> const char* {
@@ -244,6 +249,10 @@ int cmd_run(int argc, char** argv) {
                      name);
         return 2;
       }
+    } else if (arg == "--stream") {
+      stream = true;
+    } else if (arg == "--no-cache") {
+      options.use_cache = false;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "schsim run: unknown option: %s\n", arg.c_str());
       return 2;
@@ -260,6 +269,45 @@ int cmd_run(int argc, char** argv) {
                  "[--threads N] [--engine iss|cycle|both]\n");
     return 2;
   }
+  if (stream) {
+    // Streamed batch: the serve-protocol NDJSON lines go to --out (or
+    // stdout for `--out -`), one report line per job as it completes,
+    // instead of one buffered report document at the end.
+    Result<scenario::Scenario> sc = scenario::load_scenario_file(scenario_path);
+    if (!sc.ok()) {
+      std::fprintf(stderr, "%s\n", sc.status().message().c_str());
+      return 1;
+    }
+    serve::ScenarioStreamOptions stream_options;
+    stream_options.engine = options.engine;
+    stream_options.threads = options.threads;
+    stream_options.use_cache = options.use_cache;
+    stream_options.cores_override = options.cores_override;
+    stream_options.mem_latency_override = options.mem_latency_override;
+    stream_options.mem_bw_override = options.mem_bw_override;
+    const scenario::Scenario& scenario = sc.value();
+    const bool to_stdout =
+        options.output_override.empty() || options.output_override == "-";
+    std::ofstream file;
+    if (!to_stdout) {
+      file.open(options.output_override);
+      if (!file) {
+        std::fprintf(stderr, "schsim run: cannot write %s\n",
+                     options.output_override.c_str());
+        return 1;
+      }
+    }
+    // NDJSON on stdout relegates the progress log to stderr.
+    std::ostream& out = to_stdout ? std::cout : static_cast<std::ostream&>(file);
+    std::ostream& log = to_stdout ? std::cerr : std::cout;
+    const Result<serve::StreamOutcome> outcome =
+        serve::run_scenario_streaming(scenario, stream_options, out, log);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "%s\n", outcome.status().message().c_str());
+      return 1;
+    }
+    return outcome.value().failures == 0 ? 0 : 1;
+  }
   const Result<scenario::ScenarioOutcome> outcome =
       scenario::run_scenario_file(scenario_path, options, std::cout);
   if (!outcome.ok()) {
@@ -267,6 +315,64 @@ int cmd_run(int argc, char** argv) {
     return 1;
   }
   return outcome.value().failures == 0 ? 0 : 1;
+}
+
+int cmd_serve(int argc, char** argv) {
+  serve::ServerOptions options;
+  u32 shards = 1;
+  u32 port = 0;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "schsim serve: missing argument for %s\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--threads") {
+      options.threads = parse_u32_arg(next("--threads"), "--threads", 1, 4096);
+    } else if (arg == "--shards") {
+      shards = parse_u32_arg(next("--shards"), "--shards", 1, 256);
+    } else if (arg == "--port") {
+      port = parse_u32_arg(next("--port"), "--port", 1, 65535);
+    } else if (arg == "--build-cache") {
+      options.build_cache_capacity =
+          parse_u64_arg(next("--build-cache"), "--build-cache", 0, 1u << 20);
+    } else if (arg == "--report-cache") {
+      options.report_cache_capacity =
+          parse_u64_arg(next("--report-cache"), "--report-cache", 0, 1u << 24);
+    } else if (arg == "--max-line-bytes") {
+      options.max_line_bytes = parse_u64_arg(next("--max-line-bytes"),
+                                             "--max-line-bytes", 64, 1u << 30);
+    } else if (arg == "--max-jobs") {
+      options.max_jobs_per_request =
+          parse_u64_arg(next("--max-jobs"), "--max-jobs", 1, 1u << 20);
+    } else {
+      std::fprintf(stderr, "schsim serve: unknown option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (shards > 1) {
+    // Forks before any engine thread exists; each shard serves its slice of
+    // stdin with its own pool and caches.
+    return serve::serve_sharded(options, shards, std::cerr);
+  }
+  if (port != 0) {
+    serve::Server server(options);
+    const Status st = serve::serve_listen(server, static_cast<u16>(port),
+                                          nullptr, std::cerr);
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "%s\n", st.message().c_str());
+      return 1;
+    }
+    return 0;
+  }
+  serve::Server server(options);
+  std::cerr << "schsim serve: reading NDJSON requests from stdin "
+               "(see docs/SERVE.md)\n";
+  server.serve(std::cin, std::cout);
+  return 0;
 }
 
 int cmd_fuzz(int argc, char** argv) {
@@ -656,6 +762,7 @@ int main(int argc, char** argv) {
     const std::string cmd = argv[1];
     if (cmd == "list-kernels") return cmd_list_kernels(argc - 2, argv + 2);
     if (cmd == "run") return cmd_run(argc - 2, argv + 2);
+    if (cmd == "serve") return cmd_serve(argc - 2, argv + 2);
     if (cmd == "lint") return cmd_lint(argc - 2, argv + 2);
     if (cmd == "fuzz") return cmd_fuzz(argc - 2, argv + 2);
     if (cmd == "sim") return cmd_sim(argc - 2, argv + 2);
